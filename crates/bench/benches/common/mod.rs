@@ -1,0 +1,37 @@
+//! Shared criterion plumbing for the per-table/figure benchmarks.
+
+use criterion::{BenchmarkId, Criterion};
+use rapida_bench::Workbench;
+use rapida_core::QueryEngine;
+use rapida_datagen::query;
+use std::time::Duration;
+
+/// Benchmark `ids × engines` on one workbench, one criterion group.
+pub fn bench_queries(
+    c: &mut Criterion,
+    group_name: &str,
+    wb: &Workbench,
+    engines: &[Box<dyn QueryEngine>],
+    ids: &[&str],
+) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for id in ids {
+        let q = query(id);
+        for engine in engines {
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), id),
+                &q,
+                |b, q| {
+                    b.iter(|| {
+                        wb.run(engine.as_ref(), q).expect("query runs")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}

@@ -1,0 +1,20 @@
+//! Figure 8(a): MG1–MG4 on the BSBM-500K stand-in, all four systems.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rapida_bench::{all_engines, Workbench};
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::bsbm_500k();
+    common::bench_queries(
+        c,
+        "fig8a_bsbm500k",
+        &wb,
+        &all_engines(),
+        &["MG1", "MG2", "MG3", "MG4"],
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 8(b): MG1–MG4 on the BSBM-2M stand-in (4× the data of Fig. 8(a)),
+//! all four systems.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rapida_bench::{all_engines, Workbench};
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::bsbm_2m();
+    common::bench_queries(
+        c,
+        "fig8b_bsbm2m",
+        &wb,
+        &all_engines(),
+        &["MG1", "MG2", "MG3", "MG4"],
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

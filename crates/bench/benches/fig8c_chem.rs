@@ -1,0 +1,20 @@
+//! Figure 8(c): MG6–MG10 on the Chem2Bio2RDF stand-in, all four systems.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rapida_bench::{all_engines, Workbench};
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::chem();
+    common::bench_queries(
+        c,
+        "fig8c_chem",
+        &wb,
+        &all_engines(),
+        &["MG6", "MG7", "MG8", "MG9", "MG10"],
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Micro-benchmarks of the NTGA operators themselves: the optional group
+//! filter (Def 3.3), n-split (Def 3.4), α-join (Def 3.5) and Agg-Join
+//! accumulation (Def 3.6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rapida_ntga::{
+    agg_join, alpha_join, n_split, opt_group_filter, AggJoinSpec, AggOp, AggSpec, AlphaCond,
+    AlphaTerm, AnnTg, PropReq, StarSpec, TripleGroup, VarRef,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn make_tgs(n: usize) -> Vec<TripleGroup> {
+    (0..n as u64)
+        .map(|i| {
+            let mut triples = vec![(1, 100 + i % 50), (2, 200 + i % 90)];
+            if i % 3 != 0 {
+                triples.push((3, 300 + i % 7));
+            }
+            if i % 5 == 0 {
+                triples.push((3, 300 + (i + 1) % 7));
+            }
+            TripleGroup::new(i, triples)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let tgs = make_tgs(10_000);
+    let spec = StarSpec {
+        star: 0,
+        primary: vec![PropReq::any(1), PropReq::any(2)],
+        secondary: vec![PropReq::any(3)],
+    };
+    let mut group = c.benchmark_group("ntga_operators");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("opt_group_filter/10k", |b| {
+        b.iter(|| {
+            tgs.iter()
+                .filter_map(|tg| opt_group_filter(tg, &spec))
+                .count()
+        })
+    });
+
+    group.bench_function("n_split/10k", |b| {
+        b.iter(|| {
+            tgs.iter()
+                .map(|tg| n_split(tg, &[1, 2], &[vec![], vec![3]]))
+                .filter(|splits| splits.iter().any(Option::is_some))
+                .count()
+        })
+    });
+
+    let left: Vec<(u64, AnnTg)> = tgs
+        .iter()
+        .take(2000)
+        .map(|tg| (tg.subject % 500, AnnTg::single(0, tg.clone())))
+        .collect();
+    let right: Vec<(u64, AnnTg)> = tgs
+        .iter()
+        .skip(2000)
+        .take(2000)
+        .map(|tg| (tg.subject % 500, AnnTg::single(1, tg.clone())))
+        .collect();
+    let conds = vec![AlphaCond {
+        terms: vec![AlphaTerm {
+            star: 0,
+            prop: 3,
+            required: true,
+        }],
+    }];
+    group.bench_function("alpha_join/2kx2k", |b| {
+        b.iter(|| alpha_join(&left, &right, &conds).len())
+    });
+
+    let details: Vec<AnnTg> = tgs.iter().map(|tg| AnnTg::single(0, tg.clone())).collect();
+    let numeric = Arc::new(vec![Some(1.5); 1000]);
+    let agg_spec = AggJoinSpec {
+        id: 0,
+        slots: vec![
+            VarRef::ObjectOf { star: 0, prop: 1 },
+            VarRef::ObjectOf { star: 0, prop: 2 },
+        ],
+        group_slots: vec![0],
+        aggs: vec![AggSpec {
+            op: AggOp::Sum,
+            arg: Some(1),
+        }],
+        alpha: AlphaCond::default(),
+    };
+    group.bench_function("agg_join/10k", |b| {
+        b.iter(|| agg_join(&details, &agg_spec, &numeric).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Table 3 (left): G1–G4 on the BSBM-500K stand-in, Hive vs RAPIDAnalytics.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rapida_bench::{table3_engines, Workbench};
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::bsbm_500k();
+    common::bench_queries(
+        c,
+        "table3_bsbm500k",
+        &wb,
+        &table3_engines(),
+        &["G1", "G2", "G3", "G4"],
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

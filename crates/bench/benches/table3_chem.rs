@@ -1,0 +1,21 @@
+//! Table 3 (right): G5–G9 on the Chem2Bio2RDF stand-in, Hive vs
+//! RAPIDAnalytics.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rapida_bench::{table3_engines, Workbench};
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::chem();
+    common::bench_queries(
+        c,
+        "table3_chem",
+        &wb,
+        &table3_engines(),
+        &["G5", "G6", "G7", "G8", "G9"],
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

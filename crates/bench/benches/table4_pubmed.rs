@@ -1,0 +1,20 @@
+//! Table 4: MG11–MG18 on the PubMed stand-in, all four systems.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rapida_bench::{all_engines, Workbench};
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::pubmed();
+    common::bench_queries(
+        c,
+        "table4_pubmed",
+        &wb,
+        &all_engines(),
+        &["MG11", "MG12", "MG13", "MG14", "MG15", "MG16", "MG17", "MG18"],
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

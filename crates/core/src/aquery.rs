@@ -1,0 +1,405 @@
+//! The analytical-query intermediate representation.
+//!
+//! A SPARQL analytical query (Fig. 1 / Appendix A shape) is a set of
+//! *grouping blocks* — each a graph pattern with a `GROUP BY` and aggregate
+//! list — whose results the outer query joins on shared grouping keys.
+//! This module extracts that IR from the parsed AST and resolves block
+//! variables against the block's star decomposition.
+
+use rapida_sparql::analysis::{decompose, PropKey, StarDecomposition};
+use rapida_sparql::ast::{
+    AggFunc, FilterExpr, PatternElement, ProjectionItem, Query, SelectQuery, TriplePattern, Var,
+};
+use std::fmt;
+
+/// One aggregate of a grouping block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggItem {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The aggregated variable (`None` = `COUNT(*)`).
+    pub arg: Option<Var>,
+    /// The output alias.
+    pub alias: Var,
+}
+
+/// One grouping block: a graph pattern with grouping-aggregation constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupingBlock {
+    /// The basic graph pattern.
+    pub triples: Vec<TriplePattern>,
+    /// Conjunctive FILTER constraints.
+    pub filters: Vec<FilterExpr>,
+    /// Grouping variables; empty = GROUP BY ALL.
+    pub group_by: Vec<Var>,
+    /// The aggregates.
+    pub aggregates: Vec<AggItem>,
+}
+
+impl GroupingBlock {
+    /// The output schema of this block: grouping keys then aggregate aliases.
+    pub fn output_vars(&self) -> Vec<Var> {
+        self.group_by
+            .iter()
+            .cloned()
+            .chain(self.aggregates.iter().map(|a| a.alias.clone()))
+            .collect()
+    }
+
+    /// Star-decompose this block's pattern.
+    pub fn decomposition(&self) -> Result<StarDecomposition, ExtractError> {
+        decompose(&self.triples).map_err(|e| ExtractError::Analysis(e.to_string()))
+    }
+}
+
+/// The analytical-query IR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticalQuery {
+    /// The grouping blocks (≥ 1).
+    pub blocks: Vec<GroupingBlock>,
+    /// The outer projection (variables only; each must be a grouping key or
+    /// an aggregate alias of some block).
+    pub projection: Vec<Var>,
+}
+
+impl AnalyticalQuery {
+    /// Which block and position each projection variable resolves to.
+    /// Returns `(block, ColRef)` for every projection var; keys shared by
+    /// several blocks resolve to the first defining block.
+    pub fn resolve_projection(&self) -> Result<Vec<(usize, ColRef)>, ExtractError> {
+        self.projection
+            .iter()
+            .map(|v| {
+                for (bi, b) in self.blocks.iter().enumerate() {
+                    if let Some(k) = b.group_by.iter().position(|g| g == v) {
+                        return Ok((bi, ColRef::Key(k)));
+                    }
+                    if let Some(a) = b.aggregates.iter().position(|a| &a.alias == v) {
+                        return Ok((bi, ColRef::Agg(a)));
+                    }
+                }
+                Err(ExtractError::UnknownProjectionVar(v.clone()))
+            })
+            .collect()
+    }
+
+    /// Shared grouping variables between two blocks (the final-join keys).
+    pub fn shared_keys(&self, a: usize, b: usize) -> Vec<Var> {
+        self.blocks[a]
+            .group_by
+            .iter()
+            .filter(|v| self.blocks[b].group_by.contains(v))
+            .cloned()
+            .collect()
+    }
+}
+
+/// A column reference inside one block's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColRef {
+    /// Grouping key at index.
+    Key(usize),
+    /// Aggregate value at index.
+    Agg(usize),
+}
+
+/// How a block variable binds within the block's star decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockVarBinding {
+    /// The subject of star `star`.
+    Subject {
+        /// Star index within the block's decomposition.
+        star: usize,
+    },
+    /// An object of property `prop` in star `star`.
+    ObjectOf {
+        /// Star index within the block's decomposition.
+        star: usize,
+        /// Property key of the carrying triple pattern.
+        prop: PropKey,
+    },
+}
+
+/// Resolve a block variable to its binding site. Subject bindings win over
+/// object bindings (subjects are single-valued and always present).
+pub fn resolve_block_var(
+    dec: &StarDecomposition,
+    var: &Var,
+) -> Result<BlockVarBinding, ExtractError> {
+    if let Some(star) = dec.star_of(var) {
+        return Ok(BlockVarBinding::Subject { star });
+    }
+    for (si, star) in dec.stars.iter().enumerate() {
+        for tp in &star.triples {
+            if tp.o.as_var() == Some(var) {
+                let prop = PropKey::of(tp)
+                    .ok_or_else(|| ExtractError::Analysis("unbound property".into()))?;
+                return Ok(BlockVarBinding::ObjectOf { star: si, prop });
+            }
+        }
+    }
+    Err(ExtractError::UnknownBlockVar(var.clone()))
+}
+
+/// Errors extracting or resolving the analytical IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtractError {
+    /// The query shape is outside the analytical subset.
+    Unsupported(String),
+    /// A projected variable is defined by no block.
+    UnknownProjectionVar(Var),
+    /// A grouping/aggregate variable does not occur in the block pattern.
+    UnknownBlockVar(Var),
+    /// Structural analysis failed.
+    Analysis(String),
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::Unsupported(m) => write!(f, "unsupported analytical query: {m}"),
+            ExtractError::UnknownProjectionVar(v) => {
+                write!(f, "projection variable {v} is not produced by any block")
+            }
+            ExtractError::UnknownBlockVar(v) => {
+                write!(f, "variable {v} does not occur in the block pattern")
+            }
+            ExtractError::Analysis(m) => write!(f, "analysis error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// Extract the analytical IR from a parsed query.
+///
+/// Two shapes are accepted:
+/// 1. a plain aggregate `SELECT` (one block);
+/// 2. an outer `SELECT` of variables over one or more `{ SELECT ... }`
+///    subqueries (one block each) — the Fig. 1 / MG-query shape.
+pub fn extract(query: &Query) -> Result<AnalyticalQuery, ExtractError> {
+    let select = &query.select;
+    let subselects = select.pattern.subselects();
+    if subselects.is_empty() {
+        let block = block_from_select(select)?;
+        let projection = select.output_vars();
+        return Ok(AnalyticalQuery {
+            blocks: vec![block],
+            projection,
+        });
+    }
+
+    // Outer query: variables only, pattern must be exactly the subselects.
+    for item in &select.projection {
+        if !matches!(item, ProjectionItem::Var(_)) {
+            return Err(ExtractError::Unsupported(
+                "outer SELECT over subqueries must project plain variables".into(),
+            ));
+        }
+    }
+    for el in &select.pattern.elements {
+        match el {
+            PatternElement::SubSelect(_) => {}
+            other => {
+                return Err(ExtractError::Unsupported(format!(
+                    "outer pattern may contain only subselects, found {other:?}"
+                )))
+            }
+        }
+    }
+    let blocks = subselects
+        .iter()
+        .map(|s| block_from_select(s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let projection: Vec<Var> = select.output_vars();
+    let aq = AnalyticalQuery { blocks, projection };
+    aq.resolve_projection()?;
+    Ok(aq)
+}
+
+fn block_from_select(select: &SelectQuery) -> Result<GroupingBlock, ExtractError> {
+    if !select.has_aggregates() {
+        return Err(ExtractError::Unsupported(
+            "each grouping block must compute at least one aggregate".into(),
+        ));
+    }
+    if select.distinct {
+        return Err(ExtractError::Unsupported(
+            "DISTINCT blocks are outside the engine subset".into(),
+        ));
+    }
+    let mut triples = Vec::new();
+    let mut filters = Vec::new();
+    for el in &select.pattern.elements {
+        match el {
+            PatternElement::Triple(tp) => triples.push(tp.clone()),
+            PatternElement::Filter(f) => filters.push(f.clone()),
+            PatternElement::SubSelect(_) => {
+                return Err(ExtractError::Unsupported(
+                    "nested subqueries below a grouping block".into(),
+                ))
+            }
+            PatternElement::Optional(_) => {
+                return Err(ExtractError::Unsupported(
+                    "OPTIONAL inside a grouping block".into(),
+                ))
+            }
+        }
+    }
+    let mut aggregates = Vec::new();
+    for item in &select.projection {
+        match item {
+            ProjectionItem::Var(v) => {
+                if !select.group_by.contains(v) {
+                    return Err(ExtractError::Unsupported(format!(
+                        "projected variable {v} is not a grouping key"
+                    )));
+                }
+            }
+            ProjectionItem::Aggregate {
+                func,
+                arg,
+                alias,
+                distinct,
+            } => {
+                if *distinct {
+                    return Err(ExtractError::Unsupported(
+                        "DISTINCT aggregates are outside the engine subset".into(),
+                    ));
+                }
+                aggregates.push(AggItem {
+                    func: *func,
+                    arg: arg.clone(),
+                    alias: alias.clone(),
+                });
+            }
+        }
+    }
+    let block = GroupingBlock {
+        triples,
+        filters,
+        group_by: select.group_by.clone(),
+        aggregates,
+    };
+    // Validate variable references eagerly.
+    let dec = block.decomposition()?;
+    for v in &block.group_by {
+        resolve_block_var(&dec, v)?;
+    }
+    for a in &block.aggregates {
+        if let Some(arg) = &a.arg {
+            resolve_block_var(&dec, arg)?;
+        }
+    }
+    Ok(block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapida_sparql::parse_query;
+
+    const MG1_LIKE: &str = "
+        PREFIX ex: <http://x/>
+        SELECT ?f ?cntF ?cntT {
+          { SELECT ?f (COUNT(?pr2) AS ?cntF)
+            { ?p2 a ex:T1 ; ex:feature ?f . ?o2 ex:product ?p2 ; ex:price ?pr2 . }
+            GROUP BY ?f }
+          { SELECT (COUNT(?pr) AS ?cntT)
+            { ?p1 a ex:T1 . ?o1 ex:product ?p1 ; ex:price ?pr . } }
+        }";
+
+    #[test]
+    fn extracts_two_block_query() {
+        let q = parse_query(MG1_LIKE).unwrap();
+        let aq = extract(&q).unwrap();
+        assert_eq!(aq.blocks.len(), 2);
+        assert_eq!(aq.blocks[0].group_by.len(), 1);
+        assert!(aq.blocks[1].group_by.is_empty());
+        assert_eq!(aq.projection.len(), 3);
+        let resolved = aq.resolve_projection().unwrap();
+        assert_eq!(resolved[0], (0, ColRef::Key(0)));
+        assert_eq!(resolved[1], (0, ColRef::Agg(0)));
+        assert_eq!(resolved[2], (1, ColRef::Agg(0)));
+    }
+
+    #[test]
+    fn extracts_single_block_query() {
+        let q = parse_query(
+            "PREFIX ex: <http://x/>
+             SELECT ?c (SUM(?pr) AS ?s) { ?o ex:price ?pr ; ex:country ?c . } GROUP BY ?c",
+        )
+        .unwrap();
+        let aq = extract(&q).unwrap();
+        assert_eq!(aq.blocks.len(), 1);
+        assert_eq!(aq.blocks[0].aggregates[0].func, AggFunc::Sum);
+    }
+
+    #[test]
+    fn shared_keys_between_blocks() {
+        let q = parse_query(
+            "PREFIX ex: <http://x/>
+             SELECT ?c ?a ?b {
+               { SELECT ?c ?f (COUNT(?x) AS ?a)
+                 { ?o ex:country ?c ; ex:feature ?f ; ex:val ?x . } GROUP BY ?c ?f }
+               { SELECT ?c (COUNT(?y) AS ?b)
+                 { ?o2 ex:country ?c ; ex:val ?y . } GROUP BY ?c }
+             }",
+        )
+        .unwrap();
+        let aq = extract(&q).unwrap();
+        assert_eq!(aq.shared_keys(0, 1), vec![Var::new("c")]);
+    }
+
+    #[test]
+    fn rejects_non_aggregate_block() {
+        let q = parse_query(
+            "PREFIX ex: <http://x/>
+             SELECT ?x { { SELECT ?x { ?x ex:p ?y . } } }",
+        )
+        .unwrap();
+        assert!(matches!(extract(&q), Err(ExtractError::Unsupported(_))));
+    }
+
+    #[test]
+    fn rejects_projection_of_non_key() {
+        let q = parse_query(
+            "PREFIX ex: <http://x/>
+             SELECT ?y (COUNT(?x) AS ?n) { ?s ex:p ?x ; ex:q ?y . } GROUP BY ?x",
+        )
+        .unwrap();
+        assert!(extract(&q).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_group_var() {
+        let q = parse_query(
+            "PREFIX ex: <http://x/>
+             SELECT ?zz (COUNT(?x) AS ?n) { ?s ex:p ?x . } GROUP BY ?zz",
+        )
+        .unwrap();
+        assert!(matches!(
+            extract(&q),
+            Err(ExtractError::UnknownBlockVar(_))
+        ));
+    }
+
+    #[test]
+    fn resolves_block_vars() {
+        let q = parse_query(MG1_LIKE).unwrap();
+        let aq = extract(&q).unwrap();
+        let dec = aq.blocks[0].decomposition().unwrap();
+        match resolve_block_var(&dec, &Var::new("f")).unwrap() {
+            BlockVarBinding::ObjectOf { star, .. } => assert_eq!(star, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        match resolve_block_var(&dec, &Var::new("p2")).unwrap() {
+            BlockVarBinding::Subject { star } => assert_eq!(star, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        match resolve_block_var(&dec, &Var::new("pr2")).unwrap() {
+            BlockVarBinding::ObjectOf { star, .. } => assert_eq!(star, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

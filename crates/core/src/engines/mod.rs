@@ -1,0 +1,8 @@
+//! The four query engines the paper compares (§5): two relational
+//! (Hive-style) and two NTGA-based.
+
+pub mod hive;
+pub mod rapid;
+
+pub use hive::{HiveConfig, HiveMqo, HiveNaive};
+pub use rapid::{RapidAnalytics, RapidPlus};

@@ -1,0 +1,282 @@
+//! FILTER compilation: the conjunctive value-predicate subset the engines
+//! support (numeric comparisons, term equality and `regex` substring match
+//! on the object of a single property), assigned to the star/property that
+//! binds the filtered variable.
+
+use crate::aquery::{resolve_block_var, BlockVarBinding, ExtractError, GroupingBlock};
+use rapida_sparql::analysis::{PropKey, StarDecomposition};
+use rapida_sparql::ast::{CmpOp, FilterExpr, ValueExpr};
+use rapida_rdf::Term;
+
+/// A value predicate over a single object binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValuePred {
+    /// Numeric comparison against a constant.
+    Num {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand constant.
+        rhs: f64,
+    },
+    /// Term (identity) comparison; only `=` / `!=`.
+    TermCmp {
+        /// True for `=`, false for `!=`.
+        eq: bool,
+        /// Right-hand constant term.
+        rhs: Term,
+    },
+    /// Substring containment (the paper's `regex` usage).
+    Contains {
+        /// The substring.
+        pattern: String,
+        /// Case-insensitive flag.
+        case_insensitive: bool,
+    },
+}
+
+impl ValuePred {
+    /// Evaluate against a resolved value.
+    pub fn eval(&self, numeric: Option<f64>, lexical: &str, term: Option<&Term>) -> bool {
+        match self {
+            ValuePred::Num { op, rhs } => match numeric {
+                None => false,
+                Some(v) => match op {
+                    CmpOp::Eq => v == *rhs,
+                    CmpOp::Ne => v != *rhs,
+                    CmpOp::Lt => v < *rhs,
+                    CmpOp::Le => v <= *rhs,
+                    CmpOp::Gt => v > *rhs,
+                    CmpOp::Ge => v >= *rhs,
+                },
+            },
+            ValuePred::TermCmp { eq, rhs } => match term {
+                None => false,
+                Some(t) => (t == rhs) == *eq,
+            },
+            ValuePred::Contains {
+                pattern,
+                case_insensitive,
+            } => {
+                if *case_insensitive {
+                    lexical.to_lowercase().contains(&pattern.to_lowercase())
+                } else {
+                    lexical.contains(pattern.as_str())
+                }
+            }
+        }
+    }
+}
+
+/// One compiled filter: a predicate on the objects of `prop` in block star
+/// `star`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarFilter {
+    /// Star index (within the block's decomposition).
+    pub star: usize,
+    /// The property whose objects are filtered.
+    pub prop: PropKey,
+    /// The predicate.
+    pub pred: ValuePred,
+}
+
+/// Compile a block's FILTERs into per-star value predicates. Errors on any
+/// construct outside the conjunctive single-variable subset (the paper's §3
+/// scope).
+pub fn compile_block_filters(
+    block: &GroupingBlock,
+    dec: &StarDecomposition,
+) -> Result<Vec<StarFilter>, ExtractError> {
+    let mut out = Vec::new();
+    for f in &block.filters {
+        flatten_conjuncts(f, dec, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn flatten_conjuncts(
+    f: &FilterExpr,
+    dec: &StarDecomposition,
+    out: &mut Vec<StarFilter>,
+) -> Result<(), ExtractError> {
+    match f {
+        FilterExpr::And(a, b) => {
+            flatten_conjuncts(a, dec, out)?;
+            flatten_conjuncts(b, dec, out)?;
+        }
+        FilterExpr::Regex {
+            var,
+            pattern,
+            case_insensitive,
+        } => {
+            let (star, prop) = object_binding(dec, var)?;
+            out.push(StarFilter {
+                star,
+                prop,
+                pred: ValuePred::Contains {
+                    pattern: pattern.clone(),
+                    case_insensitive: *case_insensitive,
+                },
+            });
+        }
+        FilterExpr::Compare { left, op, right } => {
+            let (var, constant, flipped) = match (left, right) {
+                (ValueExpr::Var(v), c) => (v, c, false),
+                (c, ValueExpr::Var(v)) => (v, c, true),
+                _ => {
+                    return Err(ExtractError::Unsupported(
+                        "FILTER must compare a variable to a constant".into(),
+                    ))
+                }
+            };
+            let (star, prop) = object_binding(dec, var)?;
+            let op = if flipped { flip(*op) } else { *op };
+            let pred = match constant {
+                ValueExpr::Number(n) => ValuePred::Num { op, rhs: *n },
+                ValueExpr::Term(t) => match op {
+                    CmpOp::Eq => ValuePred::TermCmp {
+                        eq: true,
+                        rhs: t.clone(),
+                    },
+                    CmpOp::Ne => ValuePred::TermCmp {
+                        eq: false,
+                        rhs: t.clone(),
+                    },
+                    _ => {
+                        return Err(ExtractError::Unsupported(
+                            "ordering comparison on non-numeric term".into(),
+                        ))
+                    }
+                },
+                ValueExpr::Var(_) => {
+                    return Err(ExtractError::Unsupported(
+                        "variable-to-variable FILTER comparisons".into(),
+                    ))
+                }
+            };
+            out.push(StarFilter { star, prop, pred });
+        }
+        FilterExpr::Or(_, _) | FilterExpr::Not(_) => {
+            return Err(ExtractError::Unsupported(
+                "disjunctive / negated FILTERs are outside the engine subset".into(),
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn object_binding(
+    dec: &StarDecomposition,
+    var: &rapida_sparql::ast::Var,
+) -> Result<(usize, PropKey), ExtractError> {
+    match resolve_block_var(dec, var)? {
+        BlockVarBinding::ObjectOf { star, prop } => Ok((star, prop)),
+        BlockVarBinding::Subject { .. } => Err(ExtractError::Unsupported(
+            "FILTER on a subject variable".into(),
+        )),
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aquery::extract;
+    use rapida_sparql::parse_query;
+
+    fn block_and_dec(q: &str) -> (GroupingBlock, StarDecomposition) {
+        let aq = extract(&parse_query(q).unwrap()).unwrap();
+        let b = aq.blocks[0].clone();
+        let d = b.decomposition().unwrap();
+        (b, d)
+    }
+
+    #[test]
+    fn compiles_numeric_filter() {
+        let (b, d) = block_and_dec(
+            "PREFIX ex: <http://x/>
+             SELECT (COUNT(?p) AS ?n) { ?o ex:price ?p . FILTER(?p > 5000) }",
+        );
+        let fs = compile_block_filters(&b, &d).unwrap();
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].star, 0);
+        assert_eq!(
+            fs[0].pred,
+            ValuePred::Num {
+                op: CmpOp::Gt,
+                rhs: 5000.0
+            }
+        );
+    }
+
+    #[test]
+    fn flips_reversed_comparison() {
+        let (b, d) = block_and_dec(
+            "PREFIX ex: <http://x/>
+             SELECT (COUNT(?p) AS ?n) { ?o ex:price ?p . FILTER(5000 < ?p) }",
+        );
+        let fs = compile_block_filters(&b, &d).unwrap();
+        assert_eq!(
+            fs[0].pred,
+            ValuePred::Num {
+                op: CmpOp::Gt,
+                rhs: 5000.0
+            }
+        );
+    }
+
+    #[test]
+    fn compiles_regex_and_conjunction() {
+        let (b, d) = block_and_dec(
+            "PREFIX ex: <http://x/>
+             SELECT (COUNT(?p) AS ?n)
+             { ?o ex:price ?p ; ex:name ?m . FILTER(?p > 10 && ?p < 100) FILTER regex(?m, \"MAPK\", \"i\") }",
+        );
+        let fs = compile_block_filters(&b, &d).unwrap();
+        assert_eq!(fs.len(), 3);
+        assert!(matches!(fs[2].pred, ValuePred::Contains { .. }));
+    }
+
+    #[test]
+    fn rejects_disjunction() {
+        let (b, d) = block_and_dec(
+            "PREFIX ex: <http://x/>
+             SELECT (COUNT(?p) AS ?n) { ?o ex:price ?p . FILTER(?p > 10 || ?p < 5) }",
+        );
+        assert!(compile_block_filters(&b, &d).is_err());
+    }
+
+    #[test]
+    fn value_pred_eval() {
+        let p = ValuePred::Num {
+            op: CmpOp::Ge,
+            rhs: 10.0,
+        };
+        assert!(p.eval(Some(10.0), "", None));
+        assert!(!p.eval(Some(9.0), "", None));
+        assert!(!p.eval(None, "10", None));
+
+        let c = ValuePred::Contains {
+            pattern: "Signal".into(),
+            case_insensitive: true,
+        };
+        assert!(c.eval(None, "mapk signaling pathway", None));
+        assert!(!c.eval(None, "other", None));
+
+        let t = ValuePred::TermCmp {
+            eq: true,
+            rhs: Term::literal("News"),
+        };
+        assert!(t.eval(None, "News", Some(&Term::literal("News"))));
+        assert!(!t.eval(None, "News", Some(&Term::literal("Journal"))));
+    }
+}

@@ -1,0 +1,215 @@
+//! Overlap detection between graph patterns — Definitions 3.1 and 3.2.
+
+use rapida_sparql::analysis::{role_equivalent, StarDecomposition, StarPattern};
+use rapida_sparql::PropKey;
+
+/// Def 3.1 — do two subject-rooted star patterns overlap?
+///
+/// Requires a non-empty intersection of property-key sets, and for every
+/// `rdf:type`-with-constant pattern on either side a matching one (same
+/// object) on the other.
+pub fn stars_overlap(a: &StarPattern, b: &StarPattern) -> bool {
+    let pa = a.prop_keys();
+    let pb = b.prop_keys();
+    if pa.intersection(&pb).next().is_none() {
+        return false;
+    }
+    let type_keys = |s: &std::collections::BTreeSet<PropKey>| {
+        s.iter().filter(|k| k.is_type_key()).cloned().collect::<Vec<_>>()
+    };
+    for tk in type_keys(&pa) {
+        if !pb.contains(&tk) {
+            return false;
+        }
+    }
+    for tk in type_keys(&pb) {
+        if !pa.contains(&tk) {
+            return false;
+        }
+    }
+    true
+}
+
+/// A verified overlap between two graph patterns: `mapping[i]` is the index
+/// of the GP2 star matched to GP1 star `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphOverlap {
+    /// GP1-star → GP2-star mapping.
+    pub mapping: Vec<usize>,
+}
+
+/// Def 3.2 — do two graph patterns overlap?
+///
+/// Searches for a bijective star mapping under which every star pair
+/// overlaps (Def 3.1) and every join edge of either pattern has a
+/// counterpart with role-equivalent join variables. Star counts ≤ 4 in the
+/// paper's workloads, so the permutation search is exact and cheap.
+pub fn graphs_overlap(gp1: &StarDecomposition, gp2: &StarDecomposition) -> Option<GraphOverlap> {
+    if gp1.stars.len() != gp2.stars.len() {
+        return None;
+    }
+    let n = gp1.stars.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut found: Option<Vec<usize>> = None;
+    permute(&mut perm, 0, &mut |p| {
+        if found.is_none() && mapping_valid(gp1, gp2, p) {
+            found = Some(p.to_vec());
+        }
+    });
+    found.map(|mapping| GraphOverlap { mapping })
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, f: &mut dyn FnMut(&[usize])) {
+    if k == items.len() {
+        f(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, f);
+        items.swap(k, i);
+    }
+}
+
+fn mapping_valid(gp1: &StarDecomposition, gp2: &StarDecomposition, mapping: &[usize]) -> bool {
+    // Every mapped star pair must overlap.
+    for (i, &j) in mapping.iter().enumerate() {
+        if !stars_overlap(&gp1.stars[i], &gp2.stars[j]) {
+            return false;
+        }
+    }
+    // Join edges must correspond with role-equivalent variables, both ways.
+    if gp1.joins.len() != gp2.joins.len() {
+        return false;
+    }
+    for j1 in &gp1.joins {
+        let (a, b) = (j1.left.star, j1.right.star);
+        let (ma, mb) = (mapping[a], mapping[b]);
+        let matched = gp2.joins.iter().any(|j2| {
+            let pair = (j2.left.star, j2.right.star);
+            if pair == (ma, mb) {
+                role_equivalent(&j1.left, &j2.left) && role_equivalent(&j1.right, &j2.right)
+            } else if pair == (mb, ma) {
+                role_equivalent(&j1.left, &j2.right) && role_equivalent(&j1.right, &j2.left)
+            } else {
+                false
+            }
+        });
+        if !matched {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapida_sparql::analysis::decompose;
+    use rapida_sparql::ast::TriplePattern;
+    use rapida_sparql::parse_query;
+
+    fn bgp(q: &str) -> Vec<TriplePattern> {
+        parse_query(q)
+            .unwrap()
+            .select
+            .pattern
+            .triples()
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    fn dec(q: &str) -> StarDecomposition {
+        decompose(&bgp(q)).unwrap()
+    }
+
+    /// Fig. 3, AQ2: GP1 overlaps GP2.
+    #[test]
+    fn fig3_aq2_overlaps() {
+        let gp1 = dec(
+            "PREFIX ex: <http://x/>
+             SELECT ?s1 { ?s1 a ex:PT18 . ?s2 ex:pr ?s1 ; ex:pc ?o1 ; ex:ve ?o2 . }",
+        );
+        let gp2 = dec(
+            "PREFIX ex: <http://x/>
+             SELECT ?s1 { ?s1 a ex:PT18 ; ex:pf ?o3 . ?s2 ex:pr ?s1 ; ex:pc ?o4 . }",
+        );
+        let ov = graphs_overlap(&gp1, &gp2).expect("AQ2 graph patterns overlap");
+        // Star 0 (the PT18 star) maps to star 0, star 1 to star 1.
+        assert_eq!(ov.mapping, vec![0, 1]);
+    }
+
+    /// Fig. 3, AQ3: object-subject vs object-object join — no overlap.
+    #[test]
+    fn fig3_aq3_does_not_overlap() {
+        let gp1 = dec(
+            "PREFIX ex: <http://x/>
+             SELECT ?s3 { ?s3 ex:pr ?s1 ; ex:pc ?o5 ; ex:ve ?s4 . ?s4 ex:cn ?o6 . }",
+        );
+        let gp2 = dec(
+            "PREFIX ex: <http://x/>
+             SELECT ?s3 { ?s3 ex:pr ?s1 ; ex:pc ?o5 ; ex:ve ?o6 . ?s4 ex:cn ?o6 . }",
+        );
+        assert!(graphs_overlap(&gp1, &gp2).is_none());
+    }
+
+    #[test]
+    fn stars_overlap_requires_shared_property() {
+        let a = dec("PREFIX ex: <http://x/> SELECT ?s { ?s ex:a ?x ; ex:b ?y . }");
+        let b = dec("PREFIX ex: <http://x/> SELECT ?s { ?s ex:c ?x . }");
+        assert!(!stars_overlap(&a.stars[0], &b.stars[0]));
+    }
+
+    #[test]
+    fn stars_overlap_requires_matching_type_objects() {
+        let a = dec("PREFIX ex: <http://x/> SELECT ?s { ?s a ex:T1 ; ex:p ?x . }");
+        let b = dec("PREFIX ex: <http://x/> SELECT ?s { ?s a ex:T2 ; ex:p ?x . }");
+        assert!(
+            !stars_overlap(&a.stars[0], &b.stars[0]),
+            "different type objects must not overlap"
+        );
+        let c = dec("PREFIX ex: <http://x/> SELECT ?s { ?s a ex:T1 ; ex:p ?x ; ex:q ?y . }");
+        assert!(stars_overlap(&a.stars[0], &c.stars[0]));
+    }
+
+    #[test]
+    fn untyped_star_does_not_overlap_typed_star() {
+        let a = dec("PREFIX ex: <http://x/> SELECT ?s { ?s a ex:T1 ; ex:p ?x . }");
+        let b = dec("PREFIX ex: <http://x/> SELECT ?s { ?s ex:p ?x . }");
+        assert!(!stars_overlap(&a.stars[0], &b.stars[0]));
+    }
+
+    #[test]
+    fn different_star_counts_do_not_overlap() {
+        let gp1 = dec("PREFIX ex: <http://x/> SELECT ?a { ?a ex:p ?b . ?b ex:q ?c . }");
+        let gp2 = dec("PREFIX ex: <http://x/> SELECT ?a { ?a ex:p ?b . }");
+        assert!(graphs_overlap(&gp1, &gp2).is_none());
+    }
+
+    /// Identical patterns overlap with the identity mapping.
+    #[test]
+    fn identical_patterns_overlap() {
+        let q = "PREFIX ex: <http://x/>
+                 SELECT ?g { ?g ex:geneSymbol ?gs . ?p ex:gene ?g ; ex:side_effect ?se . }";
+        let gp1 = dec(q);
+        let gp2 = dec(q);
+        let ov = graphs_overlap(&gp1, &gp2).unwrap();
+        assert_eq!(ov.mapping, vec![0, 1]);
+    }
+
+    /// Star order permutation is found: GP2 lists its stars in reverse.
+    #[test]
+    fn mapping_handles_permuted_star_order() {
+        let gp1 = dec(
+            "PREFIX ex: <http://x/>
+             SELECT ?a { ?a ex:p ?b ; ex:x ?x1 . ?b ex:q ?c . }",
+        );
+        let gp2 = dec(
+            "PREFIX ex: <http://x/>
+             SELECT ?a { ?b ex:q ?c ; ex:r ?d . ?a ex:p ?b . }",
+        );
+        let ov = graphs_overlap(&gp1, &gp2).unwrap();
+        assert_eq!(ov.mapping, vec![1, 0]);
+    }
+}

@@ -1,0 +1,1086 @@
+//! Relational physical MR operators for the Hive-style engines: VP scans,
+//! reduce-side multi-way (outer) joins, map-side broadcast joins, group-by
+//! aggregation with map-side partial aggregation, and distinct projection.
+
+use crate::rows::{decode_row, row_bytes, RVal};
+use rapida_mapred::codec::{read_varint, write_varint};
+use rapida_mapred::{
+    InputSrc, MapOutput, MapTask, MapTaskFactory, ReduceOutput, ReduceTask, SimDfs,
+};
+use rapida_ntga::{AggOp, AggRec, NumericSnapshot, PartialAgg};
+use rapida_rdf::{FxHashMap, FxHashSet};
+use rapida_sparql::ast::CmpOp;
+use rapida_storage::decode_segment;
+use std::sync::{Arc, OnceLock};
+
+/// Shared lexical snapshot type (regex filters).
+pub type LexicalSnapshot = Arc<Vec<String>>;
+
+/// An id-level value predicate (compiled from a `ValuePred` against the
+/// catalog).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IdPred {
+    /// Numeric comparison via the numeric snapshot.
+    Num {
+        /// Operator.
+        op: CmpOp,
+        /// Constant.
+        rhs: f64,
+    },
+    /// Identity comparison against a term id.
+    IdEq {
+        /// `=` vs `!=`.
+        eq: bool,
+        /// Constant id ([`crate::catalog::MISSING_ID`] matches nothing).
+        rhs: u64,
+    },
+    /// Substring containment on the lexical form.
+    Contains {
+        /// Pattern.
+        pattern: String,
+        /// Case-insensitive flag.
+        case_insensitive: bool,
+    },
+}
+
+impl IdPred {
+    /// Evaluate against a term id.
+    pub fn eval(&self, id: u64, numeric: &NumericSnapshot, lexical: &LexicalSnapshot) -> bool {
+        match self {
+            IdPred::Num { op, rhs } => {
+                let Some(v) = numeric.get(id as usize).copied().flatten() else {
+                    return false;
+                };
+                match op {
+                    CmpOp::Eq => v == *rhs,
+                    CmpOp::Ne => v != *rhs,
+                    CmpOp::Lt => v < *rhs,
+                    CmpOp::Le => v <= *rhs,
+                    CmpOp::Gt => v > *rhs,
+                    CmpOp::Ge => v >= *rhs,
+                }
+            }
+            IdPred::IdEq { eq, rhs } => (id == *rhs) == *eq,
+            IdPred::Contains {
+                pattern,
+                case_insensitive,
+            } => match lexical.get(id as usize) {
+                None => false,
+                Some(lex) => {
+                    if *case_insensitive {
+                        lex.to_lowercase().contains(&pattern.to_lowercase())
+                    } else {
+                        lex.contains(pattern.as_str())
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// A predicate bound to a row column. `Null` cells fail every predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredOnCol {
+    /// Column index.
+    pub col: usize,
+    /// The predicate.
+    pub pred: IdPred,
+}
+
+impl PredOnCol {
+    fn eval(&self, row: &[RVal], numeric: &NumericSnapshot, lexical: &LexicalSnapshot) -> bool {
+        match row[self.col] {
+            RVal::Id(id) => self.pred.eval(id, numeric, lexical),
+            RVal::Num(_) | RVal::Null => false,
+        }
+    }
+}
+
+/// How a job input's records become rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanKind {
+    /// VP segment records → rows `[s, o]`.
+    VpFull,
+    /// VP segment records → rows `[s]` (type partitions).
+    VpSubjectOnly,
+    /// VP segment records filtered to `o == id` → rows `[s]`.
+    VpConstObject(u64),
+    /// Records are already encoded rows of the given width.
+    Rows(usize),
+}
+
+impl ScanKind {
+    /// Output row width.
+    pub fn width(&self) -> usize {
+        match self {
+            ScanKind::VpFull => 2,
+            ScanKind::VpSubjectOnly | ScanKind::VpConstObject(_) => 1,
+            ScanKind::Rows(w) => *w,
+        }
+    }
+
+    /// Decode one record into zero or more rows.
+    fn scan(&self, rec: &[u8], mut sink: impl FnMut(Vec<RVal>)) {
+        match self {
+            ScanKind::VpFull => {
+                if let Some(pairs) = decode_segment(rec) {
+                    for (s, o) in pairs {
+                        sink(vec![RVal::Id(s), RVal::Id(o)]);
+                    }
+                }
+            }
+            ScanKind::VpSubjectOnly => {
+                if let Some(pairs) = decode_segment(rec) {
+                    for (s, _) in pairs {
+                        sink(vec![RVal::Id(s)]);
+                    }
+                }
+            }
+            ScanKind::VpConstObject(oid) => {
+                if let Some(pairs) = decode_segment(rec) {
+                    for (s, o) in pairs {
+                        if o == *oid {
+                            sink(vec![RVal::Id(s)]);
+                        }
+                    }
+                }
+            }
+            ScanKind::Rows(_) => {
+                if let Some(row) = decode_row(rec) {
+                    sink(row);
+                }
+            }
+        }
+    }
+}
+
+/// One input of a join cycle.
+#[derive(Debug, Clone)]
+pub struct JoinInputCfg {
+    /// Scan kind.
+    pub scan: ScanKind,
+    /// Column holding the join key.
+    pub key_col: usize,
+    /// Scan-level predicates (FILTER pushdown, ORC predicate analog).
+    pub scan_preds: Vec<PredOnCol>,
+    /// Left-outer input (MQO optional properties).
+    pub optional: bool,
+}
+
+/// Shared config of a reduce-side join cycle.
+#[derive(Clone)]
+pub struct JoinCycleCfg {
+    /// Inputs aligned with the job's input datasets.
+    pub inputs: Vec<JoinInputCfg>,
+    /// Output row layout: `(input, column)` per output cell.
+    pub output_cols: Vec<(usize, usize)>,
+    /// Implicit equality constraints between duplicated variables.
+    pub eq_checks: Vec<((usize, usize), (usize, usize))>,
+    /// Predicates applied to the merged output row.
+    pub post_preds: Vec<PredOnCol>,
+    /// Numeric snapshot.
+    pub numeric: NumericSnapshot,
+    /// Lexical snapshot.
+    pub lexical: LexicalSnapshot,
+}
+
+/// ORC-style row-group skipping: can the whole segment be skipped because
+/// a numeric predicate on the object column excludes its min/max range?
+/// (The paper §5.1: ORC's "light-weight indexes to skip row groups for
+/// predicate-based filtering".)
+pub fn segment_skippable(rec: &[u8], scan: &ScanKind, preds: &[PredOnCol]) -> bool {
+    if matches!(scan, ScanKind::Rows(_)) {
+        return false;
+    }
+    let Some(stats) = rapida_storage::decode_stats(rec) else {
+        return false;
+    };
+    let Some((lo, hi)) = stats.numeric else {
+        return false;
+    };
+    preds.iter().any(|p| {
+        if p.col != 1 {
+            return false;
+        }
+        match &p.pred {
+            IdPred::Num { op, rhs } => match op {
+                CmpOp::Lt => lo >= *rhs,
+                CmpOp::Le => lo > *rhs,
+                CmpOp::Gt => hi <= *rhs,
+                CmpOp::Ge => hi < *rhs,
+                CmpOp::Eq => *rhs < lo || *rhs > hi,
+                CmpOp::Ne => false,
+            },
+            _ => false,
+        }
+    })
+}
+
+/// Map task of a reduce-side join: scan, filter, tag, emit by key.
+pub struct JoinMapTask {
+    cfg: Arc<JoinCycleCfg>,
+}
+
+impl JoinMapTask {
+    /// Create from shared config.
+    pub fn new(cfg: Arc<JoinCycleCfg>) -> Self {
+        JoinMapTask { cfg }
+    }
+}
+
+impl MapTask for JoinMapTask {
+    fn map(&mut self, src: InputSrc, record: &[u8], out: &mut MapOutput) {
+        let Some(input) = self.cfg.inputs.get(src.dataset) else {
+            return;
+        };
+        if segment_skippable(record, &input.scan, &input.scan_preds) {
+            return;
+        }
+        let numeric = &self.cfg.numeric;
+        let lexical = &self.cfg.lexical;
+        input.scan.scan(record, |row| {
+            if !input.scan_preds.iter().all(|p| p.eval(&row, numeric, lexical)) {
+                return;
+            }
+            let RVal::Id(key) = row[input.key_col] else {
+                return; // Null join keys never match.
+            };
+            let mut kb = Vec::with_capacity(10);
+            write_varint(&mut kb, key);
+            let mut vb = Vec::with_capacity(row.len() * 4 + 2);
+            write_varint(&mut vb, src.dataset as u64);
+            crate::rows::encode_row(&row, &mut vb);
+            out.emit(kb, vb);
+        });
+    }
+}
+
+/// Reduce task of a join cycle: multi-way (outer) join per key.
+pub struct JoinReduceTask {
+    cfg: Arc<JoinCycleCfg>,
+}
+
+impl JoinReduceTask {
+    /// Create from shared config.
+    pub fn new(cfg: Arc<JoinCycleCfg>) -> Self {
+        JoinReduceTask { cfg }
+    }
+}
+
+impl ReduceTask for JoinReduceTask {
+    fn reduce(&mut self, _key: &[u8], values: &[&[u8]], out: &mut ReduceOutput) {
+        let n = self.cfg.inputs.len();
+        let mut buckets: Vec<Vec<Vec<RVal>>> = vec![Vec::new(); n];
+        for v in values {
+            let mut rec = *v;
+            let Some(tag) = read_varint(&mut rec) else {
+                continue;
+            };
+            if let Some(row) = decode_row(rec) {
+                if let Some(b) = buckets.get_mut(tag as usize) {
+                    b.push(row);
+                }
+            }
+        }
+        // Required inputs must all be present for this key.
+        for (i, input) in self.cfg.inputs.iter().enumerate() {
+            if !input.optional && buckets[i].is_empty() {
+                return;
+            }
+        }
+        // Cartesian across buckets; empty optional buckets pad with None.
+        let mut selection: Vec<Option<usize>> = vec![None; n];
+        self.combine(0, &mut selection, &buckets, out);
+    }
+}
+
+impl JoinReduceTask {
+    fn combine(
+        &self,
+        i: usize,
+        selection: &mut Vec<Option<usize>>,
+        buckets: &[Vec<Vec<RVal>>],
+        out: &mut ReduceOutput,
+    ) {
+        if i == buckets.len() {
+            self.emit(selection, buckets, out);
+            return;
+        }
+        if buckets[i].is_empty() {
+            selection[i] = None;
+            self.combine(i + 1, selection, buckets, out);
+        } else {
+            for r in 0..buckets[i].len() {
+                selection[i] = Some(r);
+                self.combine(i + 1, selection, buckets, out);
+            }
+        }
+    }
+
+    fn emit(
+        &self,
+        selection: &[Option<usize>],
+        buckets: &[Vec<Vec<RVal>>],
+        out: &mut ReduceOutput,
+    ) {
+        let cell = |inp: usize, col: usize| -> RVal {
+            match selection[inp] {
+                Some(r) => buckets[inp][r][col],
+                None => RVal::Null,
+            }
+        };
+        for ((i1, c1), (i2, c2)) in &self.cfg.eq_checks {
+            let a = cell(*i1, *c1);
+            let b = cell(*i2, *c2);
+            if let (RVal::Id(x), RVal::Id(y)) = (a, b) {
+                if x != y {
+                    return;
+                }
+            }
+        }
+        let row: Vec<RVal> = self
+            .cfg
+            .output_cols
+            .iter()
+            .map(|(i, c)| cell(*i, *c))
+            .collect();
+        if !self
+            .cfg
+            .post_preds
+            .iter()
+            .all(|p| p.eval(&row, &self.cfg.numeric, &self.cfg.lexical))
+        {
+            return;
+        }
+        out.write(row_bytes(&row));
+    }
+}
+
+/// One broadcast side of a map-side join.
+#[derive(Debug, Clone)]
+pub struct MapJoinSmall {
+    /// DFS dataset to load into memory.
+    pub dataset: String,
+    /// How its records become rows.
+    pub scan: ScanKind,
+    /// Join key column within its own rows.
+    pub key_col: usize,
+    /// Probe column within the accumulated row.
+    pub probe_col: usize,
+    /// Left-outer probe.
+    pub optional: bool,
+    /// Scan predicates applied while loading.
+    pub scan_preds: Vec<PredOnCol>,
+}
+
+/// Config of a map-only broadcast-join cycle. The accumulated row is the
+/// stream row followed by each small side's columns, in order.
+#[derive(Clone)]
+pub struct MapJoinCfg {
+    /// Stream-side scan.
+    pub stream: JoinInputCfg,
+    /// Broadcast sides, probed in order.
+    pub smalls: Vec<MapJoinSmall>,
+    /// Output layout: indexes into the accumulated row.
+    pub output_cols: Vec<usize>,
+    /// Equality checks between accumulated-row positions.
+    pub eq_checks: Vec<(usize, usize)>,
+    /// Predicates on the accumulated row.
+    pub post_preds: Vec<PredOnCol>,
+    /// Numeric snapshot.
+    pub numeric: NumericSnapshot,
+    /// Lexical snapshot.
+    pub lexical: LexicalSnapshot,
+}
+
+type SmallTables = Vec<FxHashMap<u64, Vec<Vec<RVal>>>>;
+
+/// Factory for map-join tasks; loads the broadcast sides lazily on first
+/// task creation (by which time the producing jobs have run) — the
+/// distributed-cache analog.
+pub struct MapJoinFactory {
+    cfg: Arc<MapJoinCfg>,
+    dfs: SimDfs,
+    cache: OnceLock<Arc<SmallTables>>,
+}
+
+impl MapJoinFactory {
+    /// Create a factory bound to the DFS.
+    pub fn new(cfg: Arc<MapJoinCfg>, dfs: SimDfs) -> Self {
+        MapJoinFactory {
+            cfg,
+            dfs,
+            cache: OnceLock::new(),
+        }
+    }
+
+    fn tables(&self) -> Arc<SmallTables> {
+        self.cache
+            .get_or_init(|| {
+                let mut tables = Vec::with_capacity(self.cfg.smalls.len());
+                for small in &self.cfg.smalls {
+                    let mut map: FxHashMap<u64, Vec<Vec<RVal>>> = FxHashMap::default();
+                    if let Some(ds) = self.dfs.get(&small.dataset) {
+                        for rec in ds.iter_records() {
+                            small.scan.scan(rec, |row| {
+                                if !small
+                                    .scan_preds
+                                    .iter()
+                                    .all(|p| p.eval(&row, &self.cfg.numeric, &self.cfg.lexical))
+                                {
+                                    return;
+                                }
+                                if let RVal::Id(k) = row[small.key_col] {
+                                    map.entry(k).or_default().push(row);
+                                }
+                            });
+                        }
+                    }
+                    tables.push(map);
+                }
+                Arc::new(tables)
+            })
+            .clone()
+    }
+}
+
+impl MapTaskFactory for MapJoinFactory {
+    fn create(&self) -> Box<dyn MapTask> {
+        Box::new(MapJoinTask {
+            cfg: self.cfg.clone(),
+            tables: self.tables(),
+        })
+    }
+}
+
+/// Map task of a broadcast join.
+pub struct MapJoinTask {
+    cfg: Arc<MapJoinCfg>,
+    tables: Arc<SmallTables>,
+}
+
+impl MapJoinTask {
+    fn probe(&self, i: usize, acc: &mut Vec<RVal>, out: &mut MapOutput) {
+        if i == self.cfg.smalls.len() {
+            for (a, b) in &self.cfg.eq_checks {
+                if let (RVal::Id(x), RVal::Id(y)) = (acc[*a], acc[*b]) {
+                    if x != y {
+                        return;
+                    }
+                }
+            }
+            if !self
+                .cfg
+                .post_preds
+                .iter()
+                .all(|p| p.eval(acc, &self.cfg.numeric, &self.cfg.lexical))
+            {
+                return;
+            }
+            let row: Vec<RVal> = self.cfg.output_cols.iter().map(|&c| acc[c]).collect();
+            out.write(row_bytes(&row));
+            return;
+        }
+        let small = &self.cfg.smalls[i];
+        let width = small.scan.width();
+        let key = acc[small.probe_col].id();
+        let matches = key.and_then(|k| self.tables[i].get(&k));
+        match matches {
+            Some(rows) if !rows.is_empty() => {
+                for r in rows {
+                    let base = acc.len();
+                    acc.extend_from_slice(r);
+                    self.probe(i + 1, acc, out);
+                    acc.truncate(base);
+                }
+            }
+            _ => {
+                if small.optional {
+                    let base = acc.len();
+                    acc.extend(std::iter::repeat_n(RVal::Null, width));
+                    self.probe(i + 1, acc, out);
+                    acc.truncate(base);
+                }
+                // Required side with no match: row is dropped.
+            }
+        }
+    }
+}
+
+impl MapTask for MapJoinTask {
+    fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
+        let cfg = self.cfg.clone();
+        if segment_skippable(record, &cfg.stream.scan, &cfg.stream.scan_preds) {
+            return;
+        }
+        cfg.stream.scan.scan(record, |row| {
+            if !cfg
+                .stream
+                .scan_preds
+                .iter()
+                .all(|p| p.eval(&row, &cfg.numeric, &cfg.lexical))
+            {
+                return;
+            }
+            let mut acc = row;
+            self.probe(0, &mut acc, out);
+        });
+    }
+}
+
+/// Config of a group-by aggregation cycle over rows.
+#[derive(Clone)]
+pub struct GroupAggCfg {
+    /// Block id stamped on output [`AggRec`]s.
+    pub block_id: u8,
+    /// How input records become rows (usually `Rows`, but single-table
+    /// blocks aggregate straight over a VP scan).
+    pub scan: ScanKind,
+    /// Scan-level predicates.
+    pub scan_preds: Vec<PredOnCol>,
+    /// Grouping key columns.
+    pub group_cols: Vec<usize>,
+    /// `(op, arg column)` per aggregate; `None` = COUNT(*).
+    pub aggs: Vec<(AggOp, Option<usize>)>,
+    /// Numeric snapshot.
+    pub numeric: NumericSnapshot,
+    /// Lexical snapshot (scan predicates).
+    pub lexical: LexicalSnapshot,
+    /// Map-side hash partial aggregation (Hive's hash-based map
+    /// aggregation). Ablation knob.
+    pub map_side_combine: bool,
+}
+
+/// Map task: partial aggregation keyed by the group values.
+pub struct GroupAggMapTask {
+    cfg: Arc<GroupAggCfg>,
+    acc: FxHashMap<Vec<u8>, Vec<PartialAgg>>,
+}
+
+impl GroupAggMapTask {
+    /// Create from shared config.
+    pub fn new(cfg: Arc<GroupAggCfg>) -> Self {
+        GroupAggMapTask {
+            cfg,
+            acc: FxHashMap::default(),
+        }
+    }
+}
+
+fn group_key_bytes(row: &[RVal], cols: &[usize]) -> Option<Vec<u8>> {
+    let mut kb = Vec::with_capacity(cols.len() * 4 + 1);
+    write_varint(&mut kb, cols.len() as u64);
+    for &c in cols {
+        match row[c] {
+            RVal::Id(id) => write_varint(&mut kb, id),
+            _ => return None, // Null group keys drop the row.
+        }
+    }
+    Some(kb)
+}
+
+fn fold_row(row: &[RVal], cfg: &GroupAggCfg, partials: &mut [PartialAgg]) {
+    for (i, (_, arg)) in cfg.aggs.iter().enumerate() {
+        match arg {
+            None => partials[i].add(None),
+            Some(col) => match row[*col] {
+                RVal::Null => {}
+                RVal::Id(id) => partials[i].add(cfg.numeric.get(id as usize).copied().flatten()),
+                RVal::Num(n) => partials[i].add(Some(n)),
+            },
+        }
+    }
+}
+
+impl MapTask for GroupAggMapTask {
+    fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
+        let cfg = self.cfg.clone();
+        if segment_skippable(record, &cfg.scan, &cfg.scan_preds) {
+            return;
+        }
+        let acc = &mut self.acc;
+        cfg.scan.scan(record, |row| {
+            if !cfg
+                .scan_preds
+                .iter()
+                .all(|p| p.eval(&row, &cfg.numeric, &cfg.lexical))
+            {
+                return;
+            }
+            let Some(kb) = group_key_bytes(&row, &cfg.group_cols) else {
+                return;
+            };
+            if cfg.map_side_combine {
+                let partials = acc
+                    .entry(kb)
+                    .or_insert_with(|| vec![PartialAgg::default(); cfg.aggs.len()]);
+                fold_row(&row, &cfg, partials);
+            } else {
+                let mut partials = vec![PartialAgg::default(); cfg.aggs.len()];
+                fold_row(&row, &cfg, &mut partials);
+                let mut vb = Vec::new();
+                for p in &partials {
+                    p.encode(&mut vb);
+                }
+                out.emit(kb, vb);
+            }
+        });
+    }
+
+    fn cleanup(&mut self, out: &mut MapOutput) {
+        for (kb, partials) in self.acc.drain() {
+            let mut vb = Vec::new();
+            for p in &partials {
+                p.encode(&mut vb);
+            }
+            out.emit(kb, vb);
+        }
+    }
+}
+
+/// Reduce task: merge partials and emit one [`AggRec`] per group.
+pub struct GroupAggReduceTask {
+    cfg: Arc<GroupAggCfg>,
+}
+
+impl GroupAggReduceTask {
+    /// Create from shared config.
+    pub fn new(cfg: Arc<GroupAggCfg>) -> Self {
+        GroupAggReduceTask { cfg }
+    }
+}
+
+impl ReduceTask for GroupAggReduceTask {
+    fn reduce(&mut self, key: &[u8], values: &[&[u8]], out: &mut ReduceOutput) {
+        let mut kb = key;
+        let Some(nk) = read_varint(&mut kb) else {
+            return;
+        };
+        let mut group_key = Vec::with_capacity(nk as usize);
+        for _ in 0..nk {
+            match read_varint(&mut kb) {
+                Some(k) => group_key.push(k),
+                None => return,
+            }
+        }
+        let mut merged = vec![PartialAgg::default(); self.cfg.aggs.len()];
+        for v in values {
+            let mut vb = *v;
+            for m in merged.iter_mut() {
+                match PartialAgg::decode(&mut vb) {
+                    Some(p) => m.merge(&p),
+                    None => break,
+                }
+            }
+        }
+        let rec = AggRec {
+            id: self.cfg.block_id,
+            key: group_key,
+            values: merged
+                .iter()
+                .zip(self.cfg.aggs.iter())
+                .map(|(p, (op, _))| p.finalize(*op))
+                .collect(),
+        };
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        out.write(buf);
+    }
+}
+
+/// Config of a distinct-projection cycle (the MQO extraction step).
+#[derive(Clone)]
+pub struct DistinctCfg {
+    /// Columns to project (in output order).
+    pub project_cols: Vec<usize>,
+    /// Columns that must be non-null for the row to belong to the pattern.
+    pub required_cols: Vec<usize>,
+}
+
+/// Map task: validate, project, map-side dedup, emit row as key.
+pub struct DistinctMapTask {
+    cfg: Arc<DistinctCfg>,
+    seen: FxHashSet<Vec<u8>>,
+}
+
+impl DistinctMapTask {
+    /// Create from shared config.
+    pub fn new(cfg: Arc<DistinctCfg>) -> Self {
+        DistinctMapTask {
+            cfg,
+            seen: FxHashSet::default(),
+        }
+    }
+}
+
+impl MapTask for DistinctMapTask {
+    fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
+        let Some(row) = decode_row(record) else {
+            return;
+        };
+        if self.cfg.required_cols.iter().any(|&c| row[c].is_null()) {
+            return;
+        }
+        let projected: Vec<RVal> = self.cfg.project_cols.iter().map(|&c| row[c]).collect();
+        let kb = row_bytes(&projected);
+        if self.seen.insert(kb.clone()) {
+            out.emit(kb, Vec::new());
+        }
+    }
+}
+
+/// Reduce task of the distinct cycle: one output row per key.
+pub struct DistinctReduceTask;
+
+impl ReduceTask for DistinctReduceTask {
+    fn reduce(&mut self, key: &[u8], _values: &[&[u8]], out: &mut ReduceOutput) {
+        out.write(key.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapida_mapred::{DatasetWriter, Engine, FnMapFactory, FnReduceFactory, JobBuilder};
+
+    fn rows_dataset(rows: &[Vec<RVal>]) -> rapida_mapred::Dataset {
+        let mut w = DatasetWriter::new(128);
+        for r in rows {
+            w.push(&row_bytes(r));
+        }
+        w.finish()
+    }
+
+    fn read_rows(dfs: &SimDfs, name: &str) -> Vec<Vec<RVal>> {
+        dfs.get(name)
+            .unwrap()
+            .iter_records()
+            .map(|r| decode_row(r).unwrap())
+            .collect()
+    }
+
+    fn empty_snapshots() -> (NumericSnapshot, LexicalSnapshot) {
+        (Arc::new(vec![None; 256]), Arc::new(vec![String::new(); 256]))
+    }
+
+    #[test]
+    fn reduce_side_inner_join() {
+        let dfs = SimDfs::new();
+        dfs.put(
+            "left",
+            rows_dataset(&[
+                vec![RVal::Id(1), RVal::Id(10)],
+                vec![RVal::Id(2), RVal::Id(20)],
+            ]),
+        );
+        dfs.put(
+            "right",
+            rows_dataset(&[
+                vec![RVal::Id(1), RVal::Id(100)],
+                vec![RVal::Id(1), RVal::Id(101)],
+                vec![RVal::Id(3), RVal::Id(300)],
+            ]),
+        );
+        let (numeric, lexical) = empty_snapshots();
+        let cfg = Arc::new(JoinCycleCfg {
+            inputs: vec![
+                JoinInputCfg {
+                    scan: ScanKind::Rows(2),
+                    key_col: 0,
+                    scan_preds: vec![],
+                    optional: false,
+                },
+                JoinInputCfg {
+                    scan: ScanKind::Rows(2),
+                    key_col: 0,
+                    scan_preds: vec![],
+                    optional: false,
+                },
+            ],
+            output_cols: vec![(0, 0), (0, 1), (1, 1)],
+            eq_checks: vec![],
+            post_preds: vec![],
+            numeric,
+            lexical,
+        });
+        let job = JobBuilder::new("join")
+            .input("left")
+            .input("right")
+            .mapper(Arc::new(FnMapFactory({
+                let c = cfg.clone();
+                move || JoinMapTask::new(c.clone())
+            })))
+            .reducer(Arc::new(FnReduceFactory({
+                let c = cfg.clone();
+                move || JoinReduceTask::new(c.clone())
+            })))
+            .output("out")
+            .build();
+        Engine::new(dfs.clone()).run_job(&job);
+        let mut rows = read_rows(&dfs, "out");
+        rows.sort_by_key(|r| (r[0].id(), r[2].id()));
+        assert_eq!(
+            rows,
+            vec![
+                vec![RVal::Id(1), RVal::Id(10), RVal::Id(100)],
+                vec![RVal::Id(1), RVal::Id(10), RVal::Id(101)],
+            ]
+        );
+    }
+
+    #[test]
+    fn reduce_side_left_outer_join() {
+        let dfs = SimDfs::new();
+        dfs.put(
+            "left",
+            rows_dataset(&[
+                vec![RVal::Id(1), RVal::Id(10)],
+                vec![RVal::Id(2), RVal::Id(20)],
+            ]),
+        );
+        dfs.put("right", rows_dataset(&[vec![RVal::Id(1), RVal::Id(100)]]));
+        let (numeric, lexical) = empty_snapshots();
+        let cfg = Arc::new(JoinCycleCfg {
+            inputs: vec![
+                JoinInputCfg {
+                    scan: ScanKind::Rows(2),
+                    key_col: 0,
+                    scan_preds: vec![],
+                    optional: false,
+                },
+                JoinInputCfg {
+                    scan: ScanKind::Rows(2),
+                    key_col: 0,
+                    scan_preds: vec![],
+                    optional: true,
+                },
+            ],
+            output_cols: vec![(0, 0), (1, 1)],
+            eq_checks: vec![],
+            post_preds: vec![],
+            numeric,
+            lexical,
+        });
+        let job = JobBuilder::new("leftjoin")
+            .input("left")
+            .input("right")
+            .mapper(Arc::new(FnMapFactory({
+                let c = cfg.clone();
+                move || JoinMapTask::new(c.clone())
+            })))
+            .reducer(Arc::new(FnReduceFactory({
+                let c = cfg.clone();
+                move || JoinReduceTask::new(c.clone())
+            })))
+            .output("out")
+            .build();
+        Engine::new(dfs.clone()).run_job(&job);
+        let mut rows = read_rows(&dfs, "out");
+        rows.sort_by_key(|r| r[0].id());
+        assert_eq!(
+            rows,
+            vec![
+                vec![RVal::Id(1), RVal::Id(100)],
+                vec![RVal::Id(2), RVal::Null],
+            ]
+        );
+    }
+
+    #[test]
+    fn map_join_broadcast() {
+        let dfs = SimDfs::new();
+        dfs.put(
+            "stream",
+            rows_dataset(&[
+                vec![RVal::Id(1), RVal::Id(5)],
+                vec![RVal::Id(2), RVal::Id(6)],
+            ]),
+        );
+        dfs.put(
+            "small",
+            rows_dataset(&[vec![RVal::Id(5), RVal::Id(50)], vec![RVal::Id(7), RVal::Id(70)]]),
+        );
+        let (numeric, lexical) = empty_snapshots();
+        let cfg = Arc::new(MapJoinCfg {
+            stream: JoinInputCfg {
+                scan: ScanKind::Rows(2),
+                key_col: 0,
+                scan_preds: vec![],
+                optional: false,
+            },
+            smalls: vec![MapJoinSmall {
+                dataset: "small".into(),
+                scan: ScanKind::Rows(2),
+                key_col: 0,
+                probe_col: 1,
+                optional: false,
+                scan_preds: vec![],
+            }],
+            output_cols: vec![0, 1, 3],
+            eq_checks: vec![],
+            post_preds: vec![],
+            numeric,
+            lexical,
+        });
+        let job = JobBuilder::new("mapjoin")
+            .input("stream")
+            .mapper(Arc::new(MapJoinFactory::new(cfg, dfs.clone())))
+            .output("out")
+            .build();
+        let m = Engine::new(dfs.clone()).run_job(&job);
+        assert!(m.map_only);
+        let rows = read_rows(&dfs, "out");
+        assert_eq!(rows, vec![vec![RVal::Id(1), RVal::Id(5), RVal::Id(50)]]);
+    }
+
+    #[test]
+    fn group_agg_cycle() {
+        let dfs = SimDfs::new();
+        let mut numeric = vec![None; 256];
+        numeric[100] = Some(10.0);
+        numeric[101] = Some(20.0);
+        dfs.put(
+            "rows",
+            rows_dataset(&[
+                vec![RVal::Id(1), RVal::Id(100)],
+                vec![RVal::Id(1), RVal::Id(101)],
+                vec![RVal::Id(2), RVal::Id(100)],
+            ]),
+        );
+        let cfg = Arc::new(GroupAggCfg {
+            block_id: 3,
+            scan: ScanKind::Rows(2),
+            scan_preds: vec![],
+            group_cols: vec![0],
+            aggs: vec![(AggOp::Sum, Some(1)), (AggOp::Count, Some(1))],
+            numeric: Arc::new(numeric),
+            lexical: Arc::new(vec![String::new(); 256]),
+            map_side_combine: true,
+        });
+        let job = JobBuilder::new("agg")
+            .input("rows")
+            .mapper(Arc::new(FnMapFactory({
+                let c = cfg.clone();
+                move || GroupAggMapTask::new(c.clone())
+            })))
+            .reducer(Arc::new(FnReduceFactory({
+                let c = cfg.clone();
+                move || GroupAggReduceTask::new(c.clone())
+            })))
+            .output("out")
+            .build();
+        Engine::new(dfs.clone()).run_job(&job);
+        let mut recs: Vec<AggRec> = dfs
+            .get("out")
+            .unwrap()
+            .iter_records()
+            .map(|r| AggRec::decode(r).unwrap())
+            .collect();
+        recs.sort_by_key(|r| r.key.clone());
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, 3);
+        assert_eq!(recs[0].key, vec![1]);
+        assert_eq!(recs[0].values, vec![Some(30.0), Some(2.0)]);
+        assert_eq!(recs[1].values, vec![Some(10.0), Some(1.0)]);
+    }
+
+    #[test]
+    fn distinct_cycle_validates_and_dedups() {
+        let dfs = SimDfs::new();
+        dfs.put(
+            "rows",
+            rows_dataset(&[
+                vec![RVal::Id(1), RVal::Id(10), RVal::Id(99)],
+                vec![RVal::Id(1), RVal::Id(10), RVal::Id(98)],
+                vec![RVal::Id(2), RVal::Null, RVal::Id(97)],
+            ]),
+        );
+        let cfg = Arc::new(DistinctCfg {
+            project_cols: vec![0, 1],
+            required_cols: vec![1],
+        });
+        let job = JobBuilder::new("distinct")
+            .input("rows")
+            .mapper(Arc::new(FnMapFactory({
+                let c = cfg.clone();
+                move || DistinctMapTask::new(c.clone())
+            })))
+            .reducer(Arc::new(FnReduceFactory(|| DistinctReduceTask)))
+            .output("out")
+            .build();
+        Engine::new(dfs.clone()).run_job(&job);
+        let rows = read_rows(&dfs, "out");
+        assert_eq!(rows, vec![vec![RVal::Id(1), RVal::Id(10)]]);
+    }
+
+    #[test]
+    fn segment_skipping_uses_numeric_stats() {
+        // A VP segment whose prices are all in [10, 20].
+        let rows: Vec<(u64, u64)> = (0..10).map(|i| (i, 100 + i)).collect();
+        let mut seg = Vec::new();
+        rapida_storage::encode_segment(&rows, |o| Some((o - 90) as f64), &mut seg);
+        let pred = |op: CmpOp, rhs: f64| {
+            vec![PredOnCol {
+                col: 1,
+                pred: IdPred::Num { op, rhs },
+            }]
+        };
+        let scan = ScanKind::VpFull;
+        // min = 10, max = 19.
+        assert!(segment_skippable(&seg, &scan, &pred(CmpOp::Gt, 19.0)));
+        assert!(segment_skippable(&seg, &scan, &pred(CmpOp::Lt, 10.0)));
+        assert!(segment_skippable(&seg, &scan, &pred(CmpOp::Eq, 50.0)));
+        assert!(!segment_skippable(&seg, &scan, &pred(CmpOp::Gt, 15.0)));
+        assert!(!segment_skippable(&seg, &scan, &pred(CmpOp::Ne, 15.0)));
+        // Row datasets are never skipped.
+        assert!(!segment_skippable(&seg, &ScanKind::Rows(2), &pred(CmpOp::Gt, 99.0)));
+        // Segments without numeric stats are never skipped.
+        let mut seg2 = Vec::new();
+        rapida_storage::encode_segment(&rows, |_| None, &mut seg2);
+        assert!(!segment_skippable(&seg2, &scan, &pred(CmpOp::Gt, 99.0)));
+    }
+
+    #[test]
+    fn scan_pred_filters_at_scan() {
+        let dfs = SimDfs::new();
+        let mut numeric = vec![None; 256];
+        numeric[100] = Some(10.0);
+        numeric[101] = Some(99.0);
+        dfs.put(
+            "rows",
+            rows_dataset(&[
+                vec![RVal::Id(1), RVal::Id(100)],
+                vec![RVal::Id(2), RVal::Id(101)],
+            ]),
+        );
+        let lexical = Arc::new(vec![String::new(); 256]);
+        let cfg = Arc::new(MapJoinCfg {
+            stream: JoinInputCfg {
+                scan: ScanKind::Rows(2),
+                key_col: 0,
+                scan_preds: vec![PredOnCol {
+                    col: 1,
+                    pred: IdPred::Num {
+                        op: CmpOp::Gt,
+                        rhs: 50.0,
+                    },
+                }],
+                optional: false,
+            },
+            smalls: vec![],
+            output_cols: vec![0],
+            eq_checks: vec![],
+            post_preds: vec![],
+            numeric: Arc::new(numeric),
+            lexical,
+        });
+        let job = JobBuilder::new("scanfilter")
+            .input("rows")
+            .mapper(Arc::new(MapJoinFactory::new(cfg, dfs.clone())))
+            .output("out")
+            .build();
+        Engine::new(dfs.clone()).run_job(&job);
+        let rows = read_rows(&dfs, "out");
+        assert_eq!(rows, vec![vec![RVal::Id(2)]]);
+    }
+}

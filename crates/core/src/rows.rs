@@ -1,0 +1,96 @@
+//! Binding-row representation and codec for the relational (Hive-style)
+//! engines.
+
+use rapida_mapred::codec::{read_f64, read_varint, write_f64, write_varint};
+
+/// One row cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RVal {
+    /// Unbound (outer-join padding).
+    Null,
+    /// A dictionary-encoded term.
+    Id(u64),
+    /// A computed numeric value.
+    Num(f64),
+}
+
+impl RVal {
+    /// The id, if bound to a term.
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            RVal::Id(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Is this cell unbound?
+    pub fn is_null(&self) -> bool {
+        matches!(self, RVal::Null)
+    }
+}
+
+/// Encode a row as a DFS record.
+pub fn encode_row(row: &[RVal], out: &mut Vec<u8>) {
+    write_varint(out, row.len() as u64);
+    for v in row {
+        match v {
+            RVal::Null => out.push(0),
+            RVal::Id(i) => {
+                out.push(1);
+                write_varint(out, *i);
+            }
+            RVal::Num(n) => {
+                out.push(2);
+                write_f64(out, *n);
+            }
+        }
+    }
+}
+
+/// Decode a row record.
+pub fn decode_row(mut rec: &[u8]) -> Option<Vec<RVal>> {
+    let n = read_varint(&mut rec)? as usize;
+    let mut out = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let (tag, rest) = rec.split_first()?;
+        rec = rest;
+        out.push(match tag {
+            0 => RVal::Null,
+            1 => RVal::Id(read_varint(&mut rec)?),
+            2 => RVal::Num(read_f64(&mut rec)?),
+            _ => return None,
+        });
+    }
+    Some(out)
+}
+
+/// Encode a row into a fresh buffer.
+pub fn row_bytes(row: &[RVal]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(row.len() * 4 + 2);
+    encode_row(row, &mut buf);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_row() {
+        let row = vec![RVal::Id(42), RVal::Null, RVal::Num(1.25), RVal::Id(0)];
+        assert_eq!(decode_row(&row_bytes(&row)), Some(row));
+    }
+
+    #[test]
+    fn roundtrip_empty_row() {
+        let row: Vec<RVal> = vec![];
+        assert_eq!(decode_row(&row_bytes(&row)), Some(row));
+    }
+
+    #[test]
+    fn truncated_row_fails() {
+        let mut b = row_bytes(&[RVal::Id(9000)]);
+        b.pop();
+        assert_eq!(decode_row(&b), None);
+    }
+}

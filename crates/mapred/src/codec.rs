@@ -1,0 +1,234 @@
+//! Varint-based binary record encoding.
+//!
+//! The sanctioned dependency list contains no serde *format* crate, so the
+//! workspace uses this small hand-rolled codec: LEB128 varints for integers,
+//! length-prefixed byte strings, and length-prefixed records inside blocks.
+//! Shuffle data and materialized intermediates are genuinely serialized
+//! through this module, which keeps the simulator's byte counts honest.
+
+/// Append a LEB128 varint.
+#[inline]
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            break;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint, advancing the slice. Returns `None` on truncation.
+#[inline]
+pub fn read_varint(buf: &mut &[u8]) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = buf.split_first()?;
+        *buf = rest;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// Append an `f64` as fixed 8 bytes (little endian).
+#[inline]
+pub fn write_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Read an `f64`.
+#[inline]
+pub fn read_f64(buf: &mut &[u8]) -> Option<f64> {
+    if buf.len() < 8 {
+        return None;
+    }
+    let (head, rest) = buf.split_at(8);
+    *buf = rest;
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(head);
+    Some(f64::from_bits(u64::from_le_bytes(bytes)))
+}
+
+/// Append a length-prefixed byte string.
+#[inline]
+pub fn write_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    write_varint(buf, b.len() as u64);
+    buf.extend_from_slice(b);
+}
+
+/// Read a length-prefixed byte string.
+#[inline]
+pub fn read_bytes<'a>(buf: &mut &'a [u8]) -> Option<&'a [u8]> {
+    let len = read_varint(buf)? as usize;
+    if buf.len() < len {
+        return None;
+    }
+    let (head, rest) = buf.split_at(len);
+    *buf = rest;
+    Some(head)
+}
+
+/// Append a length-prefixed list of u64s.
+pub fn write_u64_list(buf: &mut Vec<u8>, xs: &[u64]) {
+    write_varint(buf, xs.len() as u64);
+    for &x in xs {
+        write_varint(buf, x);
+    }
+}
+
+/// Read a length-prefixed list of u64s.
+pub fn read_u64_list(buf: &mut &[u8]) -> Option<Vec<u64>> {
+    let n = read_varint(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(read_varint(buf)?);
+    }
+    Some(out)
+}
+
+/// A builder for a block of length-prefixed records.
+#[derive(Default, Clone)]
+pub struct BlockBuilder {
+    buf: Vec<u8>,
+    records: usize,
+}
+
+impl BlockBuilder {
+    /// New empty block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, record: &[u8]) {
+        write_bytes(&mut self.buf, record);
+        self.records += 1;
+    }
+
+    /// Current encoded size in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no records have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Number of records.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Finish, returning the raw block bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Iterate the records of a block produced by [`BlockBuilder`].
+pub struct RecordIter<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> RecordIter<'a> {
+    /// Iterate over `block`.
+    pub fn new(block: &'a [u8]) -> Self {
+        RecordIter { buf: block }
+    }
+}
+
+impl<'a> Iterator for RecordIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        read_bytes(&mut self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        let values = [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut slice = buf.as_slice();
+            assert_eq!(read_varint(&mut slice), Some(v));
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_truncation_detected() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1 << 40);
+        buf.pop();
+        let mut slice = buf.as_slice();
+        assert_eq!(read_varint(&mut slice), None);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        for v in [0.0, -1.5, 1e300, f64::MIN_POSITIVE] {
+            let mut buf = Vec::new();
+            write_f64(&mut buf, v);
+            let mut s = buf.as_slice();
+            assert_eq!(read_f64(&mut s), Some(v));
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut buf = Vec::new();
+        write_bytes(&mut buf, b"hello");
+        write_bytes(&mut buf, b"");
+        write_bytes(&mut buf, b"world");
+        let mut s = buf.as_slice();
+        assert_eq!(read_bytes(&mut s), Some(&b"hello"[..]));
+        assert_eq!(read_bytes(&mut s), Some(&b""[..]));
+        assert_eq!(read_bytes(&mut s), Some(&b"world"[..]));
+        assert_eq!(read_bytes(&mut s), None);
+    }
+
+    #[test]
+    fn u64_list_roundtrip() {
+        let xs = vec![5u64, 0, 999999, 42];
+        let mut buf = Vec::new();
+        write_u64_list(&mut buf, &xs);
+        let mut s = buf.as_slice();
+        assert_eq!(read_u64_list(&mut s), Some(xs));
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let mut b = BlockBuilder::new();
+        b.push(b"one");
+        b.push(b"two");
+        b.push(b"");
+        assert_eq!(b.records(), 3);
+        let block = b.finish();
+        let recs: Vec<&[u8]> = RecordIter::new(&block).collect();
+        assert_eq!(recs, vec![&b"one"[..], &b"two"[..], &b""[..]]);
+    }
+
+    #[test]
+    fn empty_block_iterates_nothing() {
+        assert_eq!(RecordIter::new(&[]).count(), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! A simulated distributed file system: named datasets of record blocks.
+//!
+//! Each block doubles as an input split for map tasks, mirroring HDFS's
+//! block-per-split default. Read/write byte counters feed the cluster cost
+//! model.
+
+use crate::codec::{BlockBuilder, RecordIter};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A named dataset: an immutable sequence of record blocks.
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    /// The blocks; each block is a sequence of length-prefixed records.
+    pub blocks: Vec<Bytes>,
+    /// Total record count.
+    pub records: usize,
+}
+
+impl Dataset {
+    /// Total size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+
+    /// Iterate all records across all blocks.
+    pub fn iter_records(&self) -> impl Iterator<Item = &[u8]> {
+        self.blocks.iter().flat_map(|b| RecordIter::new(b))
+    }
+}
+
+/// Builder that packs records into blocks of roughly `split_bytes`.
+pub struct DatasetWriter {
+    split_bytes: usize,
+    current: BlockBuilder,
+    blocks: Vec<Bytes>,
+    records: usize,
+}
+
+impl DatasetWriter {
+    /// Create a writer with the given target split size.
+    pub fn new(split_bytes: usize) -> Self {
+        DatasetWriter {
+            split_bytes: split_bytes.max(1),
+            current: BlockBuilder::new(),
+            blocks: Vec::new(),
+            records: 0,
+        }
+    }
+
+    /// Append a record, rolling over to a new block at the split boundary.
+    pub fn push(&mut self, record: &[u8]) {
+        self.current.push(record);
+        self.records += 1;
+        if self.current.len() >= self.split_bytes {
+            let b = std::mem::take(&mut self.current);
+            self.blocks.push(Bytes::from(b.finish()));
+        }
+    }
+
+    /// Finish, producing the dataset.
+    pub fn finish(mut self) -> Dataset {
+        if !self.current.is_empty() {
+            self.blocks.push(Bytes::from(self.current.finish()));
+        }
+        Dataset {
+            blocks: self.blocks,
+            records: self.records,
+        }
+    }
+}
+
+/// The simulated DFS, shared between jobs of a workflow.
+#[derive(Clone, Default)]
+pub struct SimDfs {
+    inner: Arc<RwLock<HashMap<String, Dataset>>>,
+    bytes_written: Arc<AtomicU64>,
+    bytes_read: Arc<AtomicU64>,
+}
+
+impl SimDfs {
+    /// Create an empty DFS.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a dataset under `name`, replacing any existing one.
+    pub fn put(&self, name: &str, ds: Dataset) {
+        self.bytes_written
+            .fetch_add(ds.total_bytes() as u64, Ordering::Relaxed);
+        self.inner.write().insert(name.to_string(), ds);
+    }
+
+    /// Fetch a dataset (cheap: blocks are refcounted).
+    pub fn get(&self, name: &str) -> Option<Dataset> {
+        let ds = self.inner.read().get(name).cloned();
+        if let Some(d) = &ds {
+            self.bytes_read
+                .fetch_add(d.total_bytes() as u64, Ordering::Relaxed);
+        }
+        ds
+    }
+
+    /// Peek at a dataset without counting a read.
+    pub fn peek(&self, name: &str) -> Option<Dataset> {
+        self.inner.read().get(name).cloned()
+    }
+
+    /// Remove a dataset.
+    pub fn remove(&self, name: &str) -> Option<Dataset> {
+        self.inner.write().remove(name)
+    }
+
+    /// Does the dataset exist?
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.read().contains_key(name)
+    }
+
+    /// Names of all stored datasets, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Total bytes ever written through `put`.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes ever read through `get`.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Current total stored bytes.
+    pub fn stored_bytes(&self) -> u64 {
+        self.inner
+            .read()
+            .values()
+            .map(|d| d.total_bytes() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_splits_blocks() {
+        let mut w = DatasetWriter::new(64);
+        for i in 0..100u32 {
+            w.push(format!("record-{i:04}").as_bytes());
+        }
+        let ds = w.finish();
+        assert!(ds.blocks.len() > 1, "expected multiple splits");
+        assert_eq!(ds.records, 100);
+        assert_eq!(ds.iter_records().count(), 100);
+    }
+
+    #[test]
+    fn dfs_put_get_counts_bytes() {
+        let dfs = SimDfs::new();
+        let mut w = DatasetWriter::new(1024);
+        w.push(b"hello");
+        let ds = w.finish();
+        let size = ds.total_bytes() as u64;
+        dfs.put("a", ds);
+        assert_eq!(dfs.bytes_written(), size);
+        assert!(dfs.contains("a"));
+        let got = dfs.get("a").unwrap();
+        assert_eq!(dfs.bytes_read(), size);
+        assert_eq!(got.records, 1);
+        assert_eq!(dfs.names(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn peek_does_not_count_read() {
+        let dfs = SimDfs::new();
+        let mut w = DatasetWriter::new(1024);
+        w.push(b"x");
+        dfs.put("a", w.finish());
+        let _ = dfs.peek("a");
+        assert_eq!(dfs.bytes_read(), 0);
+    }
+
+    #[test]
+    fn remove_frees_dataset() {
+        let dfs = SimDfs::new();
+        let mut w = DatasetWriter::new(1024);
+        w.push(b"x");
+        dfs.put("a", w.finish());
+        assert!(dfs.remove("a").is_some());
+        assert!(!dfs.contains("a"));
+        assert_eq!(dfs.stored_bytes(), 0);
+    }
+
+    #[test]
+    fn empty_dataset_is_valid() {
+        let ds = DatasetWriter::new(128).finish();
+        assert_eq!(ds.blocks.len(), 0);
+        assert_eq!(ds.total_bytes(), 0);
+    }
+}

@@ -1,0 +1,499 @@
+//! The MapReduce execution engine: parallel map over splits, hash-partitioned
+//! shuffle with sort, parallel reduce — a faithful in-process model of the
+//! Hadoop execution cycle, with real serialization at every boundary.
+
+use crate::codec::{BlockBuilder, RecordIter};
+use crate::dfs::{Dataset, SimDfs};
+use crate::job::{InputSrc, Job, MapOutput, ReduceOutput};
+use crate::metrics::{JobMetrics, WorkflowMetrics};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// FNV-1a over a byte string; the shuffle partitioner.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Execution engine bound to a [`SimDfs`].
+#[derive(Clone)]
+pub struct Engine {
+    /// The simulated DFS jobs read from and write to.
+    pub dfs: SimDfs,
+    /// Worker thread count for map and reduce phases.
+    pub workers: usize,
+    /// Target output split size in bytes.
+    pub split_bytes: usize,
+}
+
+impl Engine {
+    /// Create an engine with sensible defaults (all cores, 256 KiB splits —
+    /// scaled down with the datasets, as HDFS's 128 MB is to 175M triples).
+    pub fn new(dfs: SimDfs) -> Self {
+        Engine {
+            dfs,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            split_bytes: 256 * 1024,
+        }
+    }
+
+    /// Run a sequence of jobs, accumulating workflow metrics.
+    pub fn run_workflow(&self, jobs: &[Job]) -> WorkflowMetrics {
+        let mut wf = WorkflowMetrics::default();
+        for job in jobs {
+            wf.jobs.push(self.run_job(job));
+        }
+        wf
+    }
+
+    /// Run one job to completion, returning its metrics.
+    pub fn run_job(&self, job: &Job) -> JobMetrics {
+        let start = Instant::now();
+        let mut metrics = JobMetrics {
+            name: job.name.clone(),
+            map_only: job.is_map_only(),
+            ..Default::default()
+        };
+
+        // Gather input splits: (dataset index, block).
+        let mut splits: Vec<(usize, Bytes)> = Vec::new();
+        for (di, name) in job.inputs.iter().enumerate() {
+            if let Some(ds) = self.dfs.get(name) {
+                metrics.input_bytes += ds.total_bytes() as u64;
+                metrics.input_records += ds.records as u64;
+                for b in ds.blocks {
+                    splits.push((di, b));
+                }
+            }
+        }
+        metrics.map_tasks = splits.len();
+
+        let num_partitions = job.num_reducers.max(1);
+        // Per-map-task results, merged after the parallel section.
+        struct MapResult {
+            partitions: Vec<Vec<(Vec<u8>, Vec<u8>)>>,
+            records: Vec<Vec<u8>>,
+            raw_kv_records: u64,
+            raw_kv_bytes: u64,
+        }
+
+        let splits_queue = Mutex::new(splits.into_iter().enumerate().collect::<Vec<_>>());
+        let results: Mutex<Vec<MapResult>> = Mutex::new(Vec::new());
+        let workers = self.workers.max(1);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let next = splits_queue.lock().pop();
+                    let Some((_idx, (di, block))) = next else {
+                        break;
+                    };
+                    let mut task = job.mapper.create();
+                    let mut out = MapOutput::default();
+                    for rec in RecordIter::new(&block) {
+                        task.map(InputSrc { dataset: di }, rec, &mut out);
+                    }
+                    task.cleanup(&mut out);
+
+                    let raw_kv_records = out.kvs.len() as u64;
+                    let raw_kv_bytes = out
+                        .kvs
+                        .iter()
+                        .map(|(k, v)| (k.len() + v.len()) as u64)
+                        .sum();
+
+                    // Map-side combiner: sort + group + combine before the
+                    // shuffle, exactly like Hadoop's combiner contract.
+                    let kvs = match (&job.combiner, job.is_map_only()) {
+                        (Some(comb), false) if !out.kvs.is_empty() => {
+                            let mut kvs = std::mem::take(&mut out.kvs);
+                            kvs.sort_by(|a, b| a.0.cmp(&b.0));
+                            let mut ctask = comb.create();
+                            let mut cout = ReduceOutput::default();
+                            run_key_groups(&kvs, |key, values| {
+                                ctask.reduce(key, values, &mut cout);
+                            });
+                            ctask.cleanup(&mut cout);
+                            cout.kvs
+                        }
+                        _ => std::mem::take(&mut out.kvs),
+                    };
+
+                    // Partition.
+                    let mut partitions: Vec<Vec<(Vec<u8>, Vec<u8>)>> =
+                        (0..num_partitions).map(|_| Vec::new()).collect();
+                    for (k, v) in kvs {
+                        let p = (fnv1a(&k) % num_partitions as u64) as usize;
+                        partitions[p].push((k, v));
+                    }
+                    results.lock().push(MapResult {
+                        partitions,
+                        records: std::mem::take(&mut out.records),
+                        raw_kv_records,
+                        raw_kv_bytes,
+                    });
+                });
+            }
+        })
+        .expect("map phase panicked");
+
+        let map_results = results.into_inner();
+        for r in &map_results {
+            metrics.map_output_records += r.raw_kv_records;
+            metrics.map_output_bytes += r.raw_kv_bytes;
+        }
+
+        let output_ds = if job.is_map_only() {
+            // Map-only: one output block per non-empty map task.
+            let mut blocks = Vec::new();
+            let mut records = 0usize;
+            for r in map_results {
+                if r.records.is_empty() {
+                    continue;
+                }
+                let mut bb = BlockBuilder::new();
+                for rec in &r.records {
+                    bb.push(rec);
+                }
+                records += bb.records();
+                blocks.push(Bytes::from(bb.finish()));
+            }
+            Dataset { blocks, records }
+        } else {
+            // Shuffle: merge each partition across map tasks, sort by key.
+            let mut shuffled: Vec<Vec<(Vec<u8>, Vec<u8>)>> =
+                (0..num_partitions).map(|_| Vec::new()).collect();
+            for r in map_results {
+                for (p, kvs) in r.partitions.into_iter().enumerate() {
+                    shuffled[p].extend(kvs);
+                }
+            }
+            for p in &mut shuffled {
+                p.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+            metrics.shuffle_records = shuffled.iter().map(|p| p.len() as u64).sum();
+            metrics.shuffle_bytes = shuffled
+                .iter()
+                .flat_map(|p| p.iter())
+                .map(|(k, v)| (k.len() + v.len()) as u64)
+                .sum();
+            metrics.reduce_tasks = shuffled.iter().filter(|p| !p.is_empty()).count();
+
+            // Reduce phase, parallel over partitions.
+            let reducer = job.reducer.as_ref().expect("checked map_only");
+            let part_queue = Mutex::new(
+                shuffled
+                    .into_iter()
+                    .filter(|p| !p.is_empty())
+                    .collect::<Vec<_>>(),
+            );
+            let blocks_out: Mutex<Vec<(usize, Vec<u8>)>> = Mutex::new(Vec::new());
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|_| loop {
+                        let part = part_queue.lock().pop();
+                        let Some(kvs) = part else { break };
+                        let mut task = reducer.create();
+                        let mut out = ReduceOutput::default();
+                        run_key_groups(&kvs, |key, values| {
+                            task.reduce(key, values, &mut out);
+                        });
+                        task.cleanup(&mut out);
+                        if !out.records.is_empty() {
+                            let mut bb = BlockBuilder::new();
+                            for rec in &out.records {
+                                bb.push(rec);
+                            }
+                            let n = bb.records();
+                            blocks_out.lock().push((n, bb.finish()));
+                        }
+                    });
+                }
+            })
+            .expect("reduce phase panicked");
+
+            let mut blocks = Vec::new();
+            let mut records = 0usize;
+            for (n, b) in blocks_out.into_inner() {
+                records += n;
+                blocks.push(Bytes::from(b));
+            }
+            Dataset { blocks, records }
+        };
+
+        if metrics.map_only {
+            metrics.shuffle_records = 0;
+            metrics.shuffle_bytes = 0;
+        }
+        metrics.output_records = output_ds.records as u64;
+        metrics.output_bytes = output_ds.total_bytes() as u64;
+        self.dfs.put(&job.output, output_ds);
+        metrics.wall = start.elapsed();
+        metrics
+    }
+}
+
+/// Iterate runs of equal keys in a key-sorted kv list, invoking `f` with the
+/// key and the slice of values.
+fn run_key_groups<F: FnMut(&[u8], &[&[u8]])>(kvs: &[(Vec<u8>, Vec<u8>)], mut f: F) {
+    let mut i = 0;
+    let mut values: Vec<&[u8]> = Vec::new();
+    while i < kvs.len() {
+        let key = &kvs[i].0;
+        values.clear();
+        let mut j = i;
+        while j < kvs.len() && &kvs[j].0 == key {
+            values.push(&kvs[j].1);
+            j += 1;
+        }
+        f(key, &values);
+        i = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs::DatasetWriter;
+    use crate::job::*;
+    use std::sync::Arc;
+
+    /// Classic word count over single-word records.
+    struct WcMap;
+    impl MapTask for WcMap {
+        fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
+            out.emit(record.to_vec(), vec![1]);
+        }
+    }
+
+    struct WcReduce {
+        as_output: bool,
+    }
+    impl ReduceTask for WcReduce {
+        fn reduce(&mut self, key: &[u8], values: &[&[u8]], out: &mut ReduceOutput) {
+            let total: u64 = values.iter().map(|v| v[0] as u64).sum();
+            if self.as_output {
+                let mut rec = key.to_vec();
+                rec.push(b'=');
+                rec.extend_from_slice(total.to_string().as_bytes());
+                out.write(rec);
+            } else {
+                // Combiner path: cap each count byte at 255 (test data is
+                // small).
+                out.emit(key.to_vec(), vec![total as u8]);
+            }
+        }
+    }
+
+    fn word_dataset(words: &[&str]) -> Dataset {
+        let mut w = DatasetWriter::new(8);
+        for word in words {
+            w.push(word.as_bytes());
+        }
+        w.finish()
+    }
+
+    fn run_wordcount(with_combiner: bool) -> (Vec<String>, JobMetrics) {
+        let dfs = SimDfs::new();
+        dfs.put(
+            "in",
+            word_dataset(&["a", "b", "a", "c", "a", "b", "a", "b", "c", "c", "c", "a"]),
+        );
+        let mut builder = JobBuilder::new("wordcount")
+            .input("in")
+            .mapper(Arc::new(FnMapFactory(|| WcMap)))
+            .reducer(Arc::new(FnReduceFactory(|| WcReduce { as_output: true })))
+            .output("out")
+            .num_reducers(3);
+        if with_combiner {
+            builder =
+                builder.combiner(Arc::new(FnReduceFactory(|| WcReduce { as_output: false })));
+        }
+        let engine = Engine::new(dfs.clone());
+        let m = engine.run_job(&builder.build());
+        let out = dfs.get("out").unwrap();
+        let mut lines: Vec<String> = out
+            .iter_records()
+            .map(|r| String::from_utf8(r.to_vec()).unwrap())
+            .collect();
+        lines.sort();
+        (lines, m)
+    }
+
+    #[test]
+    fn wordcount_correct() {
+        let (lines, m) = run_wordcount(false);
+        assert_eq!(lines, vec!["a=5", "b=3", "c=4"]);
+        assert!(m.map_tasks > 1, "multiple splits expected");
+        assert_eq!(m.input_records, 12);
+        assert_eq!(m.shuffle_records, 12);
+        assert_eq!(m.output_records, 3);
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume() {
+        let (lines, m) = run_wordcount(true);
+        assert_eq!(lines, vec!["a=5", "b=3", "c=4"]);
+        assert!(
+            m.shuffle_records < m.map_output_records,
+            "combiner must shrink the shuffle: {} vs {}",
+            m.shuffle_records,
+            m.map_output_records
+        );
+    }
+
+    /// Identity map-only job.
+    struct IdMap;
+    impl MapTask for IdMap {
+        fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
+            out.write(record.to_vec());
+        }
+    }
+
+    #[test]
+    fn map_only_job_passes_records_through() {
+        let dfs = SimDfs::new();
+        dfs.put("in", word_dataset(&["x", "y", "z"]));
+        let job = JobBuilder::new("identity")
+            .input("in")
+            .mapper(Arc::new(FnMapFactory(|| IdMap)))
+            .output("out")
+            .build();
+        let engine = Engine::new(dfs.clone());
+        let m = engine.run_job(&job);
+        assert!(m.map_only);
+        assert_eq!(m.shuffle_bytes, 0);
+        assert_eq!(m.output_records, 3);
+        assert_eq!(dfs.get("out").unwrap().records, 3);
+    }
+
+    /// Mapper that tags records by input source — exercises multi-input jobs.
+    struct TagMap;
+    impl MapTask for TagMap {
+        fn map(&mut self, src: InputSrc, record: &[u8], out: &mut MapOutput) {
+            let mut rec = vec![b'0' + src.dataset as u8, b':'];
+            rec.extend_from_slice(record);
+            out.write(rec);
+        }
+    }
+
+    #[test]
+    fn multi_input_sources_are_tagged() {
+        let dfs = SimDfs::new();
+        dfs.put("left", word_dataset(&["l"]));
+        dfs.put("right", word_dataset(&["r"]));
+        let job = JobBuilder::new("tag")
+            .input("left")
+            .input("right")
+            .mapper(Arc::new(FnMapFactory(|| TagMap)))
+            .output("out")
+            .build();
+        let engine = Engine::new(dfs.clone());
+        engine.run_job(&job);
+        let mut recs: Vec<String> = dfs
+            .get("out")
+            .unwrap()
+            .iter_records()
+            .map(|r| String::from_utf8(r.to_vec()).unwrap())
+            .collect();
+        recs.sort();
+        assert_eq!(recs, vec!["0:l", "1:r"]);
+    }
+
+    /// Map task with per-task state + cleanup — the Algorithm 3 pattern.
+    struct CountingMap {
+        seen: u64,
+    }
+    impl MapTask for CountingMap {
+        fn map(&mut self, _src: InputSrc, _record: &[u8], _out: &mut MapOutput) {
+            self.seen += 1;
+        }
+        fn cleanup(&mut self, out: &mut MapOutput) {
+            out.emit(b"count".to_vec(), self.seen.to_le_bytes().to_vec());
+        }
+    }
+
+    struct SumReduce;
+    impl ReduceTask for SumReduce {
+        fn reduce(&mut self, _key: &[u8], values: &[&[u8]], out: &mut ReduceOutput) {
+            let total: u64 = values
+                .iter()
+                .map(|v| {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(v);
+                    u64::from_le_bytes(b)
+                })
+                .sum();
+            out.write(total.to_string().into_bytes());
+        }
+    }
+
+    #[test]
+    fn cleanup_hook_supports_per_task_aggregation() {
+        let dfs = SimDfs::new();
+        dfs.put("in", word_dataset(&["a"; 20]));
+        let job = JobBuilder::new("count")
+            .input("in")
+            .mapper(Arc::new(FnMapFactory(|| CountingMap { seen: 0 })))
+            .reducer(Arc::new(FnReduceFactory(|| SumReduce)))
+            .output("out")
+            .num_reducers(1)
+            .build();
+        let engine = Engine::new(dfs.clone());
+        let m = engine.run_job(&job);
+        let recs: Vec<String> = dfs
+            .get("out")
+            .unwrap()
+            .iter_records()
+            .map(|r| String::from_utf8(r.to_vec()).unwrap())
+            .collect();
+        assert_eq!(recs, vec!["20"]);
+        // One emit per map task, not per record.
+        assert_eq!(m.shuffle_records as usize, m.map_tasks);
+    }
+
+    #[test]
+    fn workflow_chains_jobs() {
+        let dfs = SimDfs::new();
+        dfs.put("in", word_dataset(&["a", "b", "a"]));
+        let j1 = JobBuilder::new("j1")
+            .input("in")
+            .mapper(Arc::new(FnMapFactory(|| IdMap)))
+            .output("mid")
+            .build();
+        let j2 = JobBuilder::new("j2")
+            .input("mid")
+            .mapper(Arc::new(FnMapFactory(|| WcMap)))
+            .reducer(Arc::new(FnReduceFactory(|| WcReduce { as_output: true })))
+            .output("out")
+            .build();
+        let engine = Engine::new(dfs.clone());
+        let wf = engine.run_workflow(&[j1, j2]);
+        assert_eq!(wf.cycles(), 2);
+        assert_eq!(wf.full_cycles(), 1);
+        assert_eq!(wf.map_only_cycles(), 1);
+        assert_eq!(dfs.get("out").unwrap().records, 2);
+    }
+
+    #[test]
+    fn missing_input_dataset_is_empty() {
+        let dfs = SimDfs::new();
+        let job = JobBuilder::new("empty")
+            .input("nope")
+            .mapper(Arc::new(FnMapFactory(|| IdMap)))
+            .output("out")
+            .build();
+        let engine = Engine::new(dfs.clone());
+        let m = engine.run_job(&job);
+        assert_eq!(m.input_records, 0);
+        assert_eq!(m.output_records, 0);
+        assert!(dfs.contains("out"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Job specification: mapper / combiner / reducer task factories, mirroring
+//! the Hadoop task lifecycle (`setup` via factory, `map`/`reduce` per record
+//! or key group, `cleanup` at task end — the hook Algorithm 3's map-side
+//! hash aggregation relies on).
+
+use std::sync::Arc;
+
+/// Identifies which job input a record came from (Hadoop: input path tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputSrc {
+    /// Index into [`Job::inputs`].
+    pub dataset: usize,
+}
+
+/// Output sink handed to map tasks.
+#[derive(Default)]
+pub struct MapOutput {
+    /// Key-value pairs destined for the shuffle.
+    pub kvs: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Direct records (map-only jobs).
+    pub records: Vec<Vec<u8>>,
+}
+
+impl MapOutput {
+    /// Emit a key-value pair into the shuffle.
+    #[inline]
+    pub fn emit(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        self.kvs.push((key, value));
+    }
+
+    /// Write a record directly to the job output (map-only jobs).
+    #[inline]
+    pub fn write(&mut self, record: Vec<u8>) {
+        self.records.push(record);
+    }
+}
+
+/// Output sink handed to reduce tasks.
+#[derive(Default)]
+pub struct ReduceOutput {
+    /// Final output records.
+    pub records: Vec<Vec<u8>>,
+    /// Re-keyed pairs (used when a combiner runs map-side).
+    pub kvs: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+impl ReduceOutput {
+    /// Write a record to the job output.
+    #[inline]
+    pub fn write(&mut self, record: Vec<u8>) {
+        self.records.push(record);
+    }
+
+    /// Emit a key-value pair (combiner path: stays in the shuffle).
+    #[inline]
+    pub fn emit(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        self.kvs.push((key, value));
+    }
+}
+
+/// A per-split map task instance.
+pub trait MapTask: Send {
+    /// Process one input record.
+    fn map(&mut self, src: InputSrc, record: &[u8], out: &mut MapOutput);
+    /// Called once after the last record of the split (Hadoop `cleanup`).
+    fn cleanup(&mut self, _out: &mut MapOutput) {}
+}
+
+/// Factory creating map task instances (one per split).
+pub trait MapTaskFactory: Send + Sync {
+    /// Create a fresh task.
+    fn create(&self) -> Box<dyn MapTask>;
+}
+
+/// A per-partition reduce task instance.
+pub trait ReduceTask: Send {
+    /// Process one key group. `values` holds every value for `key`.
+    fn reduce(&mut self, key: &[u8], values: &[&[u8]], out: &mut ReduceOutput);
+    /// Called once after the last key group of the partition.
+    fn cleanup(&mut self, _out: &mut ReduceOutput) {}
+}
+
+/// Factory creating reduce task instances (one per partition, and one per
+/// map task when used as a combiner).
+pub trait ReduceTaskFactory: Send + Sync {
+    /// Create a fresh task.
+    fn create(&self) -> Box<dyn ReduceTask>;
+}
+
+/// Blanket factory over a cloneable function returning a task.
+pub struct FnMapFactory<F>(pub F);
+
+impl<F, T> MapTaskFactory for FnMapFactory<F>
+where
+    F: Fn() -> T + Send + Sync,
+    T: MapTask + 'static,
+{
+    fn create(&self) -> Box<dyn MapTask> {
+        Box::new((self.0)())
+    }
+}
+
+/// Blanket factory over a cloneable function returning a reduce task.
+pub struct FnReduceFactory<F>(pub F);
+
+impl<F, T> ReduceTaskFactory for FnReduceFactory<F>
+where
+    F: Fn() -> T + Send + Sync,
+    T: ReduceTask + 'static,
+{
+    fn create(&self) -> Box<dyn ReduceTask> {
+        Box::new((self.0)())
+    }
+}
+
+/// A MapReduce job specification.
+#[derive(Clone)]
+pub struct Job {
+    /// Human-readable name (shows up in metrics and workflow reports).
+    pub name: String,
+    /// Input dataset names; record origin is exposed to mappers as
+    /// [`InputSrc`].
+    pub inputs: Vec<String>,
+    /// The mapper.
+    pub mapper: Arc<dyn MapTaskFactory>,
+    /// Optional map-side combiner (run per map task over sorted map output).
+    pub combiner: Option<Arc<dyn ReduceTaskFactory>>,
+    /// The reducer; `None` makes this a map-only job.
+    pub reducer: Option<Arc<dyn ReduceTaskFactory>>,
+    /// Output dataset name.
+    pub output: String,
+    /// Number of reduce partitions (ignored for map-only jobs).
+    pub num_reducers: usize,
+}
+
+impl Job {
+    /// Is this a map-only job (no shuffle, no reduce phase)?
+    pub fn is_map_only(&self) -> bool {
+        self.reducer.is_none()
+    }
+}
+
+/// Builder for [`Job`].
+pub struct JobBuilder {
+    name: String,
+    inputs: Vec<String>,
+    mapper: Option<Arc<dyn MapTaskFactory>>,
+    combiner: Option<Arc<dyn ReduceTaskFactory>>,
+    reducer: Option<Arc<dyn ReduceTaskFactory>>,
+    output: String,
+    num_reducers: usize,
+}
+
+impl JobBuilder {
+    /// Start building a job.
+    pub fn new(name: impl Into<String>) -> Self {
+        JobBuilder {
+            name: name.into(),
+            inputs: Vec::new(),
+            mapper: None,
+            combiner: None,
+            reducer: None,
+            output: String::new(),
+            num_reducers: 4,
+        }
+    }
+
+    /// Add an input dataset.
+    pub fn input(mut self, name: impl Into<String>) -> Self {
+        self.inputs.push(name.into());
+        self
+    }
+
+    /// Set the mapper factory.
+    pub fn mapper(mut self, m: Arc<dyn MapTaskFactory>) -> Self {
+        self.mapper = Some(m);
+        self
+    }
+
+    /// Set the combiner factory.
+    pub fn combiner(mut self, c: Arc<dyn ReduceTaskFactory>) -> Self {
+        self.combiner = Some(c);
+        self
+    }
+
+    /// Set the reducer factory.
+    pub fn reducer(mut self, r: Arc<dyn ReduceTaskFactory>) -> Self {
+        self.reducer = Some(r);
+        self
+    }
+
+    /// Set the output dataset name.
+    pub fn output(mut self, name: impl Into<String>) -> Self {
+        self.output = name.into();
+        self
+    }
+
+    /// Set the number of reduce partitions.
+    pub fn num_reducers(mut self, n: usize) -> Self {
+        self.num_reducers = n.max(1);
+        self
+    }
+
+    /// Finish. Panics if mapper or output are missing (programmer error in
+    /// plan construction, not a runtime condition).
+    pub fn build(self) -> Job {
+        Job {
+            name: self.name,
+            inputs: self.inputs,
+            mapper: self.mapper.expect("job requires a mapper"),
+            combiner: self.combiner,
+            reducer: self.reducer,
+            output: self.output,
+            num_reducers: self.num_reducers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NopMap;
+    impl MapTask for NopMap {
+        fn map(&mut self, _src: InputSrc, _r: &[u8], _o: &mut MapOutput) {}
+    }
+
+    #[test]
+    fn builder_constructs_map_only_job() {
+        let job = JobBuilder::new("j")
+            .input("in")
+            .mapper(Arc::new(FnMapFactory(|| NopMap)))
+            .output("out")
+            .build();
+        assert!(job.is_map_only());
+        assert_eq!(job.inputs, vec!["in".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a mapper")]
+    fn builder_panics_without_mapper() {
+        let _ = JobBuilder::new("j").input("in").output("out").build();
+    }
+}

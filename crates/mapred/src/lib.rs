@@ -1,0 +1,34 @@
+//! # rapida-mapred
+//!
+//! A MapReduce execution simulator: the scale-out substrate under every
+//! engine in the workspace. Jobs run genuinely in parallel (map over splits,
+//! hash-partitioned sorted shuffle, parallel reduce) over serialized byte
+//! records, so the byte and record counts feeding the cluster cost model are
+//! measured, not estimated.
+//!
+//! Components:
+//! * [`codec`] — varint record encoding shared by all operators.
+//! * [`dfs`] — the simulated DFS ([`SimDfs`]) holding named datasets of
+//!   splits.
+//! * [`job`] — job specs with Hadoop-style task lifecycles (map / combiner /
+//!   reduce, per-task `cleanup` hooks).
+//! * [`engine`] — the executor ([`Engine`]).
+//! * [`metrics`] — measured per-job and per-workflow counters.
+//! * [`cost`] — the analytic cluster model turning metrics into simulated
+//!   cluster seconds ([`ClusterModel`]).
+
+pub mod codec;
+pub mod cost;
+pub mod dfs;
+pub mod engine;
+pub mod job;
+pub mod metrics;
+
+pub use cost::ClusterModel;
+pub use dfs::{Dataset, DatasetWriter, SimDfs};
+pub use engine::Engine;
+pub use job::{
+    FnMapFactory, FnReduceFactory, InputSrc, Job, JobBuilder, MapOutput, MapTask, MapTaskFactory,
+    ReduceOutput, ReduceTask, ReduceTaskFactory,
+};
+pub use metrics::{JobMetrics, WorkflowMetrics};

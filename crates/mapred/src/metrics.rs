@@ -1,0 +1,170 @@
+//! Per-job and per-workflow execution metrics.
+//!
+//! These are *measured* quantities — bytes genuinely serialized, records
+//! genuinely processed — and the inputs to the cluster cost model.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Metrics for one executed MapReduce job.
+#[derive(Debug, Clone, Default)]
+pub struct JobMetrics {
+    /// Job name.
+    pub name: String,
+    /// Whether the job was map-only.
+    pub map_only: bool,
+    /// Number of map tasks (input splits).
+    pub map_tasks: usize,
+    /// Number of reduce tasks that received data.
+    pub reduce_tasks: usize,
+    /// Bytes read from the DFS by map tasks.
+    pub input_bytes: u64,
+    /// Records read by map tasks.
+    pub input_records: u64,
+    /// Map output records before the combiner.
+    pub map_output_records: u64,
+    /// Map output bytes before the combiner.
+    pub map_output_bytes: u64,
+    /// Records actually shuffled (post-combiner).
+    pub shuffle_records: u64,
+    /// Bytes actually shuffled (post-combiner).
+    pub shuffle_bytes: u64,
+    /// Output records written to the DFS.
+    pub output_records: u64,
+    /// Output bytes written to the DFS.
+    pub output_bytes: u64,
+    /// In-process wall time of this job.
+    pub wall: Duration,
+}
+
+impl JobMetrics {
+    /// Combiner effectiveness: shuffled records / pre-combine records.
+    pub fn combine_ratio(&self) -> f64 {
+        if self.map_output_records == 0 {
+            1.0
+        } else {
+            self.shuffle_records as f64 / self.map_output_records as f64
+        }
+    }
+}
+
+impl fmt::Display for JobMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] in={}r/{}B shuffle={}r/{}B out={}r/{}B maps={} reduces={} wall={:?}",
+            self.name,
+            if self.map_only { "map-only" } else { "map-reduce" },
+            self.input_records,
+            self.input_bytes,
+            self.shuffle_records,
+            self.shuffle_bytes,
+            self.output_records,
+            self.output_bytes,
+            self.map_tasks,
+            self.reduce_tasks,
+            self.wall,
+        )
+    }
+}
+
+/// Aggregate metrics for an executed workflow (sequence of jobs).
+#[derive(Debug, Clone, Default)]
+pub struct WorkflowMetrics {
+    /// Per-job metrics, in execution order.
+    pub jobs: Vec<JobMetrics>,
+}
+
+impl WorkflowMetrics {
+    /// Total number of MR cycles (the paper's headline plan-quality metric).
+    pub fn cycles(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of full map-reduce cycles (with a shuffle).
+    pub fn full_cycles(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.map_only).count()
+    }
+
+    /// Number of map-only cycles.
+    pub fn map_only_cycles(&self) -> usize {
+        self.jobs.iter().filter(|j| j.map_only).count()
+    }
+
+    /// Total bytes shuffled across all jobs.
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.shuffle_bytes).sum()
+    }
+
+    /// Total bytes materialized to the DFS across all jobs.
+    pub fn total_output_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.output_bytes).sum()
+    }
+
+    /// Total bytes read from the DFS across all jobs.
+    pub fn total_input_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.input_bytes).sum()
+    }
+
+    /// Total in-process wall time.
+    pub fn total_wall(&self) -> Duration {
+        self.jobs.iter().map(|j| j.wall).sum()
+    }
+}
+
+impl fmt::Display for WorkflowMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "workflow: {} cycles ({} full, {} map-only), shuffle={}B, materialized={}B",
+            self.cycles(),
+            self.full_cycles(),
+            self.map_only_cycles(),
+            self.total_shuffle_bytes(),
+            self.total_output_bytes(),
+        )?;
+        for j in &self.jobs {
+            writeln!(f, "  {j}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workflow_counts_cycles() {
+        let mut wf = WorkflowMetrics::default();
+        wf.jobs.push(JobMetrics {
+            name: "a".into(),
+            map_only: false,
+            shuffle_bytes: 100,
+            ..Default::default()
+        });
+        wf.jobs.push(JobMetrics {
+            name: "b".into(),
+            map_only: true,
+            output_bytes: 50,
+            ..Default::default()
+        });
+        assert_eq!(wf.cycles(), 2);
+        assert_eq!(wf.full_cycles(), 1);
+        assert_eq!(wf.map_only_cycles(), 1);
+        assert_eq!(wf.total_shuffle_bytes(), 100);
+        assert_eq!(wf.total_output_bytes(), 50);
+    }
+
+    #[test]
+    fn combine_ratio_defaults_to_one() {
+        let m = JobMetrics::default();
+        assert_eq!(m.combine_ratio(), 1.0);
+        let m2 = JobMetrics {
+            map_output_records: 100,
+            shuffle_records: 25,
+            ..Default::default()
+        };
+        assert_eq!(m2.combine_ratio(), 0.25);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the cluster cost model: monotonicity in every input
+//! dimension and sane composition over workflows.
+
+use proptest::prelude::*;
+use rapida_mapred::{ClusterModel, JobMetrics, WorkflowMetrics};
+
+fn arb_job() -> impl Strategy<Value = JobMetrics> {
+    (
+        any::<bool>(),
+        1usize..200,
+        1usize..40,
+        0u64..(1 << 30),
+        0u64..(1 << 24),
+        0u64..(1 << 28),
+        0u64..(1 << 26),
+    )
+        .prop_map(
+            |(map_only, map_tasks, reduce_tasks, input_bytes, records, shuffle, out)| JobMetrics {
+                name: "j".into(),
+                map_only,
+                map_tasks,
+                reduce_tasks,
+                input_bytes,
+                input_records: records,
+                map_output_records: records,
+                map_output_bytes: shuffle,
+                shuffle_records: records,
+                shuffle_bytes: shuffle,
+                output_records: records / 2,
+                output_bytes: out,
+                wall: Default::default(),
+            },
+        )
+}
+
+proptest! {
+    /// Times are positive, at least the startup cost, and finite.
+    #[test]
+    fn job_time_is_sane(job in arb_job()) {
+        let m = ClusterModel::nodes10();
+        let t = m.job_time(&job);
+        prop_assert!(t.is_finite());
+        prop_assert!(t >= m.job_startup_s);
+        prop_assert!(t < 1e9, "bounded for bounded inputs");
+    }
+
+    /// More input bytes never makes a job cheaper.
+    #[test]
+    fn monotone_in_input_bytes(job in arb_job(), extra in 0u64..(1 << 30)) {
+        let m = ClusterModel::nodes10();
+        let mut bigger = job.clone();
+        bigger.input_bytes += extra;
+        prop_assert!(m.job_time(&bigger) >= m.job_time(&job) - 1e-9);
+    }
+
+    /// More shuffle bytes never makes a shuffling job cheaper.
+    #[test]
+    fn monotone_in_shuffle_bytes(job in arb_job(), extra in 0u64..(1 << 30)) {
+        let m = ClusterModel::nodes10();
+        let mut bigger = job.clone();
+        bigger.shuffle_bytes += extra;
+        prop_assert!(m.job_time(&bigger) >= m.job_time(&job) - 1e-9);
+    }
+
+    /// Workflow time is the sum of job times (sequential stages).
+    #[test]
+    fn workflow_time_is_sum(jobs in proptest::collection::vec(arb_job(), 0..6)) {
+        let m = ClusterModel::nodes60();
+        let wf = WorkflowMetrics { jobs: jobs.clone() };
+        let total = m.workflow_time(&wf);
+        let sum: f64 = jobs.iter().map(|j| m.job_time(j)).sum();
+        prop_assert!((total - sum).abs() < 1e-9);
+    }
+
+    /// A bigger cluster is never slower (for equal metrics).
+    #[test]
+    fn bigger_cluster_not_slower(job in arb_job()) {
+        let t10 = ClusterModel::nodes10().job_time(&job);
+        let t60 = ClusterModel::nodes60().job_time(&job);
+        prop_assert!(t60 <= t10 + 1e-9);
+    }
+
+    /// Scaling the data scales the variable part of the cost and leaves the
+    /// fixed part alone.
+    #[test]
+    fn data_scale_monotone(job in arb_job(), scale in 1.0f64..100.0) {
+        let base = ClusterModel::nodes10();
+        let mut scaled = base;
+        scaled.data_scale = scale;
+        prop_assert!(scaled.job_time(&job) >= base.job_time(&job) - 1e-9);
+    }
+}

@@ -1,0 +1,29 @@
+//! # rapida-ntga
+//!
+//! The Nested TripleGroup Data Model and Algebra (NTGA) with this paper's
+//! analytical extensions:
+//!
+//! * [`triplegroup`] — [`TripleGroup`] / [`AnnTg`] model and codecs.
+//! * [`spec`] — operator specifications: star requirements, α-conditions
+//!   (Table 2), variable references, aggregation specs and mergeable
+//!   [`PartialAgg`] states.
+//! * [`ops`] — logical operators (Defs 3.3–3.6): the optional group filter
+//!   σ^γopt, the n-split χ, the α-Join, and the TG Agg-Join γ^AgJ.
+//! * [`physical`] — MR physical operators (Algorithms 1–3): filter + α-join
+//!   map/reduce pairs and the Agg-Join with map-side hash aggregation.
+
+pub mod ops;
+pub mod physical;
+pub mod spec;
+pub mod triplegroup;
+
+pub use ops::{agg_join, alpha_join, finalize_groups, n_split, opt_group_filter};
+pub use spec::{
+    any_alpha_partial, AggJoinSpec, AggOp, AggRec, AggSpec, AlphaCond, AlphaTerm, JoinKey,
+    NumericSnapshot, PartialAgg, PropReq, StarSpec, VarRef,
+};
+pub use physical::{
+    AggJoinConfig, AggJoinMapper, AggJoinReducer, AlphaJoinReducer, AnnRoute, Side, StarRoute,
+    TgJoinMapConfig, TgJoinMapper, TgTransform,
+};
+pub use triplegroup::{AnnTg, TripleGroup};

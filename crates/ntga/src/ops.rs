@@ -1,0 +1,512 @@
+//! Logical NTGA operators — in-memory reference forms of the paper's
+//! Definitions 3.3–3.6. The MR physical forms in [`crate::physical`] must
+//! agree with these (tested in the workspace integration suite).
+
+use crate::spec::{AggJoinSpec, AggOp, AlphaCond, NumericSnapshot, PartialAgg, StarSpec};
+use crate::triplegroup::{AnnTg, TripleGroup};
+use rapida_rdf::FxHashMap;
+
+/// σ^γopt — the **optional group filter** (Def 3.3).
+///
+/// Projects a subject triplegroup onto a composite star pattern's
+/// `P_prim ∪ P_opt` and keeps it iff every primary property matches. Returns
+/// the projected group, or `None` if a primary requirement fails.
+pub fn opt_group_filter(tg: &TripleGroup, spec: &StarSpec) -> Option<TripleGroup> {
+    for req in &spec.primary {
+        if !req.matches(tg) {
+            return None;
+        }
+    }
+    let mut triples = Vec::new();
+    for &(p, o) in &tg.triples {
+        let keep = spec
+            .primary
+            .iter()
+            .chain(spec.secondary.iter())
+            .any(|req| req.prop == p && req.object.is_none_or(|ro| ro == o));
+        if keep {
+            triples.push((p, o));
+        }
+    }
+    Some(TripleGroup::new(tg.subject, triples))
+}
+
+/// χ — the **n-split** operator (Def 3.4).
+///
+/// Extracts up to `n` sub-triplegroups from a composite-pattern match: the
+/// `i`-th output combines the primary-property triples with the triples of
+/// the `i`-th secondary property set, and exists iff every property of that
+/// secondary set is present.
+pub fn n_split(
+    tg: &TripleGroup,
+    primary: &[u64],
+    secondary_sets: &[Vec<u64>],
+) -> Vec<Option<TripleGroup>> {
+    secondary_sets
+        .iter()
+        .map(|secs| {
+            if !secs.iter().all(|p| tg.has_prop(*p)) {
+                return None;
+            }
+            let triples: Vec<(u64, u64)> = tg
+                .triples
+                .iter()
+                .filter(|(p, _)| primary.contains(p) || secs.contains(p))
+                .copied()
+                .collect();
+            Some(TripleGroup::new(tg.subject, triples))
+        })
+        .collect()
+}
+
+/// ⋈^γ_{α1∨…∨αm} — the **α-Join** (Def 3.5), in-memory form.
+///
+/// Joins two annotated-triplegroup collections on precomputed key values,
+/// materializing a combination only when at least one α-condition accepts it
+/// (partial semantics: conditions mention only stars present so far).
+pub fn alpha_join(
+    left: &[(u64, AnnTg)],
+    right: &[(u64, AnnTg)],
+    conds: &[AlphaCond],
+) -> Vec<AnnTg> {
+    let mut by_key: FxHashMap<u64, Vec<&AnnTg>> = FxHashMap::default();
+    for (k, tg) in left {
+        by_key.entry(*k).or_default().push(tg);
+    }
+    let mut out = Vec::new();
+    for (k, rtg) in right {
+        if let Some(ls) = by_key.get(k) {
+            for ltg in ls {
+                let joined = ltg.merge(rtg);
+                if crate::spec::any_alpha_partial(conds, &joined) {
+                    out.push(joined);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// γ^AgJ — the **TG Agg-Join** (Def 3.6), in-memory form.
+///
+/// For each detail triplegroup satisfying the spec's α-condition, enumerates
+/// the joint assignments of all referenced variables (grouping + aggregation
+/// arguments; multi-valued properties fan out exactly as the relational
+/// row expansion would) and folds each assignment into the group keyed by
+/// the grouping values. Returns `(group key, partial states)` pairs.
+///
+/// The paper's base-triplegroup formulation (`RNG(btg, TG_detail, θ, α)`)
+/// is recovered by reading each output group as one base triplegroup whose
+/// RNG contributed the folded detail groups.
+pub fn agg_join(
+    details: &[AnnTg],
+    spec: &AggJoinSpec,
+    numeric: &NumericSnapshot,
+) -> Vec<(Vec<u64>, Vec<PartialAgg>)> {
+    let mut groups: FxHashMap<Vec<u64>, Vec<PartialAgg>> = FxHashMap::default();
+    for tg in details {
+        if !spec.alpha.satisfied_full(tg) {
+            continue;
+        }
+        accumulate(tg, spec, numeric, &mut |key, idx, value| {
+            let entry = groups
+                .entry(key.to_vec())
+                .or_insert_with(|| vec![PartialAgg::default(); spec.aggs.len()]);
+            entry[idx].add(value);
+        });
+    }
+    groups.into_iter().collect()
+}
+
+/// Shared assignment-enumeration core for the logical and physical Agg-Join:
+/// calls `fold(group_key, agg_index, numeric_value)` once per (assignment,
+/// aggregation) pair.
+/// Callback type for [`accumulate`]: `(group key, aggregate index, value)`.
+pub type FoldFn<'a> = dyn FnMut(&[u64], usize, Option<f64>) + 'a;
+
+pub fn accumulate(
+    tg: &AnnTg,
+    spec: &AggJoinSpec,
+    numeric: &NumericSnapshot,
+    fold: &mut FoldFn<'_>,
+) {
+    // Value lists per slot. A triplegroup that reached the Agg-Join and
+    // passed α has every pattern variable bound (primary presence is
+    // enforced by the group filter, secondary presence by α); an empty slot
+    // therefore means the pattern does not match and the group contributes
+    // nothing (relational inner-join semantics).
+    let value_lists: Vec<Vec<u64>> = spec.slots.iter().map(|r| r.values(tg)).collect();
+    if value_lists.iter().any(|v| v.is_empty()) {
+        return;
+    }
+
+    // Enumerate the full cartesian assignment space — the relational
+    // solution-row expansion of the block pattern.
+    let mut assignment: Vec<u64> = vec![0; spec.slots.len()];
+    enumerate(&value_lists, 0, &mut assignment, &mut |assignment| {
+        let key: Vec<u64> = spec.group_slots.iter().map(|&i| assignment[i]).collect();
+        for (i, agg) in spec.aggs.iter().enumerate() {
+            match agg.arg {
+                None => fold(&key, i, None), // COUNT(*): every assignment counts
+                Some(slot) => {
+                    let v = assignment[slot];
+                    let num = numeric.get(v as usize).copied().flatten();
+                    fold(&key, i, num);
+                }
+            }
+        }
+    });
+}
+
+fn enumerate(
+    lists: &[Vec<u64>],
+    i: usize,
+    assignment: &mut Vec<u64>,
+    f: &mut dyn FnMut(&[u64]),
+) {
+    if i == lists.len() {
+        f(assignment);
+        return;
+    }
+    for &v in &lists[i] {
+        assignment[i] = v;
+        enumerate(lists, i + 1, assignment, f);
+    }
+}
+
+/// Finalize agg-join groups into `(key, values)` with each partial resolved
+/// through its [`AggOp`].
+pub fn finalize_groups(
+    groups: Vec<(Vec<u64>, Vec<PartialAgg>)>,
+    ops: &[AggOp],
+) -> Vec<(Vec<u64>, Vec<Option<f64>>)> {
+    groups
+        .into_iter()
+        .map(|(k, partials)| {
+            let values = partials
+                .iter()
+                .zip(ops)
+                .map(|(p, op)| p.finalize(*op))
+                .collect();
+            (k, values)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AggSpec, AlphaTerm, PropReq, VarRef};
+    use std::sync::Arc;
+
+    fn tg(s: u64, pairs: &[(u64, u64)]) -> TripleGroup {
+        TripleGroup::new(s, pairs.to_vec())
+    }
+
+    // Property ids echoing Fig. 4: product=1, price=2, validFrom=3, validTo=4.
+    const PRODUCT: u64 = 1;
+    const PRICE: u64 = 2;
+    const VALID_FROM: u64 = 3;
+    const VALID_TO: u64 = 4;
+
+    fn fig4_spec() -> StarSpec {
+        StarSpec {
+            star: 0,
+            primary: vec![PropReq::any(PRODUCT), PropReq::any(PRICE)],
+            secondary: vec![PropReq::any(VALID_FROM), PropReq::any(VALID_TO)],
+        }
+    }
+
+    /// Fig. 4(a): tg1, tg2, tg4 pass; tg3 (missing price) is filtered out.
+    #[test]
+    fn fig4a_optional_group_filter() {
+        let tg1 = tg(101, &[(PRODUCT, 11), (PRICE, 21), (VALID_TO, 41)]);
+        let tg2 = tg(102, &[(PRODUCT, 12), (PRICE, 22)]);
+        let tg3 = tg(103, &[(PRODUCT, 13), (VALID_FROM, 33)]);
+        let tg4 = tg(
+            104,
+            &[(PRODUCT, 14), (PRICE, 24), (VALID_FROM, 34), (VALID_TO, 44)],
+        );
+        let spec = fig4_spec();
+        assert!(opt_group_filter(&tg1, &spec).is_some());
+        assert!(opt_group_filter(&tg2, &spec).is_some());
+        assert!(opt_group_filter(&tg3, &spec).is_none(), "missing primary price");
+        assert!(opt_group_filter(&tg4, &spec).is_some());
+    }
+
+    #[test]
+    fn filter_projects_away_irrelevant_properties() {
+        let g = tg(1, &[(PRODUCT, 11), (PRICE, 21), (99, 5)]);
+        let out = opt_group_filter(&g, &fig4_spec()).unwrap();
+        assert!(!out.has_prop(99));
+        assert_eq!(out.triples.len(), 2);
+    }
+
+    #[test]
+    fn filter_with_type_object_constraint() {
+        let spec = StarSpec {
+            star: 0,
+            primary: vec![PropReq::with_object(7, 70)],
+            secondary: vec![],
+        };
+        assert!(opt_group_filter(&tg(1, &[(7, 70)]), &spec).is_some());
+        assert!(opt_group_filter(&tg(1, &[(7, 71)]), &spec).is_none());
+        // Projection keeps only the matching type triple.
+        let both = tg(1, &[(7, 70), (7, 71)]);
+        let out = opt_group_filter(&both, &spec).unwrap();
+        assert_eq!(out.triples, vec![(7, 70)]);
+    }
+
+    /// Fig. 4(b): n-split with P_sec1={validFrom}, P_sec2={validTo}.
+    #[test]
+    fn fig4b_n_split() {
+        let tg4 = tg(
+            104,
+            &[(PRODUCT, 14), (PRICE, 24), (VALID_FROM, 34), (VALID_TO, 44)],
+        );
+        let tg1 = tg(101, &[(PRODUCT, 11), (PRICE, 21), (VALID_TO, 41)]);
+        let prim = vec![PRODUCT, PRICE];
+        let secs = vec![vec![VALID_FROM], vec![VALID_TO]];
+
+        let s4 = n_split(&tg4, &prim, &secs);
+        // tg4 matches both combinations.
+        let s41 = s4[0].as_ref().unwrap();
+        assert!(s41.has_prop(VALID_FROM) && !s41.has_prop(VALID_TO));
+        let s42 = s4[1].as_ref().unwrap();
+        assert!(s42.has_prop(VALID_TO) && !s42.has_prop(VALID_FROM));
+
+        // tg1 matches only the second combination.
+        let s1 = n_split(&tg1, &prim, &secs);
+        assert!(s1[0].is_none());
+        assert!(s1[1].is_some());
+    }
+
+    /// Fig. 4(c): first combination has no secondary properties.
+    #[test]
+    fn fig4c_n_split_with_empty_secondary() {
+        let tg1 = tg(101, &[(PRODUCT, 11), (PRICE, 21), (VALID_TO, 41)]);
+        let s = n_split(&tg1, &[PRODUCT, PRICE], &[vec![], vec![VALID_TO]]);
+        let first = s[0].as_ref().unwrap();
+        assert_eq!(first.props().len(), 2);
+        assert!(s[1].is_some());
+    }
+
+    /// Table 2 row 4 shape: GP1=abc:de, GP2=ab:def — α1 = c≠∅ ∧ f=∅,
+    /// α2 = c=∅ ∧ f≠∅. Combinations violating both must not materialize.
+    #[test]
+    fn alpha_join_rejects_invalid_combinations() {
+        const A: u64 = 1;
+        const B: u64 = 2;
+        const C: u64 = 3;
+        const D: u64 = 4;
+        const E: u64 = 5;
+        const F: u64 = 6;
+        let conds = vec![
+            AlphaCond {
+                terms: vec![
+                    AlphaTerm { star: 0, prop: C, required: true },
+                    AlphaTerm { star: 1, prop: F, required: false },
+                ],
+            },
+            AlphaCond {
+                terms: vec![
+                    AlphaTerm { star: 0, prop: C, required: false },
+                    AlphaTerm { star: 1, prop: F, required: true },
+                ],
+            },
+        ];
+        // Left star 0 groups: with and without c. Key = subject for the test.
+        let l_abc = AnnTg::single(0, tg(1, &[(A, 10), (B, 11), (C, 12)]));
+        let l_ab = AnnTg::single(0, tg(2, &[(A, 10), (B, 11)]));
+        // Right star 1 groups: with and without f.
+        let r_def = AnnTg::single(1, tg(3, &[(D, 20), (E, 21), (F, 22)]));
+        let r_de = AnnTg::single(1, tg(4, &[(D, 20), (E, 21)]));
+
+        let left = vec![(7, l_abc.clone()), (7, l_ab.clone())];
+        let right = vec![(7, r_def.clone()), (7, r_de.clone())];
+        let out = alpha_join(&left, &right, &conds);
+        // Valid: abc+de (α1), ab+def (α2). Invalid: abc+def, ab+de.
+        assert_eq!(out.len(), 2);
+        for j in &out {
+            let has_c = j.star(0).unwrap().has_prop(C);
+            let has_f = j.star(1).unwrap().has_prop(F);
+            assert!(has_c != has_f, "exactly one of c/f per Table 2 row");
+        }
+    }
+
+    #[test]
+    fn alpha_join_matches_on_key_only() {
+        let l = vec![(1, AnnTg::single(0, tg(1, &[(1, 1)])))];
+        let r = vec![(2, AnnTg::single(1, tg(2, &[(2, 2)])))];
+        assert!(alpha_join(&l, &r, &[]).is_empty(), "different keys");
+    }
+
+    /// Fig. 5: groupings on (feature, country); dtg2 (no pf) fails α and the
+    /// aggregation fans out over the multi-valued pf.
+    #[test]
+    fn fig5_agg_join() {
+        const PF: u64 = 10; // productFeature (secondary)
+        const PC: u64 = 11; // price
+        const CN: u64 = 12; // country
+        // One composite star (index 0) carrying pf+pc, star 1 carrying cn —
+        // flattened here into two stars of an AnnTg.
+        let feat1 = 501;
+        let feat2 = 502;
+        let uk = 601;
+        let us = 602;
+        // Numeric snapshot: ids are prices when in 0..100.
+        let mut numeric = vec![None; 1000];
+        numeric[30] = Some(30.0);
+        numeric[50] = Some(50.0);
+        numeric[20] = Some(20.0);
+        let numeric: NumericSnapshot = Arc::new(numeric);
+
+        let dtg1 = AnnTg {
+            groups: vec![
+                (0, tg(1, &[(PF, feat1), (PC, 30)])),
+                (1, tg(9, &[(CN, uk)])),
+            ],
+        };
+        // dtg2 has no pf — fails α.
+        let dtg2 = AnnTg {
+            groups: vec![(0, tg(2, &[(PC, 50)])), (1, tg(9, &[(CN, uk)]))],
+        };
+        // dtg3: two features, one price — fans out to two groups.
+        let dtg3 = AnnTg {
+            groups: vec![
+                (0, tg(3, &[(PF, feat1), (PF, feat2), (PC, 20)])),
+                (1, tg(8, &[(CN, us)])),
+            ],
+        };
+        let spec = AggJoinSpec {
+            id: 0,
+            slots: vec![
+                VarRef::ObjectOf { star: 0, prop: PF },
+                VarRef::ObjectOf { star: 1, prop: CN },
+                VarRef::ObjectOf { star: 0, prop: PC },
+            ],
+            group_slots: vec![0, 1],
+            aggs: vec![
+                AggSpec { op: AggOp::Sum, arg: Some(2) },
+                AggSpec { op: AggOp::Count, arg: Some(2) },
+            ],
+            alpha: AlphaCond {
+                terms: vec![AlphaTerm { star: 0, prop: PF, required: true }],
+            },
+        };
+        let mut groups = agg_join(&[dtg1, dtg2, dtg3], &spec, &numeric);
+        groups.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(groups.len(), 3); // (f1,uk), (f1,us), (f2,us)
+        let lookup = |k: &[u64]| {
+            groups
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, p)| (p[0].finalize(AggOp::Sum), p[1].finalize(AggOp::Count)))
+                .unwrap()
+        };
+        assert_eq!(lookup(&[feat1, uk]), (Some(30.0), Some(1.0)));
+        assert_eq!(lookup(&[feat1, us]), (Some(20.0), Some(1.0)));
+        assert_eq!(lookup(&[feat2, us]), (Some(20.0), Some(1.0)));
+    }
+
+    /// COUNT grouped by the counted variable must count each assignment once
+    /// (the correlated-variable case).
+    #[test]
+    fn agg_join_correlated_group_and_agg_var() {
+        const CID: u64 = 5;
+        let numeric: NumericSnapshot = Arc::new(vec![None; 10]);
+        let d = AnnTg::single(0, tg(1, &[(CID, 7), (CID, 8)]));
+        let spec = AggJoinSpec {
+            id: 0,
+            slots: vec![VarRef::ObjectOf { star: 0, prop: CID }],
+            group_slots: vec![0],
+            aggs: vec![AggSpec {
+                op: AggOp::Count,
+                arg: Some(0),
+            }],
+            alpha: AlphaCond::default(),
+        };
+        let mut groups = agg_join(&[d], &spec, &numeric);
+        groups.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(groups.len(), 2);
+        for (_, p) in &groups {
+            assert_eq!(p[0].finalize(AggOp::Count), Some(1.0));
+        }
+    }
+
+    /// GROUP BY ALL: a single group keyed by the empty tuple.
+    #[test]
+    fn agg_join_group_by_all() {
+        const PC: u64 = 11;
+        let mut numeric = vec![None; 100];
+        numeric[30] = Some(30.0);
+        numeric[20] = Some(20.0);
+        let numeric: NumericSnapshot = Arc::new(numeric);
+        let d1 = AnnTg::single(0, tg(1, &[(PC, 30)]));
+        let d2 = AnnTg::single(0, tg(2, &[(PC, 20)]));
+        let spec = AggJoinSpec {
+            id: 1,
+            slots: vec![VarRef::ObjectOf { star: 0, prop: PC }],
+            group_slots: vec![],
+            aggs: vec![AggSpec {
+                op: AggOp::Sum,
+                arg: Some(0),
+            }],
+            alpha: AlphaCond::default(),
+        };
+        let groups = agg_join(&[d1, d2], &spec, &numeric);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].0, Vec::<u64>::new());
+        assert_eq!(groups[0].1[0].finalize(AggOp::Sum), Some(50.0));
+    }
+
+    /// Parallel evaluation of two independent Agg-Joins over the same detail
+    /// collection (§4.1) must equal their sequential evaluation.
+    #[test]
+    fn parallel_agg_joins_equal_sequential() {
+        const PF: u64 = 10;
+        const PC: u64 = 11;
+        let mut numeric = vec![None; 100];
+        numeric[30] = Some(30.0);
+        numeric[20] = Some(20.0);
+        let numeric: NumericSnapshot = Arc::new(numeric);
+        let details = vec![
+            AnnTg::single(0, tg(1, &[(PF, 61), (PC, 30)])),
+            AnnTg::single(0, tg(2, &[(PC, 20)])),
+        ];
+        let spec1 = AggJoinSpec {
+            id: 0,
+            slots: vec![
+                VarRef::ObjectOf { star: 0, prop: PF },
+                VarRef::ObjectOf { star: 0, prop: PC },
+            ],
+            group_slots: vec![0],
+            aggs: vec![AggSpec { op: AggOp::Sum, arg: Some(1) }],
+            alpha: AlphaCond {
+                terms: vec![AlphaTerm { star: 0, prop: PF, required: true }],
+            },
+        };
+        let spec2 = AggJoinSpec {
+            id: 1,
+            slots: vec![VarRef::ObjectOf { star: 0, prop: PC }],
+            group_slots: vec![],
+            aggs: vec![AggSpec { op: AggOp::Count, arg: Some(0) }],
+            alpha: AlphaCond::default(),
+        };
+        // "Parallel": one pass over details feeding both specs.
+        let g1 = agg_join(&details, &spec1, &numeric);
+        let g2 = agg_join(&details, &spec2, &numeric);
+        assert_eq!(g1.len(), 1);
+        assert_eq!(g1[0].1[0].finalize(AggOp::Sum), Some(30.0));
+        assert_eq!(g2[0].1[0].finalize(AggOp::Count), Some(2.0));
+    }
+
+    #[test]
+    fn finalize_groups_applies_ops() {
+        let mut p = PartialAgg::default();
+        p.add(Some(4.0));
+        p.add(Some(6.0));
+        let out = finalize_groups(vec![(vec![1], vec![p])], &[AggOp::Avg]);
+        assert_eq!(out[0].1[0], Some(5.0));
+    }
+}

@@ -1,0 +1,675 @@
+//! Physical MR operators: the map/reduce function pairs of §4.2
+//! (Algorithms 1–3), implemented against the `rapida-mapred` task traits.
+//!
+//! * [`TgJoinMapper`] + [`AlphaJoinReducer`] — `TG_OptGrpFilter` pipelined
+//!   into the map phase of `TG_AlphaJoin` (Algorithm 2, and `Job_i` of
+//!   Algorithm 1).
+//! * [`AggJoinMapper`] + [`AggJoinReducer`] — `TG_AgJ` with map-side hash
+//!   aggregation (`multiAggMap`, Algorithm 3; `Job_k` of Algorithm 1).
+
+use crate::ops::{accumulate, opt_group_filter};
+use crate::spec::{
+    any_alpha_partial, AggJoinSpec, AggRec, AlphaCond, JoinKey, NumericSnapshot, PartialAgg,
+    StarSpec,
+};
+use crate::triplegroup::{AnnTg, TripleGroup};
+use rapida_mapred::codec::{read_varint, write_varint};
+use rapida_mapred::{InputSrc, MapOutput, MapTask, ReduceOutput, ReduceTask};
+use rapida_rdf::FxHashMap;
+use std::sync::Arc;
+
+/// Join side tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Left equivalence class.
+    Left,
+    /// Right equivalence class.
+    Right,
+}
+
+impl Side {
+    fn byte(self) -> u8 {
+        match self {
+            Side::Left => 0,
+            Side::Right => 1,
+        }
+    }
+}
+
+/// A route from a star-pattern spec to a join side: every raw triplegroup
+/// passing the spec's optional group filter is emitted on `side` keyed by
+/// `key`. Multiple routes over the same scan realize NTGA's shared
+/// execution of star patterns.
+#[derive(Clone)]
+pub struct StarRoute {
+    /// The composite star spec (`TG_OptGrpFilter` parameters).
+    pub spec: StarSpec,
+    /// Which side of the join this star feeds.
+    pub side: Side,
+    /// The join key extractor.
+    pub key: JoinKey,
+    /// Optional per-star value-filter transform applied before the group
+    /// filter (FILTER pushdown; may differ between stars).
+    pub prefilter: Option<TgTransform>,
+}
+
+/// A route for intermediate annotated-triplegroup inputs (later join cycles
+/// of 3+-star patterns), selected by job input index.
+#[derive(Debug, Clone)]
+pub struct AnnRoute {
+    /// Job input (dataset) index this route applies to.
+    pub input: usize,
+    /// Join side.
+    pub side: Side,
+    /// Join key extractor.
+    pub key: JoinKey,
+}
+
+/// A raw-triplegroup transform applied before star filtering: value-level
+/// FILTER pushdown drops triples whose objects fail a predicate (returning
+/// `None` drops the whole group). Built by the planner with dictionary
+/// snapshots baked in.
+pub type TgTransform = Arc<dyn Fn(TripleGroup) -> Option<TripleGroup> + Send + Sync>;
+
+/// Configuration for [`TgJoinMapper`].
+#[derive(Clone, Default)]
+pub struct TgJoinMapConfig {
+    /// Dataset indexes holding raw subject triplegroups; all
+    /// [`Self::star_routes`] are applied to each of their records (shared
+    /// scan).
+    pub raw_inputs: Vec<usize>,
+    /// Star routes for raw inputs.
+    pub star_routes: Vec<StarRoute>,
+    /// Routes for annotated intermediate inputs.
+    pub ann_routes: Vec<AnnRoute>,
+}
+
+/// Map phase of `Job_i`: `TG_OptGrpFilter` + tagging for `TG_AlphaJoin`.
+pub struct TgJoinMapper {
+    config: Arc<TgJoinMapConfig>,
+}
+
+impl TgJoinMapper {
+    /// Create from shared config.
+    pub fn new(config: Arc<TgJoinMapConfig>) -> Self {
+        TgJoinMapper { config }
+    }
+}
+
+fn emit_tagged(out: &mut MapOutput, key_val: u64, side: Side, tg: &AnnTg) {
+    let mut key = Vec::with_capacity(10);
+    write_varint(&mut key, key_val);
+    let mut val = Vec::new();
+    val.push(side.byte());
+    tg.encode(&mut val);
+    out.emit(key, val);
+}
+
+impl MapTask for TgJoinMapper {
+    fn map(&mut self, src: InputSrc, record: &[u8], out: &mut MapOutput) {
+        if self.config.raw_inputs.contains(&src.dataset) {
+            let Some(tg) = TripleGroup::decode(record) else {
+                return;
+            };
+            for route in &self.config.star_routes {
+                let view = match &route.prefilter {
+                    Some(f) => match f(tg.clone()) {
+                        Some(v) => v,
+                        None => continue,
+                    },
+                    None => tg.clone(),
+                };
+                if let Some(filtered) = opt_group_filter(&view, &route.spec) {
+                    let ann = AnnTg::single(route.spec.star, filtered);
+                    for k in route.key.extract(&ann) {
+                        emit_tagged(out, k, route.side, &ann);
+                    }
+                }
+            }
+        } else {
+            let Some(ann) = AnnTg::decode(record) else {
+                return;
+            };
+            for route in &self.config.ann_routes {
+                if route.input == src.dataset {
+                    for k in route.key.extract(&ann) {
+                        emit_tagged(out, k, route.side, &ann);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reduce phase of `Job_i`: `TG_AlphaJoin` (Algorithm 2) — joins the left
+/// and right equivalence classes of each key, materializing only
+/// combinations accepted by at least one α-condition.
+pub struct AlphaJoinReducer {
+    conds: Arc<Vec<AlphaCond>>,
+}
+
+impl AlphaJoinReducer {
+    /// Create from the shared α-condition list (empty = accept all).
+    pub fn new(conds: Arc<Vec<AlphaCond>>) -> Self {
+        AlphaJoinReducer { conds }
+    }
+}
+
+impl ReduceTask for AlphaJoinReducer {
+    fn reduce(&mut self, _key: &[u8], values: &[&[u8]], out: &mut ReduceOutput) {
+        let mut left: Vec<AnnTg> = Vec::new();
+        let mut right: Vec<AnnTg> = Vec::new();
+        for v in values {
+            let (side, rest) = match v.split_first() {
+                Some(x) => x,
+                None => continue,
+            };
+            let Some(ann) = AnnTg::decode(rest) else {
+                continue;
+            };
+            if *side == Side::Left.byte() {
+                left.push(ann);
+            } else {
+                right.push(ann);
+            }
+        }
+        for l in &left {
+            for r in &right {
+                let joined = l.merge(r);
+                if any_alpha_partial(&self.conds, &joined) {
+                    out.write(joined.encoded());
+                }
+            }
+        }
+    }
+}
+
+/// Configuration for the Agg-Join map phase.
+#[derive(Clone, Default)]
+pub struct AggJoinConfig {
+    /// All Agg-Join specs evaluated in this cycle (parallel evaluation of
+    /// independent aggregations, §4.1 / Fig. 6(b)).
+    pub specs: Vec<AggJoinSpec>,
+    /// Numeric values by raw term id.
+    pub numeric: NumericSnapshot,
+    /// If non-empty, inputs are raw subject triplegroups: each entry is a
+    /// single-star filter (with optional value-filter transform) whose
+    /// `spec.star` tags the produced annotated triplegroup. Several entries
+    /// realize a *shared scan* across structurally different single-star
+    /// patterns (§2.2) — one cycle aggregates them all.
+    pub raw_filters: Vec<(StarSpec, Option<TgTransform>)>,
+    /// Map-side hash aggregation (`multiAggMap`). Disabling it emits one
+    /// record per assignment — the ablation knob for Algorithm 3.
+    pub map_side_combine: bool,
+}
+
+/// Map phase of `Job_k` (Algorithm 3): per-mapper hash aggregation keyed by
+/// `id#grp`, flushed in `cleanup`.
+pub struct AggJoinMapper {
+    config: Arc<AggJoinConfig>,
+    multi_agg_map: FxHashMap<Vec<u8>, Vec<PartialAgg>>,
+}
+
+impl AggJoinMapper {
+    /// Create from shared config.
+    pub fn new(config: Arc<AggJoinConfig>) -> Self {
+        AggJoinMapper {
+            config,
+            multi_agg_map: FxHashMap::default(),
+        }
+    }
+
+    fn process(&mut self, ann: &AnnTg, out: &mut MapOutput) {
+        // Borrow pieces separately so the closure can mutate the map while
+        // reading the config.
+        let specs = &self.config.specs;
+        let numeric = &self.config.numeric;
+        let combine = self.config.map_side_combine;
+        let map = &mut self.multi_agg_map;
+        for spec in specs {
+            if !spec.alpha.satisfied_full(ann) {
+                continue;
+            }
+            let nagg = spec.aggs.len();
+            accumulate(ann, spec, numeric, &mut |key, idx, value| {
+                let mut kb = Vec::with_capacity(12);
+                write_varint(&mut kb, u64::from(spec.id));
+                write_varint(&mut kb, key.len() as u64);
+                for k in key {
+                    write_varint(&mut kb, *k);
+                }
+                if combine {
+                    let entry = map
+                        .entry(kb)
+                        .or_insert_with(|| vec![PartialAgg::default(); nagg]);
+                    entry[idx].add(value);
+                } else {
+                    let mut single = vec![PartialAgg::default(); nagg];
+                    single[idx].add(value);
+                    let mut vb = Vec::new();
+                    for p in &single {
+                        p.encode(&mut vb);
+                    }
+                    out.emit(kb, vb);
+                }
+            });
+        }
+    }
+}
+
+impl MapTask for AggJoinMapper {
+    fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
+        if self.config.raw_filters.is_empty() {
+            let Some(ann) = AnnTg::decode(record) else {
+                return;
+            };
+            self.process(&ann, out);
+            return;
+        }
+        let Some(tg) = TripleGroup::decode(record) else {
+            return;
+        };
+        let raw_filters = self.config.raw_filters.clone();
+        for (filter, transform) in &raw_filters {
+            let view = match transform {
+                Some(t) => match t(tg.clone()) {
+                    Some(v) => v,
+                    None => continue,
+                },
+                None => tg.clone(),
+            };
+            if let Some(filtered) = opt_group_filter(&view, filter) {
+                let ann = AnnTg::single(filter.star, filtered);
+                self.process(&ann, out);
+            }
+        }
+    }
+
+    fn cleanup(&mut self, out: &mut MapOutput) {
+        // Algorithm 3, Map.clean: emit the pre-aggregated entries.
+        for (key, partials) in self.multi_agg_map.drain() {
+            let mut vb = Vec::new();
+            for p in &partials {
+                p.encode(&mut vb);
+            }
+            out.emit(key, vb);
+        }
+    }
+}
+
+/// Reduce phase of `Job_k`: merges pre-aggregated triplegroups of each
+/// `id#grp` key and emits one [`AggRec`] per group.
+pub struct AggJoinReducer {
+    config: Arc<AggJoinConfig>,
+}
+
+impl AggJoinReducer {
+    /// Create from shared config (for spec/op lookup by id).
+    pub fn new(config: Arc<AggJoinConfig>) -> Self {
+        AggJoinReducer { config }
+    }
+}
+
+impl ReduceTask for AggJoinReducer {
+    fn reduce(&mut self, key: &[u8], values: &[&[u8]], out: &mut ReduceOutput) {
+        let mut kb = key;
+        let Some(id) = read_varint(&mut kb) else {
+            return;
+        };
+        let Some(nk) = read_varint(&mut kb) else {
+            return;
+        };
+        let mut group_key = Vec::with_capacity(nk as usize);
+        for _ in 0..nk {
+            match read_varint(&mut kb) {
+                Some(k) => group_key.push(k),
+                None => return,
+            }
+        }
+        let Some(spec) = self.config.specs.iter().find(|s| u64::from(s.id) == id) else {
+            return;
+        };
+        let mut merged = vec![PartialAgg::default(); spec.aggs.len()];
+        for v in values {
+            let mut vb = *v;
+            for m in merged.iter_mut() {
+                match PartialAgg::decode(&mut vb) {
+                    Some(p) => m.merge(&p),
+                    None => break,
+                }
+            }
+        }
+        let rec = AggRec {
+            id: spec.id,
+            key: group_key,
+            values: merged
+                .iter()
+                .zip(spec.aggs.iter())
+                .map(|(p, a)| p.finalize(a.op))
+                .collect(),
+        };
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        out.write(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AggOp, AggSpec, AlphaTerm, PropReq, VarRef};
+    use rapida_mapred::{
+        DatasetWriter, Engine, FnMapFactory, FnReduceFactory, JobBuilder, SimDfs,
+    };
+
+    const TY: u64 = 1;
+    const PT18: u64 = 90;
+    const PF: u64 = 2;
+    const PR: u64 = 3;
+    const PC: u64 = 4;
+
+    fn tg_record(s: u64, pairs: &[(u64, u64)]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        TripleGroup::new(s, pairs.to_vec()).encode(&mut buf);
+        buf
+    }
+
+    /// End-to-end MR run of filter + α-join for an AQ1-like 2-star composite:
+    /// products (ty PT18, optional pf) ⋈ offers (pr, pc).
+    fn run_composite_join(dfs: &SimDfs) -> Vec<AnnTg> {
+        // Products: 10 has pf, 11 lacks pf, 12 is wrong type.
+        let mut w = DatasetWriter::new(64);
+        w.push(&tg_record(10, &[(TY, PT18), (PF, 71)]));
+        w.push(&tg_record(11, &[(TY, PT18)]));
+        w.push(&tg_record(12, &[(TY, 91), (PF, 71)]));
+        dfs.put("tg_products", w.finish());
+        // Offers: o20 -> p10, o21 -> p11, o22 -> p12.
+        let mut w = DatasetWriter::new(64);
+        w.push(&tg_record(20, &[(PR, 10), (PC, 30)]));
+        w.push(&tg_record(21, &[(PR, 11), (PC, 40)]));
+        w.push(&tg_record(22, &[(PR, 12), (PC, 50)]));
+        dfs.put("tg_offers", w.finish());
+
+        let config = Arc::new(TgJoinMapConfig {
+            raw_inputs: vec![0, 1],
+            star_routes: vec![
+                StarRoute {
+                    spec: StarSpec {
+                        star: 0,
+                        primary: vec![PropReq::with_object(TY, PT18)],
+                        secondary: vec![PropReq::any(PF)],
+                    },
+                    side: Side::Left,
+                    key: JoinKey::Subject { star: 0 },
+                    prefilter: None,
+                },
+                StarRoute {
+                    spec: StarSpec {
+                        star: 1,
+                        primary: vec![PropReq::any(PR), PropReq::any(PC)],
+                        secondary: vec![],
+                    },
+                    side: Side::Right,
+                    key: JoinKey::ObjectOf { star: 1, prop: PR },
+                    prefilter: None,
+                },
+            ],
+            ann_routes: vec![],
+        });
+        let conds: Arc<Vec<AlphaCond>> = Arc::new(vec![]);
+        let job = JobBuilder::new("mr1")
+            .input("tg_products")
+            .input("tg_offers")
+            .mapper(Arc::new(FnMapFactory({
+                let c = config.clone();
+                move || TgJoinMapper::new(c.clone())
+            })))
+            .reducer(Arc::new(FnReduceFactory({
+                let c = conds.clone();
+                move || AlphaJoinReducer::new(c.clone())
+            })))
+            .output("joined")
+            .num_reducers(2)
+            .build();
+        Engine::new(dfs.clone()).run_job(&job);
+        dfs.get("joined")
+            .unwrap()
+            .iter_records()
+            .map(|r| AnnTg::decode(r).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn composite_join_produces_valid_pairs() {
+        let dfs = SimDfs::new();
+        let mut joined = run_composite_join(&dfs);
+        joined.sort_by_key(|a| a.star(1).map(|g| g.subject));
+        // p12 is the wrong type — only offers 20 and 21 join.
+        assert_eq!(joined.len(), 2);
+        assert_eq!(joined[0].star(0).unwrap().subject, 10);
+        assert!(joined[0].star(0).unwrap().has_prop(PF));
+        assert_eq!(joined[1].star(0).unwrap().subject, 11);
+        assert!(!joined[1].star(0).unwrap().has_prop(PF));
+    }
+
+    #[test]
+    fn alpha_conditions_prune_at_join_time() {
+        // Same data, but α requires pf present — p11's combination dies.
+        let dfs = SimDfs::new();
+        let mut w = DatasetWriter::new(64);
+        w.push(&tg_record(10, &[(TY, PT18), (PF, 71)]));
+        w.push(&tg_record(11, &[(TY, PT18)]));
+        dfs.put("tg_products", w.finish());
+        let mut w = DatasetWriter::new(64);
+        w.push(&tg_record(20, &[(PR, 10), (PC, 30)]));
+        w.push(&tg_record(21, &[(PR, 11), (PC, 40)]));
+        dfs.put("tg_offers", w.finish());
+
+        let config = Arc::new(TgJoinMapConfig {
+            raw_inputs: vec![0, 1],
+            star_routes: vec![
+                StarRoute {
+                    spec: StarSpec {
+                        star: 0,
+                        primary: vec![PropReq::with_object(TY, PT18)],
+                        secondary: vec![PropReq::any(PF)],
+                    },
+                    side: Side::Left,
+                    key: JoinKey::Subject { star: 0 },
+                    prefilter: None,
+                },
+                StarRoute {
+                    spec: StarSpec {
+                        star: 1,
+                        primary: vec![PropReq::any(PR), PropReq::any(PC)],
+                        secondary: vec![],
+                    },
+                    side: Side::Right,
+                    key: JoinKey::ObjectOf { star: 1, prop: PR },
+                    prefilter: None,
+                },
+            ],
+            ann_routes: vec![],
+        });
+        let conds = Arc::new(vec![AlphaCond {
+            terms: vec![AlphaTerm {
+                star: 0,
+                prop: PF,
+                required: true,
+            }],
+        }]);
+        let job = JobBuilder::new("mr1")
+            .input("tg_products")
+            .input("tg_offers")
+            .mapper(Arc::new(FnMapFactory({
+                let c = config.clone();
+                move || TgJoinMapper::new(c.clone())
+            })))
+            .reducer(Arc::new(FnReduceFactory({
+                let c = conds.clone();
+                move || AlphaJoinReducer::new(c.clone())
+            })))
+            .output("joined")
+            .build();
+        Engine::new(dfs.clone()).run_job(&job);
+        let joined: Vec<AnnTg> = dfs
+            .get("joined")
+            .unwrap()
+            .iter_records()
+            .map(|r| AnnTg::decode(r).unwrap())
+            .collect();
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].star(0).unwrap().subject, 10);
+    }
+
+    /// MR Agg-Join over the joined composite: SUM(price) per feature in
+    /// parallel with COUNT(price) over ALL.
+    #[test]
+    fn agg_join_mr_parallel_specs() {
+        let dfs = SimDfs::new();
+        let joined = run_composite_join(&dfs);
+        assert_eq!(joined.len(), 2);
+
+        let mut numeric = vec![None; 100];
+        numeric[30] = Some(30.0);
+        numeric[40] = Some(40.0);
+        let config = Arc::new(AggJoinConfig {
+            specs: vec![
+                AggJoinSpec {
+                    id: 0,
+                    slots: vec![
+                        VarRef::ObjectOf { star: 0, prop: PF },
+                        VarRef::ObjectOf { star: 1, prop: PC },
+                    ],
+                    group_slots: vec![0],
+                    aggs: vec![AggSpec {
+                        op: AggOp::Sum,
+                        arg: Some(1),
+                    }],
+                    alpha: AlphaCond {
+                        terms: vec![AlphaTerm {
+                            star: 0,
+                            prop: PF,
+                            required: true,
+                        }],
+                    },
+                },
+                AggJoinSpec {
+                    id: 1,
+                    slots: vec![VarRef::ObjectOf { star: 1, prop: PC }],
+                    group_slots: vec![],
+                    aggs: vec![AggSpec {
+                        op: AggOp::Count,
+                        arg: Some(0),
+                    }],
+                    alpha: AlphaCond::default(),
+                },
+            ],
+            numeric: Arc::new(numeric),
+            raw_filters: vec![],
+            map_side_combine: true,
+        });
+        let job = JobBuilder::new("agj")
+            .input("joined")
+            .mapper(Arc::new(FnMapFactory({
+                let c = config.clone();
+                move || AggJoinMapper::new(c.clone())
+            })))
+            .reducer(Arc::new(FnReduceFactory({
+                let c = config.clone();
+                move || AggJoinReducer::new(c.clone())
+            })))
+            .output("aggs")
+            .build();
+        Engine::new(dfs.clone()).run_job(&job);
+        let mut recs: Vec<AggRec> = dfs
+            .get("aggs")
+            .unwrap()
+            .iter_records()
+            .map(|r| AggRec::decode(r).unwrap())
+            .collect();
+        recs.sort_by_key(|r| (r.id, r.key.clone()));
+        assert_eq!(recs.len(), 2);
+        // Spec 0: feature 71 -> sum 30 (only p10 has pf).
+        assert_eq!(recs[0].id, 0);
+        assert_eq!(recs[0].key, vec![71]);
+        assert_eq!(recs[0].values, vec![Some(30.0)]);
+        // Spec 1: ALL -> count 2.
+        assert_eq!(recs[1].id, 1);
+        assert!(recs[1].key.is_empty());
+        assert_eq!(recs[1].values, vec![Some(2.0)]);
+    }
+
+    /// The map-side combine ablation: results identical, shuffle smaller.
+    #[test]
+    fn map_side_combine_shrinks_shuffle() {
+        let dfs = SimDfs::new();
+        // Many triplegroups, one group key -> heavy combining opportunity.
+        let mut w = DatasetWriter::new(128);
+        for i in 0..200 {
+            w.push(&tg_record(i, &[(PC, 30)]));
+        }
+        dfs.put("tgs", w.finish());
+        let mut numeric = vec![None; 100];
+        numeric[30] = Some(30.0);
+        let numeric = Arc::new(numeric);
+
+        let mk_config = |combine: bool| {
+            Arc::new(AggJoinConfig {
+                specs: vec![AggJoinSpec {
+                    id: 0,
+                    slots: vec![VarRef::ObjectOf { star: 0, prop: PC }],
+                    group_slots: vec![],
+                    aggs: vec![AggSpec {
+                        op: AggOp::Sum,
+                        arg: Some(0),
+                    }],
+                    alpha: AlphaCond::default(),
+                }],
+                numeric: numeric.clone(),
+                raw_filters: vec![(
+                    StarSpec {
+                        star: 0,
+                        primary: vec![PropReq::any(PC)],
+                        secondary: vec![],
+                    },
+                    None,
+                )],
+                map_side_combine: combine,
+            })
+        };
+        let run = |combine: bool, out: &str| {
+            let config = mk_config(combine);
+            let job = JobBuilder::new("agj")
+                .input("tgs")
+                .mapper(Arc::new(FnMapFactory({
+                    let c = config.clone();
+                    move || AggJoinMapper::new(c.clone())
+                })))
+                .reducer(Arc::new(FnReduceFactory({
+                    let c = config.clone();
+                    move || AggJoinReducer::new(c.clone())
+                })))
+                .output(out)
+                .build();
+            Engine::new(dfs.clone()).run_job(&job)
+        };
+        let with = run(true, "out_with");
+        let without = run(false, "out_without");
+        let recs = |name: &str| -> Vec<AggRec> {
+            dfs.get(name)
+                .unwrap()
+                .iter_records()
+                .map(|r| AggRec::decode(r).unwrap())
+                .collect()
+        };
+        assert_eq!(recs("out_with"), recs("out_without"));
+        assert_eq!(recs("out_with")[0].values, vec![Some(6000.0)]);
+        assert!(
+            with.shuffle_records < without.shuffle_records,
+            "hash aggregation must shrink the shuffle ({} vs {})",
+            with.shuffle_records,
+            without.shuffle_records
+        );
+    }
+}

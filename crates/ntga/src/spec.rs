@@ -1,0 +1,535 @@
+//! Operator specifications: star-pattern requirements, α-conditions
+//! (Table 2), variable references, aggregation specs and partial aggregates.
+//!
+//! Everything here is dictionary-id based (`u64`) so the specs can be shipped
+//! into MR tasks without touching the dictionary; numeric literal values
+//! arrive via a read-only snapshot.
+
+use crate::triplegroup::{AnnTg, TripleGroup};
+use rapida_mapred::codec::{read_f64, read_varint, write_f64, write_varint};
+use std::sync::Arc;
+
+/// One property requirement of a star pattern. For the `ty PT18`
+/// pseudo-property, `object` constrains the object value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropReq {
+    /// Property id.
+    pub prop: u64,
+    /// Required object id (type constraints); `None` accepts any object.
+    pub object: Option<u64>,
+}
+
+impl PropReq {
+    /// Requirement on a plain property.
+    pub fn any(prop: u64) -> Self {
+        PropReq { prop, object: None }
+    }
+
+    /// Requirement on a property with a fixed object (e.g. `rdf:type PT18`).
+    pub fn with_object(prop: u64, object: u64) -> Self {
+        PropReq {
+            prop,
+            object: Some(object),
+        }
+    }
+
+    /// Does the triplegroup satisfy this requirement?
+    pub fn matches(&self, tg: &TripleGroup) -> bool {
+        match self.object {
+            Some(o) => tg.has_triple(self.prop, o),
+            None => tg.has_prop(self.prop),
+        }
+    }
+}
+
+/// A composite star pattern spec: primary (required) and secondary
+/// (optional) properties, as consumed by the optional group filter
+/// (σ^γopt, Def 3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StarSpec {
+    /// The star index within the (composite) graph pattern.
+    pub star: u8,
+    /// Primary properties (`P_prim`) — every one must match.
+    pub primary: Vec<PropReq>,
+    /// Secondary properties (`P_sec` / `P_opt`) — may match.
+    pub secondary: Vec<PropReq>,
+}
+
+impl StarSpec {
+    /// All property ids this spec projects (primary ∪ secondary).
+    pub fn all_props(&self) -> Vec<u64> {
+        self.primary
+            .iter()
+            .chain(self.secondary.iter())
+            .map(|r| r.prop)
+            .collect()
+    }
+
+    /// Primary property ids only (the equivalence-class cover used to select
+    /// storage partitions).
+    pub fn primary_props(&self) -> Vec<u64> {
+        self.primary.iter().map(|r| r.prop).collect()
+    }
+}
+
+/// How an annotated triplegroup is keyed for a join (the map-phase tag of
+/// `TG_AlphaJoin`, Algorithm 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKey {
+    /// Key on the subject of star `star`.
+    Subject {
+        /// Star index.
+        star: u8,
+    },
+    /// Key on the object(s) of `prop` in star `star` (multi-valued objects
+    /// emit one copy per object).
+    ObjectOf {
+        /// Star index.
+        star: u8,
+        /// Property whose objects are the key.
+        prop: u64,
+    },
+}
+
+impl JoinKey {
+    /// Extract key values from an annotated triplegroup.
+    pub fn extract(&self, tg: &AnnTg) -> Vec<u64> {
+        match self {
+            JoinKey::Subject { star } => {
+                tg.star(*star).map(|g| vec![g.subject]).unwrap_or_default()
+            }
+            JoinKey::ObjectOf { star, prop } => tg
+                .star(*star)
+                .map(|g| g.objects_of(*prop).collect())
+                .unwrap_or_default(),
+        }
+    }
+}
+
+/// One term of an α-condition: secondary property `prop` of star `star`
+/// must (`required = true`) or must not (`required = false`) be present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlphaTerm {
+    /// Star index the property belongs to.
+    pub star: u8,
+    /// Secondary property id.
+    pub prop: u64,
+    /// Presence (`≠ ∅`) vs absence (`= ∅`).
+    pub required: bool,
+}
+
+/// An α-condition: a conjunction of [`AlphaTerm`]s (one row of Table 2
+/// corresponds to one original graph pattern).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AlphaCond {
+    /// The conjunct terms.
+    pub terms: Vec<AlphaTerm>,
+}
+
+impl AlphaCond {
+    /// Evaluate against an annotated triplegroup. Terms whose star is not
+    /// present in `tg` are vacuously true, which lets the same condition
+    /// list validate partial joins mid-workflow.
+    pub fn satisfied_partial(&self, tg: &AnnTg) -> bool {
+        self.terms.iter().all(|t| match tg.star(t.star) {
+            None => true,
+            Some(g) => g.has_prop(t.prop) == t.required,
+        })
+    }
+
+    /// Evaluate against a *complete* annotated triplegroup: every term's
+    /// star must be present.
+    pub fn satisfied_full(&self, tg: &AnnTg) -> bool {
+        self.terms.iter().all(|t| match tg.star(t.star) {
+            None => false,
+            Some(g) => g.has_prop(t.prop) == t.required,
+        })
+    }
+}
+
+/// Does any condition in the list accept `tg` (partial semantics)?
+pub fn any_alpha_partial(conds: &[AlphaCond], tg: &AnnTg) -> bool {
+    conds.is_empty() || conds.iter().any(|c| c.satisfied_partial(tg))
+}
+
+/// A variable reference resolved against a (composite) star layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarRef {
+    /// The subject of star `star`.
+    Subject {
+        /// Star index.
+        star: u8,
+    },
+    /// The object(s) of `prop` in star `star`.
+    ObjectOf {
+        /// Star index.
+        star: u8,
+        /// Property id.
+        prop: u64,
+    },
+}
+
+impl VarRef {
+    /// Values of this reference within an annotated triplegroup.
+    pub fn values(&self, tg: &AnnTg) -> Vec<u64> {
+        match self {
+            VarRef::Subject { star } => {
+                tg.star(*star).map(|g| vec![g.subject]).unwrap_or_default()
+            }
+            VarRef::ObjectOf { star, prop } => tg
+                .star(*star)
+                .map(|g| g.objects_of(*prop).collect())
+                .unwrap_or_default(),
+        }
+    }
+}
+
+/// Aggregate functions supported by the Agg-Join operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggOp {
+    /// Row/binding count.
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Numeric average.
+    Avg,
+    /// Numeric minimum.
+    Min,
+    /// Numeric maximum.
+    Max,
+}
+
+impl AggOp {
+    fn code(self) -> u64 {
+        match self {
+            AggOp::Count => 0,
+            AggOp::Sum => 1,
+            AggOp::Avg => 2,
+            AggOp::Min => 3,
+            AggOp::Max => 4,
+        }
+    }
+
+    fn from_code(c: u64) -> Option<Self> {
+        Some(match c {
+            0 => AggOp::Count,
+            1 => AggOp::Sum,
+            2 => AggOp::Avg,
+            3 => AggOp::Min,
+            4 => AggOp::Max,
+            _ => return None,
+        })
+    }
+}
+
+/// A partial (distributive/algebraic) aggregate state — mergeable across
+/// mappers and reducers, finalizable into any [`AggOp`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialAgg {
+    /// Number of contributing bindings.
+    pub count: u64,
+    /// Number of *numeric* contributing bindings (AVG denominator).
+    pub num_count: u64,
+    /// Numeric sum.
+    pub sum: f64,
+    /// Numeric minimum.
+    pub min: f64,
+    /// Numeric maximum.
+    pub max: f64,
+}
+
+impl Default for PartialAgg {
+    fn default() -> Self {
+        PartialAgg {
+            count: 0,
+            num_count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl PartialAgg {
+    /// Fold one binding: every binding counts; numeric bindings contribute
+    /// to sum/min/max.
+    pub fn add(&mut self, numeric: Option<f64>) {
+        self.count += 1;
+        if let Some(v) = numeric {
+            self.num_count += 1;
+            self.sum += v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Merge another partial state (associative + commutative).
+    pub fn merge(&mut self, other: &PartialAgg) {
+        self.count += other.count;
+        self.num_count += other.num_count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Finalize for a given aggregate op. `None` for numeric ops with no
+    /// numeric inputs (SPARQL: unbound).
+    pub fn finalize(&self, op: AggOp) -> Option<f64> {
+        match op {
+            AggOp::Count => Some(self.count as f64),
+            AggOp::Sum if self.num_count > 0 => Some(self.sum),
+            AggOp::Avg if self.num_count > 0 => Some(self.sum / self.num_count as f64),
+            AggOp::Min if self.num_count > 0 => Some(self.min),
+            AggOp::Max if self.num_count > 0 => Some(self.max),
+            _ => None,
+        }
+    }
+
+    /// Encode into a shuffle value.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.count);
+        write_varint(out, self.num_count);
+        write_f64(out, self.sum);
+        write_f64(out, self.min);
+        write_f64(out, self.max);
+    }
+
+    /// Decode, advancing the slice.
+    pub fn decode(buf: &mut &[u8]) -> Option<PartialAgg> {
+        Some(PartialAgg {
+            count: read_varint(buf)?,
+            num_count: read_varint(buf)?,
+            sum: read_f64(buf)?,
+            min: read_f64(buf)?,
+            max: read_f64(buf)?,
+        })
+    }
+}
+
+/// One aggregation in an Agg-Join: `(func, arg)` over a grouping `theta`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// Aggregate function.
+    pub op: AggOp,
+    /// Index of the aggregated variable in [`AggJoinSpec::slots`];
+    /// `None` = `COUNT(*)` (count assignments).
+    pub arg: Option<usize>,
+}
+
+/// A full Agg-Join specification (one per original grouping block):
+/// `γ^AgJ(TG_base, TG_detail, l, θ, α)` with θ the grouping-variable
+/// references and α the validity condition.
+///
+/// `slots` lists **every distinct variable of the original block pattern**.
+/// Aggregation enumerates the cartesian assignment space over all slots —
+/// exactly the relational solution-row expansion — so multi-valued
+/// properties duplicate contributions precisely as SPARQL semantics
+/// require, even for variables no aggregate references.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggJoinSpec {
+    /// Stable id (`agj.id` in Algorithm 3); also tags output records.
+    pub id: u8,
+    /// The enumeration domain: one reference per distinct pattern variable.
+    pub slots: Vec<VarRef>,
+    /// θ — indexes into `slots` forming the grouping key (empty = ALL).
+    pub group_slots: Vec<usize>,
+    /// l — the aggregation list.
+    pub aggs: Vec<AggSpec>,
+    /// α — validity terms for this original pattern.
+    pub alpha: AlphaCond,
+}
+
+/// The numeric-value resolver shared by aggregation operators: index by raw
+/// term id, `None` for non-numeric terms.
+pub type NumericSnapshot = Arc<Vec<Option<f64>>>;
+
+/// An aggregated output record: `(spec id, group key values, finalized
+/// aggregate values)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggRec {
+    /// The Agg-Join spec id that produced this record.
+    pub id: u8,
+    /// Grouping key values (term ids), in spec order.
+    pub key: Vec<u64>,
+    /// Finalized aggregate values, in spec order (`None` = unbound).
+    pub values: Vec<Option<f64>>,
+}
+
+impl AggRec {
+    /// Encode as a DFS record.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, u64::from(self.id));
+        write_varint(out, self.key.len() as u64);
+        for k in &self.key {
+            write_varint(out, *k);
+        }
+        write_varint(out, self.values.len() as u64);
+        for v in &self.values {
+            match v {
+                Some(x) => {
+                    out.push(1);
+                    write_f64(out, *x);
+                }
+                None => out.push(0),
+            }
+        }
+    }
+
+    /// Decode from [`AggRec::encode`] output.
+    pub fn decode(mut rec: &[u8]) -> Option<AggRec> {
+        let id = read_varint(&mut rec)? as u8;
+        let nk = read_varint(&mut rec)? as usize;
+        let mut key = Vec::with_capacity(nk.min(16));
+        for _ in 0..nk {
+            key.push(read_varint(&mut rec)?);
+        }
+        let nv = read_varint(&mut rec)? as usize;
+        let mut values = Vec::with_capacity(nv.min(16));
+        for _ in 0..nv {
+            let (flag, rest) = rec.split_first()?;
+            rec = rest;
+            values.push(if *flag == 1 {
+                Some(read_f64(&mut rec)?)
+            } else {
+                None
+            });
+        }
+        Some(AggRec { id, key, values })
+    }
+}
+
+/// Encode an [`AggOp`] list compactly (used by plan serialization tests).
+pub fn encode_ops(ops: &[AggOp], out: &mut Vec<u8>) {
+    write_varint(out, ops.len() as u64);
+    for op in ops {
+        write_varint(out, op.code());
+    }
+}
+
+/// Decode an [`AggOp`] list.
+pub fn decode_ops(buf: &mut &[u8]) -> Option<Vec<AggOp>> {
+    let n = read_varint(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(16));
+    for _ in 0..n {
+        out.push(AggOp::from_code(read_varint(buf)?)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tg(s: u64, pairs: &[(u64, u64)]) -> TripleGroup {
+        TripleGroup::new(s, pairs.to_vec())
+    }
+
+    #[test]
+    fn prop_req_matching() {
+        let g = tg(1, &[(10, 100), (11, 5)]);
+        assert!(PropReq::any(10).matches(&g));
+        assert!(PropReq::with_object(10, 100).matches(&g));
+        assert!(!PropReq::with_object(10, 101).matches(&g));
+        assert!(!PropReq::any(99).matches(&g));
+    }
+
+    #[test]
+    fn join_key_extraction() {
+        let a = AnnTg::single(0, tg(7, &[(10, 100), (10, 101)]));
+        assert_eq!(JoinKey::Subject { star: 0 }.extract(&a), vec![7]);
+        assert_eq!(
+            JoinKey::ObjectOf { star: 0, prop: 10 }.extract(&a),
+            vec![100, 101]
+        );
+        assert!(JoinKey::Subject { star: 1 }.extract(&a).is_empty());
+    }
+
+    #[test]
+    fn alpha_partial_vs_full() {
+        let cond = AlphaCond {
+            terms: vec![
+                AlphaTerm {
+                    star: 0,
+                    prop: 10,
+                    required: true,
+                },
+                AlphaTerm {
+                    star: 1,
+                    prop: 20,
+                    required: false,
+                },
+            ],
+        };
+        let only_star0 = AnnTg::single(0, tg(1, &[(10, 5)]));
+        assert!(cond.satisfied_partial(&only_star0));
+        assert!(!cond.satisfied_full(&only_star0));
+
+        let full_good = only_star0.merge(&AnnTg::single(1, tg(2, &[(21, 9)])));
+        assert!(cond.satisfied_full(&full_good));
+
+        let full_bad = only_star0.merge(&AnnTg::single(1, tg(2, &[(20, 9)])));
+        assert!(!cond.satisfied_partial(&full_bad));
+    }
+
+    #[test]
+    fn empty_alpha_list_accepts_all() {
+        let a = AnnTg::single(0, tg(1, &[]));
+        assert!(any_alpha_partial(&[], &a));
+    }
+
+    #[test]
+    fn partial_agg_merge_and_finalize() {
+        let mut a = PartialAgg::default();
+        a.add(Some(10.0));
+        a.add(Some(30.0));
+        let mut b = PartialAgg::default();
+        b.add(Some(2.0));
+        b.add(None); // non-numeric binding: counts, no sum
+        a.merge(&b);
+        assert_eq!(a.finalize(AggOp::Count), Some(4.0));
+        assert_eq!(a.finalize(AggOp::Sum), Some(42.0));
+        assert_eq!(a.finalize(AggOp::Avg), Some(14.0));
+        assert_eq!(a.finalize(AggOp::Min), Some(2.0));
+        assert_eq!(a.finalize(AggOp::Max), Some(30.0));
+    }
+
+    #[test]
+    fn empty_partial_finalizes_to_none_for_numeric_ops() {
+        let p = PartialAgg::default();
+        assert_eq!(p.finalize(AggOp::Count), Some(0.0));
+        assert_eq!(p.finalize(AggOp::Sum), None);
+        assert_eq!(p.finalize(AggOp::Avg), None);
+    }
+
+    #[test]
+    fn partial_agg_codec_roundtrip() {
+        let mut p = PartialAgg::default();
+        p.add(Some(3.5));
+        p.add(Some(-1.0));
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        let mut s = buf.as_slice();
+        assert_eq!(PartialAgg::decode(&mut s), Some(p));
+    }
+
+    #[test]
+    fn aggrec_codec_roundtrip() {
+        let r = AggRec {
+            id: 3,
+            key: vec![100, 200],
+            values: vec![Some(1.5), None, Some(0.0)],
+        };
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        assert_eq!(AggRec::decode(&buf), Some(r));
+    }
+
+    #[test]
+    fn ops_codec_roundtrip() {
+        let ops = vec![AggOp::Count, AggOp::Avg, AggOp::Max];
+        let mut buf = Vec::new();
+        encode_ops(&ops, &mut buf);
+        let mut s = buf.as_slice();
+        assert_eq!(decode_ops(&mut s), Some(ops));
+    }
+}

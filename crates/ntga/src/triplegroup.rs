@@ -1,0 +1,187 @@
+//! The triplegroup data model of the Nested TripleGroup Algebra (NTGA).
+//!
+//! A [`TripleGroup`] is a set of triples sharing a subject; an [`AnnTg`]
+//! ("annotated triplegroup") is the join product of triplegroups matching
+//! the star subpatterns of a (composite) graph pattern, each component
+//! tagged with its star index.
+
+use rapida_mapred::codec::{read_varint, write_varint};
+use std::collections::BTreeSet;
+
+/// A subject triplegroup: `subject` plus `(property, object)` id pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TripleGroup {
+    /// Subject term id (raw).
+    pub subject: u64,
+    /// `(property, object)` pairs, in sorted order.
+    pub triples: Vec<(u64, u64)>,
+}
+
+impl TripleGroup {
+    /// Construct, normalizing pair order.
+    pub fn new(subject: u64, mut triples: Vec<(u64, u64)>) -> Self {
+        triples.sort_unstable();
+        TripleGroup { subject, triples }
+    }
+
+    /// `props(tg)` — the distinct property set.
+    pub fn props(&self) -> BTreeSet<u64> {
+        self.triples.iter().map(|(p, _)| *p).collect()
+    }
+
+    /// Does the group contain any triple with property `p`?
+    pub fn has_prop(&self, p: u64) -> bool {
+        self.triples.iter().any(|(q, _)| *q == p)
+    }
+
+    /// Does the group contain the exact triple `(p, o)`?
+    pub fn has_triple(&self, p: u64, o: u64) -> bool {
+        self.triples.binary_search(&(p, o)).is_ok()
+    }
+
+    /// All objects of property `p` (multi-valued properties yield several).
+    pub fn objects_of(&self, p: u64) -> impl Iterator<Item = u64> + '_ {
+        self.triples
+            .iter()
+            .filter(move |(q, _)| *q == p)
+            .map(|(_, o)| *o)
+    }
+
+    /// Encode as the canonical DFS record (see `rapida-storage`).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        rapida_storage::encode_tg(self.subject, &self.triples, out);
+    }
+
+    /// Decode from the canonical DFS record.
+    pub fn decode(rec: &[u8]) -> Option<TripleGroup> {
+        let (subject, triples) = rapida_storage::decode_tg(rec)?;
+        Some(TripleGroup { subject, triples })
+    }
+}
+
+/// An annotated (possibly joined) triplegroup: one component triplegroup per
+/// matched star subpattern, tagged with the star index within the
+/// (composite) graph pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnTg {
+    /// `(star index, component)` pairs, sorted by star index.
+    pub groups: Vec<(u8, TripleGroup)>,
+}
+
+impl AnnTg {
+    /// A single-star annotated triplegroup.
+    pub fn single(star: u8, tg: TripleGroup) -> Self {
+        AnnTg {
+            groups: vec![(star, tg)],
+        }
+    }
+
+    /// The component for star `star`, if present.
+    pub fn star(&self, star: u8) -> Option<&TripleGroup> {
+        self.groups
+            .iter()
+            .find(|(s, _)| *s == star)
+            .map(|(_, tg)| tg)
+    }
+
+    /// Star indexes present in this group.
+    pub fn stars(&self) -> Vec<u8> {
+        self.groups.iter().map(|(s, _)| *s).collect()
+    }
+
+    /// Merge two annotated triplegroups (join product). Star sets must be
+    /// disjoint; result is sorted by star index.
+    pub fn merge(&self, other: &AnnTg) -> AnnTg {
+        let mut groups = self.groups.clone();
+        groups.extend(other.groups.iter().cloned());
+        groups.sort_by_key(|(s, _)| *s);
+        AnnTg { groups }
+    }
+
+    /// Encode: `n, (star, tg) * n`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.groups.len() as u64);
+        for (star, tg) in &self.groups {
+            write_varint(out, u64::from(*star));
+            tg.encode(out);
+        }
+    }
+
+    /// Encoded byte size helper (allocates; use sparingly).
+    pub fn encoded(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decode from [`AnnTg::encode`] output.
+    pub fn decode(mut rec: &[u8]) -> Option<AnnTg> {
+        let n = read_varint(&mut rec)? as usize;
+        let mut groups = Vec::with_capacity(n.min(16));
+        for _ in 0..n {
+            let star = read_varint(&mut rec)? as u8;
+            let subject = read_varint(&mut rec)?;
+            let cnt = read_varint(&mut rec)? as usize;
+            let mut triples = Vec::with_capacity(cnt.min(1 << 16));
+            for _ in 0..cnt {
+                let p = read_varint(&mut rec)?;
+                let o = read_varint(&mut rec)?;
+                triples.push((p, o));
+            }
+            groups.push((star, TripleGroup { subject, triples }));
+        }
+        Some(AnnTg { groups })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tg(s: u64, pairs: &[(u64, u64)]) -> TripleGroup {
+        TripleGroup::new(s, pairs.to_vec())
+    }
+
+    #[test]
+    fn props_and_lookup() {
+        let g = tg(1, &[(10, 100), (11, 101), (10, 102)]);
+        assert_eq!(g.props().len(), 2);
+        assert!(g.has_prop(10));
+        assert!(!g.has_prop(12));
+        assert!(g.has_triple(10, 102));
+        assert!(!g.has_triple(10, 103));
+        let objs: Vec<u64> = g.objects_of(10).collect();
+        assert_eq!(objs, vec![100, 102]);
+    }
+
+    #[test]
+    fn tg_codec_roundtrip() {
+        let g = tg(42, &[(1, 2), (3, 4)]);
+        let mut buf = Vec::new();
+        g.encode(&mut buf);
+        assert_eq!(TripleGroup::decode(&buf), Some(g));
+    }
+
+    #[test]
+    fn anntg_merge_sorts_by_star() {
+        let a = AnnTg::single(2, tg(1, &[(5, 6)]));
+        let b = AnnTg::single(0, tg(2, &[(7, 8)]));
+        let m = a.merge(&b);
+        assert_eq!(m.stars(), vec![0, 2]);
+        assert_eq!(m.star(0).unwrap().subject, 2);
+        assert_eq!(m.star(2).unwrap().subject, 1);
+        assert!(m.star(1).is_none());
+    }
+
+    #[test]
+    fn anntg_codec_roundtrip() {
+        let m = AnnTg {
+            groups: vec![
+                (0, tg(1, &[(10, 100), (11, 110)])),
+                (1, tg(2, &[(20, 200)])),
+                (2, tg(3, &[])),
+            ],
+        };
+        assert_eq!(AnnTg::decode(&m.encoded()), Some(m));
+    }
+}

@@ -1,0 +1,192 @@
+//! Property tests for the NTGA operators: the set-theoretic laws of
+//! Definitions 3.3–3.5, partial-aggregate algebra, and codec round-trips.
+
+use proptest::prelude::*;
+use rapida_ntga::{
+    alpha_join, any_alpha_partial, n_split, opt_group_filter, AggOp, AggRec, AlphaCond,
+    AlphaTerm, AnnTg, PartialAgg, PropReq, StarSpec, TripleGroup,
+};
+
+fn arb_tg() -> impl Strategy<Value = TripleGroup> {
+    (
+        any::<u32>(),
+        proptest::collection::vec((1u64..8, 0u64..12), 0..10),
+    )
+        .prop_map(|(s, pairs)| TripleGroup::new(u64::from(s), pairs))
+}
+
+fn arb_spec() -> impl Strategy<Value = StarSpec> {
+    (
+        proptest::collection::btree_set(1u64..8, 0..3),
+        proptest::collection::btree_set(1u64..8, 0..3),
+    )
+        .prop_map(|(prim, sec)| StarSpec {
+            star: 0,
+            primary: prim.into_iter().map(PropReq::any).collect(),
+            secondary: sec.into_iter().map(PropReq::any).collect(),
+        })
+}
+
+proptest! {
+    /// Def 3.3: σ^γopt output satisfies P_prim ⊆ props(tg') ⊆ P_prim ∪ P_opt,
+    /// keeps only original triples, and is idempotent.
+    #[test]
+    fn opt_group_filter_laws(tg in arb_tg(), spec in arb_spec()) {
+        let prim: Vec<u64> = spec.primary.iter().map(|r| r.prop).collect();
+        let all: Vec<u64> = spec.all_props();
+        match opt_group_filter(&tg, &spec) {
+            None => {
+                // Rejected iff some primary requirement fails.
+                prop_assert!(spec.primary.iter().any(|r| !r.matches(&tg)));
+            }
+            Some(out) => {
+                let props = out.props();
+                for p in &prim {
+                    prop_assert!(props.contains(p), "primary {p} present");
+                }
+                for p in &props {
+                    prop_assert!(all.contains(p), "only projected properties remain");
+                }
+                for t in &out.triples {
+                    prop_assert!(tg.triples.contains(t), "no invented triples");
+                }
+                // Idempotence.
+                prop_assert_eq!(opt_group_filter(&out, &spec), Some(out.clone()));
+            }
+        }
+    }
+
+    /// Def 3.4: each n-split extract is tg_prim ∪ tg_sec_i, present iff the
+    /// secondary set is fully matched.
+    #[test]
+    fn n_split_laws(
+        tg in arb_tg(),
+        prim in proptest::collection::vec(1u64..8, 0..3),
+        secs in proptest::collection::vec(proptest::collection::vec(1u64..8, 0..2), 1..4),
+    ) {
+        let outs = n_split(&tg, &prim, &secs);
+        prop_assert_eq!(outs.len(), secs.len());
+        for (out, sec) in outs.iter().zip(&secs) {
+            match out {
+                None => prop_assert!(sec.iter().any(|p| !tg.has_prop(*p))),
+                Some(o) => {
+                    prop_assert!(sec.iter().all(|p| tg.has_prop(*p)));
+                    for (p, v) in &o.triples {
+                        prop_assert!(prim.contains(p) || sec.contains(p));
+                        prop_assert!(tg.has_triple(*p, *v));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Def 3.5: the α-join equals the naive filtered nested-loop join.
+    #[test]
+    fn alpha_join_equals_nested_loop(
+        left in proptest::collection::vec((0u64..4, arb_tg()), 0..8),
+        right in proptest::collection::vec((0u64..4, arb_tg()), 0..8),
+        req_prop in 1u64..8,
+    ) {
+        let left: Vec<(u64, AnnTg)> = left
+            .into_iter()
+            .map(|(k, tg)| (k, AnnTg::single(0, tg)))
+            .collect();
+        let right: Vec<(u64, AnnTg)> = right
+            .into_iter()
+            .map(|(k, tg)| (k, AnnTg::single(1, tg)))
+            .collect();
+        let conds = vec![AlphaCond {
+            terms: vec![AlphaTerm { star: 0, prop: req_prop, required: true }],
+        }];
+        let mut got = alpha_join(&left, &right, &conds);
+        let mut expect = Vec::new();
+        for (lk, l) in &left {
+            for (rk, r) in &right {
+                if lk == rk {
+                    let joined = l.merge(r);
+                    if any_alpha_partial(&conds, &joined) {
+                        expect.push(joined);
+                    }
+                }
+            }
+        }
+        let key = |t: &AnnTg| format!("{t:?}");
+        got.sort_by_key(&key);
+        expect.sort_by_key(&key);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// PartialAgg merge is associative and commutative and equals the direct
+    /// fold, for every aggregate op.
+    #[test]
+    fn partial_agg_algebra(
+        xs in proptest::collection::vec(proptest::option::of(-1e6f64..1e6), 0..20),
+        ys in proptest::collection::vec(proptest::option::of(-1e6f64..1e6), 0..20),
+        zs in proptest::collection::vec(proptest::option::of(-1e6f64..1e6), 0..20),
+    ) {
+        let fold = |vals: &[Option<f64>]| {
+            let mut p = PartialAgg::default();
+            for v in vals {
+                p.add(*v);
+            }
+            p
+        };
+        let (a, b, c) = (fold(&xs), fold(&ys), fold(&zs));
+
+        let mut ab_c = a;
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        let mut ba = b;
+        ba.merge(&a);
+
+        let direct = fold(&[xs.clone(), ys.clone(), zs.clone()].concat());
+        for op in [AggOp::Count, AggOp::Sum, AggOp::Avg, AggOp::Min, AggOp::Max] {
+            let close = |x: Option<f64>, y: Option<f64>| match (x, y) {
+                (None, None) => true,
+                (Some(a), Some(b)) => (a - b).abs() <= 1e-6 * (1.0 + a.abs()),
+                _ => false,
+            };
+            prop_assert!(close(ab_c.finalize(op), a_bc.finalize(op)), "associative {op:?}");
+            prop_assert!(close(ab_c.finalize(op), direct.finalize(op)), "fold {op:?}");
+            {
+                let mut ba2 = ba;
+                ba2.merge(&c);
+                prop_assert!(close(ab_c.finalize(op), ba2.finalize(op)), "commutative {op:?}");
+            }
+        }
+    }
+
+    /// Codec round-trips for AnnTg and AggRec under arbitrary contents.
+    #[test]
+    fn codecs_roundtrip(
+        groups in proptest::collection::vec((0u8..4, arb_tg()), 0..4),
+        id in any::<u8>(),
+        key in proptest::collection::vec(any::<u64>(), 0..5),
+        values in proptest::collection::vec(proptest::option::of(any::<f64>()), 0..5),
+    ) {
+        let mut sorted = groups;
+        sorted.sort_by_key(|(s, _)| *s);
+        sorted.dedup_by_key(|(s, _)| *s);
+        let ann = AnnTg { groups: sorted };
+        prop_assert_eq!(AnnTg::decode(&ann.encoded()), Some(ann));
+
+        let rec = AggRec { id, key, values: values.clone() };
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        let back = AggRec::decode(&buf).unwrap();
+        prop_assert_eq!(back.id, rec.id);
+        prop_assert_eq!(back.key, rec.key);
+        prop_assert_eq!(back.values.len(), rec.values.len());
+        for (x, y) in back.values.iter().zip(&rec.values) {
+            match (x, y) {
+                (None, None) => {}
+                (Some(a), Some(b)) => prop_assert!(a == b || (a.is_nan() && b.is_nan())),
+                _ => prop_assert!(false, "Some/None mismatch"),
+            }
+        }
+    }
+}

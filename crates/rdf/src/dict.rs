@@ -1,0 +1,214 @@
+//! Dictionary encoding: a concurrent bidirectional interner mapping
+//! [`Term`]s to dense `u64` [`TermId`]s.
+//!
+//! Numeric literal values are parsed once at intern time and cached, so
+//! aggregation operators never re-parse lexical forms on the hot path.
+
+use crate::fxhash::FxHashMap;
+use crate::term::Term;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// A dictionary-encoded term identifier.
+///
+/// Ids are dense, starting at 0, assigned in intern order. `TermId` is the
+/// currency of the whole system: triples, triplegroups and binding rows all
+/// hold `TermId`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u64);
+
+impl TermId {
+    /// The raw id value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[derive(Default)]
+struct DictInner {
+    terms: Vec<Term>,
+    /// Cached numeric value per id (same index as `terms`).
+    numeric: Vec<Option<f64>>,
+    index: FxHashMap<Term, TermId>,
+}
+
+/// A thread-safe term dictionary.
+///
+/// Cloning a `Dictionary` is cheap (it is an `Arc` handle); all clones share
+/// the same underlying interner.
+#[derive(Clone, Default)]
+pub struct Dictionary {
+    inner: Arc<RwLock<DictInner>>,
+}
+
+impl Dictionary {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a term, returning its id. Idempotent.
+    pub fn intern(&self, term: &Term) -> TermId {
+        if let Some(id) = self.inner.read().index.get(term) {
+            return *id;
+        }
+        let mut inner = self.inner.write();
+        if let Some(id) = inner.index.get(term) {
+            return *id;
+        }
+        let id = TermId(inner.terms.len() as u64);
+        inner.terms.push(term.clone());
+        inner.numeric.push(term.numeric_value());
+        inner.index.insert(term.clone(), id);
+        id
+    }
+
+    /// Intern an IRI given by string.
+    pub fn intern_iri(&self, iri: &str) -> TermId {
+        self.intern(&Term::iri(iri))
+    }
+
+    /// Look up an already-interned term without inserting.
+    pub fn lookup(&self, term: &Term) -> Option<TermId> {
+        self.inner.read().index.get(term).copied()
+    }
+
+    /// Resolve an id back to its term. Panics on unknown ids (ids only come
+    /// from this dictionary, so an unknown id is a logic error).
+    pub fn term(&self, id: TermId) -> Term {
+        self.inner.read().terms[id.0 as usize].clone()
+    }
+
+    /// The lexical form of the term behind `id` (IRI string / literal lexical
+    /// form / bnode label).
+    pub fn lexical(&self, id: TermId) -> String {
+        self.inner.read().terms[id.0 as usize].lexical().to_string()
+    }
+
+    /// Cached numeric value of the literal behind `id`, if numeric.
+    #[inline]
+    pub fn numeric_value(&self, id: TermId) -> Option<f64> {
+        self.inner.read().numeric[id.0 as usize]
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.inner.read().terms.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of numeric values indexed by raw id, for lock-free access in
+    /// parallel operators. Index `i` holds the numeric value of `TermId(i)`.
+    pub fn numeric_snapshot(&self) -> Vec<Option<f64>> {
+        self.inner.read().numeric.clone()
+    }
+
+    /// Snapshot of lexical forms indexed by raw id, for lock-free access in
+    /// parallel operators (e.g. `regex`-style FILTERs).
+    pub fn lexical_snapshot(&self) -> Vec<String> {
+        self.inner
+            .read()
+            .terms
+            .iter()
+            .map(|t| t.lexical().to_string())
+            .collect()
+    }
+}
+
+impl fmt::Debug for Dictionary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dictionary({} terms)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let d = Dictionary::new();
+        let a = d.intern(&Term::iri("http://x/a"));
+        let b = d.intern(&Term::iri("http://x/a"));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids() {
+        let d = Dictionary::new();
+        let a = d.intern(&Term::iri("http://x/a"));
+        let b = d.intern(&Term::literal("http://x/a"));
+        assert_ne!(a, b, "IRI and literal with same lexical form differ");
+    }
+
+    #[test]
+    fn roundtrip_term() {
+        let d = Dictionary::new();
+        let t = Term::lang_literal("bonjour", "fr");
+        let id = d.intern(&t);
+        assert_eq!(d.term(id), t);
+    }
+
+    #[test]
+    fn numeric_cache() {
+        let d = Dictionary::new();
+        let id = d.intern(&Term::decimal(3.25));
+        assert_eq!(d.numeric_value(id), Some(3.25));
+        let id2 = d.intern(&Term::literal("not a number"));
+        assert_eq!(d.numeric_value(id2), None);
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let d = Dictionary::new();
+        assert_eq!(d.lookup(&Term::iri("http://x/a")), None);
+        assert!(d.is_empty());
+        let id = d.intern(&Term::iri("http://x/a"));
+        assert_eq!(d.lookup(&Term::iri("http://x/a")), Some(id));
+    }
+
+    #[test]
+    fn snapshots_align_with_ids() {
+        let d = Dictionary::new();
+        let a = d.intern(&Term::integer(10));
+        let b = d.intern(&Term::literal("xyz"));
+        let nums = d.numeric_snapshot();
+        let lex = d.lexical_snapshot();
+        assert_eq!(nums[a.0 as usize], Some(10.0));
+        assert_eq!(nums[b.0 as usize], None);
+        assert_eq!(lex[b.0 as usize], "xyz");
+    }
+
+    #[test]
+    fn concurrent_intern_consistent() {
+        let d = Dictionary::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let d = d.clone();
+                std::thread::spawn(move || {
+                    (0..1000)
+                        .map(|i| d.intern(&Term::iri(format!("http://x/{i}"))))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<TermId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(r, &results[0], "all threads see identical ids");
+        }
+        assert_eq!(d.len(), 1000);
+    }
+}

@@ -1,0 +1,28 @@
+//! Well-known vocabulary IRIs used across the workspace.
+
+/// `rdf:type` — the property whose object-based partitioning the paper's
+/// overlap definition (Def 3.1) and Hive's property-object partitions
+/// special-case.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// `rdfs:label`.
+pub const RDFS_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+
+/// Base namespace for the BSBM-like synthetic vocabulary.
+pub const BSBM_NS: &str = "http://bsbm.example.org/v01/";
+
+/// Base namespace for the Chem2Bio2RDF-like synthetic vocabulary.
+pub const CHEM_NS: &str = "http://chem2bio2rdf.example.org/";
+
+/// Base namespace for the PubMed-like synthetic vocabulary.
+pub const PUBMED_NS: &str = "http://pubmed.example.org/";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdf_type_is_the_w3c_iri() {
+        assert!(RDF_TYPE.starts_with("http://www.w3.org/1999/02/22-rdf-syntax-ns#"));
+    }
+}

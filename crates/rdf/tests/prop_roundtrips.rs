@@ -1,0 +1,78 @@
+//! Property tests: N-Triples serialization round-trips for arbitrary terms,
+//! and dictionary identity laws.
+
+use proptest::prelude::*;
+use rapida_rdf::{parse_ntriples, write_ntriples, Dictionary, Term, TermTriple};
+
+/// Printable-ish strings including the characters the escaper must handle.
+fn literal_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~\u{e0}-\u{ff}\n\t\"\\\\]{0,40}").unwrap()
+}
+
+fn iri_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("http://[a-z]{1,8}\\.example/[A-Za-z0-9_/#-]{0,24}").unwrap()
+}
+
+fn bnode_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z][A-Za-z0-9]{0,12}").unwrap()
+}
+
+fn lang_tag() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z]{2}(-[A-Z]{2})?").unwrap()
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        iri_text().prop_map(Term::iri),
+        literal_text().prop_map(Term::literal),
+        (literal_text(), iri_text()).prop_map(|(l, d)| Term::typed_literal(l, d)),
+        (literal_text(), lang_tag()).prop_map(|(l, t)| Term::lang_literal(l, t)),
+        any::<i64>().prop_map(Term::integer),
+        (-1e12f64..1e12).prop_map(Term::decimal),
+    ]
+}
+
+fn arb_subject() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        iri_text().prop_map(Term::iri),
+        bnode_label().prop_map(Term::bnode),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn ntriples_roundtrip(
+        triples in proptest::collection::vec(
+            (arb_subject(), iri_text().prop_map(Term::iri), arb_term())
+                .prop_map(|(s, p, o)| TermTriple::new(s, p, o)),
+            0..20,
+        )
+    ) {
+        let doc = write_ntriples(&triples);
+        let parsed = parse_ntriples(&doc).expect("serialized output must parse");
+        prop_assert_eq!(parsed, triples);
+    }
+
+    #[test]
+    fn dictionary_is_injective(terms in proptest::collection::vec(arb_term(), 0..50)) {
+        let dict = Dictionary::new();
+        let ids: Vec<_> = terms.iter().map(|t| dict.intern(t)).collect();
+        // Same term -> same id; different terms -> different ids.
+        for (i, a) in terms.iter().enumerate() {
+            for (j, b) in terms.iter().enumerate() {
+                prop_assert_eq!(a == b, ids[i] == ids[j]);
+            }
+        }
+        // Ids resolve back to the interned term.
+        for (t, id) in terms.iter().zip(&ids) {
+            prop_assert_eq!(&dict.term(*id), t);
+        }
+    }
+
+    #[test]
+    fn numeric_cache_matches_term(term in arb_term()) {
+        let dict = Dictionary::new();
+        let id = dict.intern(&term);
+        prop_assert_eq!(dict.numeric_value(id), term.numeric_value());
+    }
+}

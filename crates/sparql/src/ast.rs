@@ -1,0 +1,377 @@
+//! Abstract syntax tree for the SPARQL subset exercised by the paper:
+//! `SELECT` queries with basic graph patterns, predicate lists, FILTERs
+//! (comparisons and `regex`), nested sub-`SELECT`s, `OPTIONAL`, aggregates
+//! and `GROUP BY`.
+
+use rapida_rdf::Term;
+use std::fmt;
+
+/// A SPARQL variable (`?name`), stored without the leading `?`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub String);
+
+impl Var {
+    /// Construct a variable from its bare name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Var(name.into())
+    }
+
+    /// The bare name (no `?`).
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// A term slot in a triple pattern: either a variable or a constant term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PatternTerm {
+    /// A variable slot.
+    Var(Var),
+    /// A constant RDF term.
+    Term(Term),
+}
+
+impl PatternTerm {
+    /// The variable, if this slot is one.
+    pub fn as_var(&self) -> Option<&Var> {
+        match self {
+            PatternTerm::Var(v) => Some(v),
+            PatternTerm::Term(_) => None,
+        }
+    }
+
+    /// The constant term, if this slot is one.
+    pub fn as_term(&self) -> Option<&Term> {
+        match self {
+            PatternTerm::Var(_) => None,
+            PatternTerm::Term(t) => Some(t),
+        }
+    }
+
+    /// Is this slot a variable?
+    pub fn is_var(&self) -> bool {
+        matches!(self, PatternTerm::Var(_))
+    }
+}
+
+impl fmt::Display for PatternTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternTerm::Var(v) => write!(f, "{v}"),
+            PatternTerm::Term(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// A triple pattern (Table 1: `tp`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TriplePattern {
+    /// Subject slot.
+    pub s: PatternTerm,
+    /// Property slot (always bound in the paper's scope; the parser accepts
+    /// variables here but the optimizers reject them, per §3).
+    pub p: PatternTerm,
+    /// Object slot.
+    pub o: PatternTerm,
+}
+
+impl TriplePattern {
+    /// Construct a triple pattern.
+    pub fn new(s: PatternTerm, p: PatternTerm, o: PatternTerm) -> Self {
+        TriplePattern { s, p, o }
+    }
+
+    /// `var(tp)` from Table 1: the set of variables in this pattern.
+    pub fn vars(&self) -> Vec<&Var> {
+        [&self.s, &self.p, &self.o]
+            .into_iter()
+            .filter_map(|t| t.as_var())
+            .collect()
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.s, self.p, self.o)
+    }
+}
+
+/// Aggregate functions supported by the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT`.
+    Count,
+    /// `SUM`.
+    Sum,
+    /// `AVG`.
+    Avg,
+    /// `MIN`.
+    Min,
+    /// `MAX`.
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One item in a `SELECT` projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProjectionItem {
+    /// A plain variable.
+    Var(Var),
+    /// An aggregate expression `(FUNC(?v) AS ?alias)`.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The aggregated variable (`COUNT(*)` is expressed as `arg = None`).
+        arg: Option<Var>,
+        /// Result alias.
+        alias: Var,
+        /// `DISTINCT` modifier inside the aggregate.
+        distinct: bool,
+    },
+}
+
+impl ProjectionItem {
+    /// The output variable this item binds.
+    pub fn output_var(&self) -> &Var {
+        match self {
+            ProjectionItem::Var(v) => v,
+            ProjectionItem::Aggregate { alias, .. } => alias,
+        }
+    }
+}
+
+/// Comparison operators in FILTER expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A scalar value expression inside a FILTER.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueExpr {
+    /// A variable reference.
+    Var(Var),
+    /// A numeric constant.
+    Number(f64),
+    /// A constant RDF term (string literal or IRI).
+    Term(Term),
+}
+
+/// A FILTER expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterExpr {
+    /// Binary comparison.
+    Compare {
+        /// Left operand.
+        left: ValueExpr,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        right: ValueExpr,
+    },
+    /// `regex(?v, "pattern" [, "i"])` — substring match, optionally
+    /// case-insensitive (the only regex form the paper's queries use).
+    Regex {
+        /// The variable whose lexical form is matched.
+        var: Var,
+        /// The pattern, treated as a plain substring.
+        pattern: String,
+        /// Case-insensitive flag (`"i"`).
+        case_insensitive: bool,
+    },
+    /// Conjunction.
+    And(Box<FilterExpr>, Box<FilterExpr>),
+    /// Disjunction.
+    Or(Box<FilterExpr>, Box<FilterExpr>),
+    /// Negation.
+    Not(Box<FilterExpr>),
+}
+
+impl FilterExpr {
+    /// All variables mentioned by this filter.
+    pub fn vars(&self) -> Vec<Var> {
+        fn walk(e: &FilterExpr, out: &mut Vec<Var>) {
+            match e {
+                FilterExpr::Compare { left, right, .. } => {
+                    for v in [left, right] {
+                        if let ValueExpr::Var(v) = v {
+                            out.push(v.clone());
+                        }
+                    }
+                }
+                FilterExpr::Regex { var, .. } => out.push(var.clone()),
+                FilterExpr::And(a, b) | FilterExpr::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                FilterExpr::Not(a) => walk(a, out),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+}
+
+/// One element in a group graph pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternElement {
+    /// A block of triple patterns.
+    Triple(TriplePattern),
+    /// A FILTER constraint.
+    Filter(FilterExpr),
+    /// A nested `{ SELECT ... }` subquery.
+    SubSelect(Box<SelectQuery>),
+    /// An `OPTIONAL { ... }` block.
+    Optional(GroupGraphPattern),
+}
+
+/// A `{ ... }` group of pattern elements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupGraphPattern {
+    /// The elements, in source order.
+    pub elements: Vec<PatternElement>,
+}
+
+impl GroupGraphPattern {
+    /// All triple patterns at this level (not descending into subselects or
+    /// optionals).
+    pub fn triples(&self) -> Vec<&TriplePattern> {
+        self.elements
+            .iter()
+            .filter_map(|e| match e {
+                PatternElement::Triple(t) => Some(t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All FILTER expressions at this level.
+    pub fn filters(&self) -> Vec<&FilterExpr> {
+        self.elements
+            .iter()
+            .filter_map(|e| match e {
+                PatternElement::Filter(f) => Some(f),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All nested subselects at this level.
+    pub fn subselects(&self) -> Vec<&SelectQuery> {
+        self.elements
+            .iter()
+            .filter_map(|e| match e {
+                PatternElement::SubSelect(q) => Some(q.as_ref()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A `SELECT` query (outer or nested).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    /// Projection list; empty means `SELECT *`.
+    pub projection: Vec<ProjectionItem>,
+    /// `DISTINCT` modifier.
+    pub distinct: bool,
+    /// The `WHERE` pattern.
+    pub pattern: GroupGraphPattern,
+    /// `GROUP BY` variables (empty = no grouping, i.e. a single group when
+    /// aggregates are present — "GROUP BY ALL" in the paper's terminology).
+    pub group_by: Vec<Var>,
+}
+
+impl SelectQuery {
+    /// Whether this query computes any aggregate.
+    pub fn has_aggregates(&self) -> bool {
+        self.projection
+            .iter()
+            .any(|p| matches!(p, ProjectionItem::Aggregate { .. }))
+    }
+
+    /// The output variable names, in projection order.
+    pub fn output_vars(&self) -> Vec<Var> {
+        self.projection.iter().map(|p| p.output_var().clone()).collect()
+    }
+}
+
+/// A parsed SPARQL query with its prologue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `PREFIX` declarations (prefix, expansion).
+    pub prefixes: Vec<(String, String)>,
+    /// The top-level select.
+    pub select: SelectQuery,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tp_vars() {
+        let tp = TriplePattern::new(
+            PatternTerm::Var(Var::new("s")),
+            PatternTerm::Term(Term::iri("http://x/p")),
+            PatternTerm::Var(Var::new("o")),
+        );
+        let vs = tp.vars();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0].name(), "s");
+    }
+
+    #[test]
+    fn filter_vars_collects_nested() {
+        let f = FilterExpr::And(
+            Box::new(FilterExpr::Compare {
+                left: ValueExpr::Var(Var::new("a")),
+                op: CmpOp::Gt,
+                right: ValueExpr::Number(5.0),
+            }),
+            Box::new(FilterExpr::Regex {
+                var: Var::new("b"),
+                pattern: "x".into(),
+                case_insensitive: false,
+            }),
+        );
+        let vs = f.vars();
+        assert_eq!(vs, vec![Var::new("a"), Var::new("b")]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Var::new("x").to_string(), "?x");
+        assert_eq!(AggFunc::Count.to_string(), "COUNT");
+    }
+}

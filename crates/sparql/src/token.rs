@@ -1,0 +1,467 @@
+//! Lexer for the SPARQL subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `<...>` IRI reference (contents only).
+    Iri(String),
+    /// Prefixed name `prefix:local`.
+    PName(String, String),
+    /// Variable `?name` (name only).
+    Var(String),
+    /// String literal `"..."` (unescaped contents).
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+    /// Bare identifier / keyword (original case preserved).
+    Ident(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<` (comparison context)
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `^^` datatype marker
+    DtMarker,
+    /// `@lang` tag (language only)
+    LangTag(String),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Iri(s) => write!(f, "<{s}>"),
+            Token::PName(p, l) => write!(f, "{p}:{l}"),
+            Token::Var(v) => write!(f, "?{v}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Num(n) => write!(f, "{n}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Dot => write!(f, "."),
+            Token::Semi => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Star => write!(f, "*"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Bang => write!(f, "!"),
+            Token::DtMarker => write!(f, "^^"),
+            Token::LangTag(l) => write!(f, "@{l}"),
+        }
+    }
+}
+
+/// Lexer error with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset in the input.
+    pub pos: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Tokenize a SPARQL query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '@' => {
+                i += 1;
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '-') {
+                    i += 1;
+                }
+                out.push(Token::LangTag(chars[start..i].iter().collect()));
+            }
+            '^' => {
+                if chars.get(i + 1) == Some(&'^') {
+                    out.push(Token::DtMarker);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        pos: i,
+                        message: "stray '^'".into(),
+                    });
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Bang);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if chars.get(i + 1) == Some(&'&') {
+                    out.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        pos: i,
+                        message: "stray '&'".into(),
+                    });
+                }
+            }
+            '|' => {
+                if chars.get(i + 1) == Some(&'|') {
+                    out.push(Token::OrOr);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        pos: i,
+                        message: "stray '|'".into(),
+                    });
+                }
+            }
+            '<' => {
+                // IRI if it looks like one (no whitespace before '>'), else
+                // comparison operator.
+                let mut j = i + 1;
+                let mut is_iri = false;
+                while j < chars.len() {
+                    match chars[j] {
+                        '>' => {
+                            is_iri = true;
+                            break;
+                        }
+                        ' ' | '\t' | '\n' | '\r' => break,
+                        _ => j += 1,
+                    }
+                }
+                if is_iri {
+                    out.push(Token::Iri(chars[i + 1..j].iter().collect()));
+                    i = j + 1;
+                } else if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '?' | '$' => {
+                i += 1;
+                let start = i;
+                while i < chars.len() && is_ident_cont(chars[i]) {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(LexError {
+                        pos: i,
+                        message: "empty variable name".into(),
+                    });
+                }
+                out.push(Token::Var(chars[start..i].iter().collect()));
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() {
+                        return Err(LexError {
+                            pos: i,
+                            message: "unterminated string".into(),
+                        });
+                    }
+                    match chars[i] {
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\\' => {
+                            i += 1;
+                            match chars.get(i) {
+                                Some('n') => s.push('\n'),
+                                Some('t') => s.push('\t'),
+                                Some('r') => s.push('\r'),
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                other => {
+                                    return Err(LexError {
+                                        pos: i,
+                                        message: format!("bad escape {other:?}"),
+                                    })
+                                }
+                            }
+                            i += 1;
+                        }
+                        c => {
+                            s.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '.' => {
+                // Could be end-of-triple or part of a number like .5 —
+                // numbers starting with '.' are not produced by our queries,
+                // so '.' is always punctuation here.
+                out.push(Token::Dot);
+                i += 1;
+            }
+            c if c.is_ascii_digit() || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < chars.len()
+                    && chars[i] == '.'
+                    && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                let n = text.parse::<f64>().map_err(|_| LexError {
+                    pos: start,
+                    message: format!("bad number '{text}'"),
+                })?;
+                out.push(Token::Num(n));
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_cont(chars[i]) {
+                    i += 1;
+                }
+                // prefixed name?
+                if i < chars.len() && chars[i] == ':' {
+                    let prefix: String = chars[start..i].iter().collect();
+                    i += 1; // ':'
+                    let lstart = i;
+                    while i < chars.len() && (is_ident_cont(chars[i]) || chars[i] == '.') {
+                        i += 1;
+                    }
+                    // A trailing '.' belongs to the sentence, not the local name.
+                    let mut lend = i;
+                    while lend > lstart && chars[lend - 1] == '.' {
+                        lend -= 1;
+                    }
+                    i = lend;
+                    out.push(Token::PName(prefix, chars[lstart..lend].iter().collect()));
+                } else {
+                    out.push(Token::Ident(chars[start..i].iter().collect()));
+                }
+            }
+            ':' => {
+                // default-prefix name `:local`
+                i += 1;
+                let lstart = i;
+                while i < chars.len() && (is_ident_cont(chars[i]) || chars[i] == '.') {
+                    i += 1;
+                }
+                let mut lend = i;
+                while lend > lstart && chars[lend - 1] == '.' {
+                    lend -= 1;
+                }
+                i = lend;
+                out.push(Token::PName(String::new(), chars[lstart..lend].iter().collect()));
+            }
+            other => {
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_simple_query() {
+        let toks = tokenize("SELECT ?s WHERE { ?s <http://x/p> ?o . }").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert_eq!(toks[1], Token::Var("s".into()));
+        assert!(toks.contains(&Token::Iri("http://x/p".into())));
+        assert!(toks.contains(&Token::Dot));
+    }
+
+    #[test]
+    fn lex_pname_strips_trailing_dot() {
+        let toks = tokenize("?s bsbm:price ?o .").unwrap();
+        assert_eq!(toks[1], Token::PName("bsbm".into(), "price".into()));
+        let toks = tokenize("?p2 rdf:type bsbm:ProductType1 .").unwrap();
+        assert_eq!(
+            toks[2],
+            Token::PName("bsbm".into(), "ProductType1".into())
+        );
+        assert_eq!(toks[3], Token::Dot);
+    }
+
+    #[test]
+    fn lex_comparison_vs_iri() {
+        let toks = tokenize("FILTER(?x > 500) FILTER(?y < 3)").unwrap();
+        assert!(toks.contains(&Token::Gt));
+        assert!(toks.contains(&Token::Lt));
+        let toks = tokenize("<http://x/a>").unwrap();
+        assert_eq!(toks, vec![Token::Iri("http://x/a".into())]);
+    }
+
+    #[test]
+    fn lex_numbers() {
+        let toks = tokenize("5000 3.25 -7").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Num(5000.0), Token::Num(3.25), Token::Num(-7.0)]
+        );
+    }
+
+    #[test]
+    fn lex_string_with_escapes() {
+        let toks = tokenize(r#""MAPK \"signaling\"""#).unwrap();
+        assert_eq!(toks, vec![Token::Str("MAPK \"signaling\"".into())]);
+    }
+
+    #[test]
+    fn lex_operators() {
+        let toks = tokenize("!= <= >= && || !").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ne,
+                Token::Le,
+                Token::Ge,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Bang
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comments() {
+        let toks = tokenize("SELECT # comment\n ?s").unwrap();
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn lex_typed_literal() {
+        let toks = tokenize(r#""42"^^<http://www.w3.org/2001/XMLSchema#integer>"#).unwrap();
+        assert_eq!(toks[0], Token::Str("42".into()));
+        assert_eq!(toks[1], Token::DtMarker);
+        assert!(matches!(toks[2], Token::Iri(_)));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(tokenize("?").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("&x").is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! The paper's Appendix A queries in (near-)verbatim text form — including
+//! the idiosyncratic `(COUNT(?x) ?alias)` no-`AS` aggregate style and the
+//! `;`-chained predicate lists exactly as printed.
+
+use rapida_sparql::ast::ProjectionItem;
+use rapida_sparql::parse_query;
+
+const PFX: &str = "PREFIX : <http://paper.example/>\n";
+
+/// Appendix MG1 with its mixed aggregate syntax: `(COUNT(?pr2) ?cntF)`
+/// (no AS) alongside `(COUNT(?pr) As ?cntT)` (mixed-case As).
+#[test]
+fn mg1_verbatim_mixed_aggregate_syntax() {
+    let q = parse_query(&format!(
+        "{PFX}SELECT ?f ?sumF ?cntF ?sumT ?cntT {{
+ {{ SELECT ?f (COUNT(?pr2) ?cntF) (SUM(?pr2) ?sumF)
+ {{?p2 :type :ProductType1; :label ?l2; :productFeature ?f.
+  ?off2 :product ?p2; :price ?pr2 .
+ }} GROUP BY ?f
+}}
+ {{ SELECT (COUNT(?pr) As ?cntT) (SUM(?pr) As ?sumT)
+ {{?p1 :type :ProductType1; :label ?l1 .
+  ?off1 :product ?p1; :price ?pr .
+ }} }} }}"
+    ))
+    .expect("verbatim MG1 parses");
+    let subs = q.select.pattern.subselects();
+    assert_eq!(subs.len(), 2);
+    assert_eq!(subs[0].projection.len(), 3);
+    assert!(matches!(
+        subs[0].projection[1],
+        ProjectionItem::Aggregate { .. }
+    ));
+}
+
+/// Appendix G5 (with the paper's missing close-paren typo repaired).
+#[test]
+fn g5_verbatim() {
+    let q = parse_query(&format!(
+        "{PFX}SELECT ?cid (COUNT(?cid) as ?active_assays) {{
+ ?b :CID ?cid; :outcome ?a; :Score ?s1; :gi ?gi .
+ ?u :gi ?gi; :geneSymbol ?g .
+ ?di :gene ?g; :DBID ?dr .
+ ?dr :Generic_Name \"Dexamethasone\" .
+}} GROUP BY ?cid"
+    ))
+    .expect("verbatim G5 parses");
+    assert_eq!(q.select.pattern.triples().len(), 9);
+    assert_eq!(q.select.group_by.len(), 1);
+}
+
+/// Appendix G6 with the FILTER regex placed mid-pattern.
+#[test]
+fn g6_verbatim_with_regex() {
+    let q = parse_query(&format!(
+        "{PFX}SELECT ?cid (COUNT(?cid) as ?active_assays) {{
+ ?b :CID ?cid; :outcome ?a; :Score ?s1; :gi ?gi .
+ ?u :gi ?gi .
+ ?pathway :protein ?u; :Pathway_name ?pname .
+ FILTER regex(?pname, \"MAPK signaling pathway\", \"i\")
+}} GROUP BY ?cid"
+    ))
+    .expect("verbatim G6 parses");
+    assert_eq!(q.select.pattern.filters().len(), 1);
+}
+
+/// Appendix MG9: two structurally identical blocks, one grouped, one ALL.
+#[test]
+fn mg9_verbatim() {
+    let q = parse_query(&format!(
+        "{PFX}SELECT ?gs ?pPerGene ?pT {{
+ {{ SELECT ?gs (COUNT(?gs) as ?pPerGene)
+ {{?g :geneSymbol ?gs .
+  ?pmid :gene ?g; :side_effect ?se .
+ }} GROUP BY ?gs
+}}
+ {{ SELECT (COUNT(?gs1) as ?pT)
+ {{?g1 :geneSymbol ?gs1 .
+  ?pmid1 :gene ?g1; :side_effect ?se1 .
+ }} }} }}"
+    ))
+    .expect("verbatim MG9 parses");
+    let subs = q.select.pattern.subselects();
+    assert!(subs[1].group_by.is_empty(), "second block is GROUP BY ALL");
+}
+
+/// Appendix MG16 with a quoted constant object on `pub_type`.
+#[test]
+fn mg16_verbatim_constant_object() {
+    let q = parse_query(&format!(
+        "{PFX}SELECT ?ln ?perA ?allA {{
+ {{ SELECT ?ln (count(?ch) as ?perA)
+ {{?pub :pub_type \"News\"; :chemical ?ch; :author ?a .
+  ?a :last_name ?ln .
+ }} GROUP BY ?ln
+}}
+ {{ SELECT (count(?ch1) as ?allA)
+ {{?pub1 :pub_type \"News\"; :chemical ?ch1; :author ?a1 .
+  ?a1 :last_name ?ln1 .
+ }} }} }}"
+    ))
+    .expect("verbatim MG16 parses (lowercase count)");
+    let tps = q.select.pattern.subselects()[0].pattern.triples();
+    assert!(tps
+        .iter()
+        .any(|tp| tp.o.as_term().map(|t| t.lexical()) == Some("News")));
+}
+
+/// Fig. 1 AQ1 as printed, including the nested SELECT layout.
+#[test]
+fn aq1_fig1_shape() {
+    let q = parse_query(&format!(
+        "{PFX}SELECT ?f ?c ?sumF ?cntF ?sumT ?cntT {{
+  {{ SELECT ?f ?c (COUNT(?pr2) ?cntF) (SUM(?pr2) ?sumF)
+     {{ ?p2 :type :ProductType18; :label ?l2; :productFeature ?f .
+        ?off2 :product ?p2; :price ?pr2; :vendor ?v2 .
+        ?v2 :country ?c . }} GROUP BY ?f ?c }}
+  {{ SELECT ?c (COUNT(?pr) As ?cntT) (SUM(?pr) As ?sumT)
+     {{ ?p1 :type :ProductType18; :label ?l1 .
+        ?off1 :product ?p1; :price ?pr; :vendor ?v1 .
+        ?v1 :country ?c . }} GROUP BY ?c }}
+}}"
+    ))
+    .expect("AQ1 parses");
+    let subs = q.select.pattern.subselects();
+    assert_eq!(subs[0].group_by.len(), 2);
+    assert_eq!(subs[1].group_by.len(), 1);
+}

@@ -1,0 +1,138 @@
+//! Reference-evaluator edge cases beyond the unit suite: nested OPTIONALs,
+//! filters inside optional groups, cross-joined subselects and degenerate
+//! graphs.
+
+use rapida_rdf::{Graph, Term};
+use rapida_sparql::{evaluate, parse_query, Cell, Var};
+
+fn iri(s: &str) -> Term {
+    Term::iri(format!("http://x/{s}"))
+}
+
+fn g() -> Graph {
+    let mut g = Graph::new();
+    g.insert_terms(&iri("a"), &iri("p"), &Term::integer(1));
+    g.insert_terms(&iri("b"), &iri("p"), &Term::integer(2));
+    g.insert_terms(&iri("b"), &iri("q"), &Term::integer(20));
+    g.insert_terms(&iri("c"), &iri("p"), &Term::integer(3));
+    g.insert_terms(&iri("c"), &iri("q"), &Term::integer(30));
+    g.insert_terms(&iri("c"), &iri("r"), &Term::integer(300));
+    g
+}
+
+#[test]
+fn optional_with_inner_filter_keeps_outer_row() {
+    // The filter applies inside the OPTIONAL group: non-matching optionals
+    // degrade to unbound instead of dropping the outer row.
+    let q = parse_query(
+        "PREFIX ex: <http://x/>
+         SELECT ?s ?v { ?s ex:p ?o . OPTIONAL { ?s ex:q ?v . FILTER(?v > 25) } }",
+    )
+    .unwrap();
+    let rel = evaluate(&q, &g());
+    assert_eq!(rel.len(), 3);
+    let vcol = rel.col(&Var::new("v")).unwrap();
+    let bound: Vec<f64> = rel
+        .rows
+        .iter()
+        .filter_map(|r| r[vcol].as_num(&g().dict))
+        .collect();
+    assert_eq!(bound, vec![30.0], "only c's q=30 passes the inner filter");
+}
+
+#[test]
+fn nested_optionals() {
+    let q = parse_query(
+        "PREFIX ex: <http://x/>
+         SELECT ?s ?v ?w {
+           ?s ex:p ?o .
+           OPTIONAL { ?s ex:q ?v . OPTIONAL { ?s ex:r ?w . } }
+         }",
+    )
+    .unwrap();
+    let rel = evaluate(&q, &g());
+    assert_eq!(rel.len(), 3);
+    let (vc, wc) = (
+        rel.col(&Var::new("v")).unwrap(),
+        rel.col(&Var::new("w")).unwrap(),
+    );
+    // a: neither; b: v only; c: both.
+    let mut shapes: Vec<(bool, bool)> = rel
+        .rows
+        .iter()
+        .map(|r| (!matches!(r[vc], Cell::Null), !matches!(r[wc], Cell::Null)))
+        .collect();
+    shapes.sort();
+    assert_eq!(shapes, vec![(false, false), (true, false), (true, true)]);
+}
+
+#[test]
+fn cross_join_of_two_all_subselects() {
+    let q = parse_query(
+        "PREFIX ex: <http://x/>
+         SELECT ?n1 ?n2 {
+           { SELECT (COUNT(?a) AS ?n1) { ?s ex:p ?a . } }
+           { SELECT (SUM(?b) AS ?n2) { ?t ex:q ?b . } }
+         }",
+    )
+    .unwrap();
+    let rel = evaluate(&q, &g());
+    assert_eq!(rel.len(), 1);
+    assert_eq!(rel.rows[0][0], Cell::Num(3.0));
+    assert_eq!(rel.rows[0][1], Cell::Num(50.0));
+}
+
+#[test]
+fn empty_graph_aggregates() {
+    let empty = Graph::new();
+    let q = parse_query(
+        "SELECT (COUNT(?o) AS ?n) (SUM(?o) AS ?s) { ?x <http://x/p> ?o . }",
+    )
+    .unwrap();
+    let rel = evaluate(&q, &empty);
+    assert_eq!(rel.len(), 1);
+    assert_eq!(rel.rows[0][0], Cell::Num(0.0));
+    assert_eq!(rel.rows[0][1], Cell::Null, "SUM over nothing is unbound");
+}
+
+#[test]
+fn filter_on_unbound_variable_is_false() {
+    let q = parse_query(
+        "PREFIX ex: <http://x/>
+         SELECT ?s { ?s ex:p ?o . OPTIONAL { ?s ex:q ?v . } FILTER(?v > 0) }",
+    )
+    .unwrap();
+    let rel = evaluate(&q, &g());
+    // Only b and c have q at all.
+    assert_eq!(rel.len(), 2);
+}
+
+#[test]
+fn select_star_projects_all_vars() {
+    let q = parse_query("PREFIX ex: <http://x/> SELECT * { ?s ex:q ?v . }").unwrap();
+    let rel = evaluate(&q, &g());
+    assert_eq!(rel.vars.len(), 2);
+    assert_eq!(rel.len(), 2);
+}
+
+#[test]
+fn term_equality_filter_on_iris() {
+    let q = parse_query(
+        "PREFIX ex: <http://x/>
+         SELECT ?o { ?s ex:p ?o . FILTER(?s = ex:b) }",
+    )
+    .unwrap();
+    let rel = evaluate(&q, &g());
+    assert_eq!(rel.len(), 1);
+}
+
+#[test]
+fn not_filter() {
+    let q = parse_query(
+        "PREFIX ex: <http://x/>
+         SELECT ?o { ?s ex:p ?o . FILTER(!(?o > 1)) }",
+    )
+    .unwrap();
+    let rel = evaluate(&q, &g());
+    assert_eq!(rel.len(), 1, "only p=1 fails ?o > 1");
+}

@@ -1,0 +1,140 @@
+//! Property tests for the SPARQL front end: total functions over arbitrary
+//! input (no panics), parse determinism, and evaluator laws.
+
+use proptest::prelude::*;
+use rapida_rdf::{Graph, Term};
+use rapida_sparql::token::tokenize;
+use rapida_sparql::{evaluate, parse_query, Cell, Relation, Var};
+
+proptest! {
+    /// The lexer and parser are total: arbitrary input produces Ok or Err,
+    /// never a panic.
+    #[test]
+    fn lexer_and_parser_never_panic(input in "\\PC{0,200}") {
+        let _ = tokenize(&input);
+        let _ = parse_query(&input);
+    }
+
+    /// Parsing is deterministic.
+    #[test]
+    fn parse_is_deterministic(input in "[ -~]{0,120}") {
+        let a = parse_query(&input);
+        let b = parse_query(&input);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}
+
+fn arb_graph() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((0u8..12, 0u8..4, 0u8..10), 0..60)
+}
+
+fn build(triples: &[(u8, u8, u8)]) -> Graph {
+    let mut g = Graph::new();
+    for (s, p, o) in triples {
+        g.insert_terms(
+            &Term::iri(format!("http://x/s{s}")),
+            &Term::iri(format!("http://x/p{p}")),
+            &Term::integer(i64::from(*o)),
+        );
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// COUNT over a single triple pattern equals the property's cardinality.
+    #[test]
+    fn count_matches_cardinality(triples in arb_graph(), p in 0u8..4) {
+        let g = build(&triples);
+        let q = parse_query(&format!(
+            "SELECT (COUNT(?o) AS ?n) {{ ?s <http://x/p{p}> ?o . }}"
+        )).unwrap();
+        let rel = evaluate(&q, &g);
+        let expected = triples
+            .iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .iter()
+            .filter(|(_, tp, _)| *tp == p)
+            .count();
+        prop_assert_eq!(rel.rows[0][0], Cell::Num(expected as f64));
+    }
+
+    /// A numeric FILTER never increases the row count, and its complement
+    /// partitions the unfiltered rows.
+    #[test]
+    fn filter_partitions_rows(triples in arb_graph(), threshold in 0u8..10) {
+        let g = build(&triples);
+        let all = evaluate(
+            &parse_query("SELECT ?s ?o { ?s <http://x/p0> ?o . }").unwrap(),
+            &g,
+        );
+        let lo = evaluate(
+            &parse_query(&format!(
+                "SELECT ?s ?o {{ ?s <http://x/p0> ?o . FILTER(?o < {threshold}) }}"
+            )).unwrap(),
+            &g,
+        );
+        let hi = evaluate(
+            &parse_query(&format!(
+                "SELECT ?s ?o {{ ?s <http://x/p0> ?o . FILTER(?o >= {threshold}) }}"
+            )).unwrap(),
+            &g,
+        );
+        prop_assert_eq!(lo.len() + hi.len(), all.len());
+    }
+
+    /// SUM grouped by subject totals to the ungrouped SUM.
+    #[test]
+    fn group_sums_total(triples in arb_graph()) {
+        let g = build(&triples);
+        let grouped = evaluate(
+            &parse_query(
+                "SELECT ?s (SUM(?o) AS ?sum) { ?s <http://x/p1> ?o . } GROUP BY ?s"
+            ).unwrap(),
+            &g,
+        );
+        let total = evaluate(
+            &parse_query("SELECT (SUM(?o) AS ?sum) { ?s <http://x/p1> ?o . }").unwrap(),
+            &g,
+        );
+        let sum_of_groups: f64 = grouped
+            .rows
+            .iter()
+            .filter_map(|r| r[1].as_num(&g.dict))
+            .sum();
+        let grand = total.rows[0][0].as_num(&g.dict).unwrap_or(0.0);
+        prop_assert!((sum_of_groups - grand).abs() < 1e-9);
+    }
+
+    /// Canonicalization is invariant under row permutation.
+    #[test]
+    fn canonicalization_order_invariant(
+        rows in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..20),
+        seed in any::<u64>(),
+    ) {
+        let dict = rapida_rdf::Dictionary::new();
+        let cells: Vec<Vec<Cell>> = rows
+            .iter()
+            .map(|(a, b)| vec![Cell::Num(f64::from(*a)), Cell::Num(f64::from(*b))])
+            .collect();
+        let r1 = Relation {
+            vars: vec![Var::new("a"), Var::new("b")],
+            rows: cells.clone(),
+        };
+        // Deterministic pseudo-shuffle.
+        let mut shuffled = cells;
+        if shuffled.len() > 1 {
+            let n = shuffled.len();
+            for i in 0..n {
+                let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+                shuffled.swap(i, j);
+            }
+        }
+        let r2 = Relation {
+            vars: vec![Var::new("a"), Var::new("b")],
+            rows: shuffled,
+        };
+        prop_assert_eq!(r1.canonicalized(&dict), r2.canonicalized(&dict));
+    }
+}

@@ -1,0 +1,21 @@
+//! # rapida-storage
+//!
+//! Storage layouts for the two system families the paper compares:
+//!
+//! * [`vp`] — **vertical partitioning** with compressed columnar segments
+//!   (the Hive + ORC setup): one `(s, o)` table per property, property–object
+//!   partitions for `rdf:type`.
+//! * [`tg_store`] — **subject triplegroups** partitioned by equivalence
+//!   class (the RAPID+/RAPIDAnalytics setup).
+//!
+//! Both layouts materialize into the simulated DFS, so their (real,
+//! compressed) sizes drive split counts and scan costs exactly as in the
+//! paper's pre-processing section.
+
+pub mod segment;
+pub mod tg_store;
+pub mod vp;
+
+pub use segment::{decode_segment, decode_stats, encode_segment, SegmentStats};
+pub use tg_store::{decode_tg, encode_tg, EcMeta, TgStore};
+pub use vp::{read_dataset_rows, VpKey, VpStore, VpTableMeta};

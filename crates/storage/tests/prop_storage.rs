@@ -1,0 +1,100 @@
+//! Property tests for the storage layouts: segment codec + stats laws,
+//! triplegroup codec, and store/graph consistency.
+
+use proptest::prelude::*;
+use rapida_mapred::SimDfs;
+use rapida_rdf::{Graph, Term, TermId};
+use rapida_storage::{decode_segment, decode_stats, decode_tg, encode_segment, encode_tg, TgStore, VpKey, VpStore};
+
+proptest! {
+    #[test]
+    fn segment_roundtrip_and_stats(
+        mut rows in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..200)
+    ) {
+        let mut rows: Vec<(u64, u64)> = rows
+            .drain(..)
+            .map(|(s, o)| (u64::from(s), u64::from(o)))
+            .collect();
+        rows.sort_unstable();
+        let mut buf = Vec::new();
+        encode_segment(&rows, |_| None, &mut buf);
+        prop_assert_eq!(decode_segment(&buf).unwrap(), rows.clone());
+        let stats = decode_stats(&buf).unwrap();
+        prop_assert_eq!(stats.rows as usize, rows.len());
+        if !rows.is_empty() {
+            prop_assert_eq!(stats.o_min, rows.iter().map(|r| r.1).min().unwrap());
+            prop_assert_eq!(stats.o_max, rows.iter().map(|r| r.1).max().unwrap());
+        }
+    }
+
+    #[test]
+    fn segment_numeric_stats(
+        mut rows in proptest::collection::vec((any::<u32>(), 0u64..1000), 1..100)
+    ) {
+        let mut rows: Vec<(u64, u64)> = rows
+            .drain(..)
+            .map(|(s, o)| (u64::from(s), o))
+            .collect();
+        rows.sort_unstable();
+        let mut buf = Vec::new();
+        encode_segment(&rows, |o| Some(o as f64), &mut buf);
+        let stats = decode_stats(&buf).unwrap();
+        let lo = rows.iter().map(|r| r.1 as f64).fold(f64::INFINITY, f64::min);
+        let hi = rows.iter().map(|r| r.1 as f64).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(stats.numeric, Some((lo, hi)));
+        prop_assert_eq!(decode_segment(&buf).unwrap(), rows);
+    }
+
+    #[test]
+    fn tg_codec_roundtrip(
+        subject in any::<u64>(),
+        pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..40),
+    ) {
+        let mut buf = Vec::new();
+        encode_tg(subject, &pairs, &mut buf);
+        prop_assert_eq!(decode_tg(&buf), Some((subject, pairs)));
+    }
+
+    /// Loading a random graph into both layouts conserves the triple count:
+    /// the VP tables and the triplegroup partitions each hold every triple
+    /// exactly once.
+    #[test]
+    fn both_layouts_conserve_triples(
+        triples in proptest::collection::btree_set((0u64..30, 0u64..6, 0u64..20), 0..120)
+    ) {
+        let mut g = Graph::new();
+        for (s, p, o) in &triples {
+            g.insert_terms(
+                &Term::iri(format!("http://x/s{s}")),
+                &Term::iri(format!("http://x/p{p}")),
+                &Term::iri(format!("http://x/o{o}")),
+            );
+        }
+        let n = g.len();
+
+        let dfs = SimDfs::new();
+        let vp = VpStore::load(&g, &dfs, 16);
+        let vp_rows: usize = vp.tables().map(|t| t.rows).sum();
+        prop_assert_eq!(vp_rows, n, "VP tables hold every triple once");
+
+        let tg = TgStore::load(&g, &dfs, 128);
+        let mut tg_rows = 0usize;
+        for ec in tg.classes() {
+            let ds = dfs.peek(&ec.dataset).unwrap();
+            for rec in ds.iter_records() {
+                tg_rows += decode_tg(rec).unwrap().1.len();
+            }
+        }
+        prop_assert_eq!(tg_rows, n, "triplegroups hold every triple once");
+
+        // Every VP table reads back its full row count.
+        for meta in vp.tables() {
+            let rows = vp.read_table(&dfs, meta.key);
+            prop_assert_eq!(rows.len(), meta.rows);
+        }
+        // A covering query over an absent property selects nothing.
+        let absent = TermId(9999);
+        prop_assert!(tg.datasets_covering(&[absent]).is_empty());
+        prop_assert!(vp.table(VpKey::Prop(absent)).is_none());
+    }
+}

@@ -1,0 +1,101 @@
+//! Integration tests for the `rapida` command-line front end, driving the
+//! compiled binary.
+
+use std::process::Command;
+
+fn rapida() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rapida"))
+}
+
+#[test]
+fn catalog_lists_all_queries() {
+    let out = rapida().arg("catalog").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for id in ["G1", "G9", "MG1", "MG18"] {
+        assert!(text.contains(id), "catalog must list {id}");
+    }
+}
+
+#[test]
+fn run_over_ntriples_file() {
+    let dir = std::env::temp_dir().join("rapida_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("d.nt");
+    let query = dir.join("q.rq");
+    std::fs::write(
+        &data,
+        "<http://x/p1> <http://x/f> <http://x/featA> .\n\
+         <http://x/o1> <http://x/pr> <http://x/p1> .\n\
+         <http://x/o1> <http://x/pc> \"5\" .\n\
+         <http://x/o2> <http://x/pr> <http://x/p1> .\n\
+         <http://x/o2> <http://x/pc> \"7\" .\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &query,
+        "PREFIX ex: <http://x/>\n\
+         SELECT ?f (COUNT(?pr) AS ?n) { ?p ex:f ?f . ?o ex:pr ?p ; ex:pc ?pr . } GROUP BY ?f",
+    )
+    .unwrap();
+    let out = rapida()
+        .args([
+            "run",
+            "--engine",
+            "ra",
+            "--data",
+            data.to_str().unwrap(),
+            "--query",
+            query.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("featA"));
+    assert!(stdout.contains('2'), "count of 2 offers");
+}
+
+#[test]
+fn explain_prints_cycles() {
+    // Use a file-based dataset to keep this test fast (the built-in
+    // datasets generate tens of thousands of triples).
+    let dir = std::env::temp_dir().join("rapida_cli_test2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("d.nt");
+    let query = dir.join("q.rq");
+    std::fs::write(&data, "<http://x/o1> <http://x/pc> \"5\" .\n").unwrap();
+    std::fs::write(
+        &query,
+        "PREFIX ex: <http://x/>\nSELECT (COUNT(?pr) AS ?n) { ?o ex:pc ?pr . }",
+    )
+    .unwrap();
+    let out = rapida()
+        .args([
+            "explain",
+            "--engine",
+            "all",
+            "--data",
+            data.to_str().unwrap(),
+            "--query",
+            query.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Hive (Naive) plan"));
+    assert!(stdout.contains("RAPIDAnalytics plan"));
+    assert!(stdout.contains("MR1"));
+}
+
+#[test]
+fn bad_arguments_exit_nonzero() {
+    let out = rapida().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    let out = rapida()
+        .args(["run", "--dataset", "nosuch"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}

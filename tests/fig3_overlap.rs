@@ -1,0 +1,88 @@
+//! Figure 3 of the paper as an executable test: the AQ2 graph patterns
+//! overlap; the AQ3 graph patterns do not (object-subject vs object-object
+//! join structures).
+
+use rapida::core::{graphs_overlap, stars_overlap};
+use rapida::sparql::analysis::decompose;
+use rapida::sparql::{parse_query, TriplePattern};
+
+fn bgp(q: &str) -> Vec<TriplePattern> {
+    parse_query(q)
+        .unwrap()
+        .select
+        .pattern
+        .triples()
+        .into_iter()
+        .cloned()
+        .collect()
+}
+
+const P: &str = "PREFIX ex: <http://x/>\n";
+
+#[test]
+fn aq2_gp1_overlaps_gp2() {
+    let gp1 = decompose(&bgp(&format!(
+        "{P}SELECT ?s1 {{ ?s1 a ex:PT18 . ?s2 ex:pr ?s1 ; ex:pc ?o1 ; ex:ve ?o2 . }}"
+    )))
+    .unwrap();
+    let gp2 = decompose(&bgp(&format!(
+        "{P}SELECT ?s1 {{ ?s1 a ex:PT18 ; ex:pf ?o3 . ?s2 ex:pr ?s1 ; ex:pc ?o4 . }}"
+    )))
+    .unwrap();
+
+    // Star-level overlaps of Fig. 3: {ty} and {pr, pc}.
+    assert!(stars_overlap(&gp1.stars[0], &gp2.stars[0]));
+    assert!(stars_overlap(&gp1.stars[1], &gp2.stars[1]));
+
+    // Graph-level overlap with the identity mapping.
+    let ov = graphs_overlap(&gp1, &gp2).expect("AQ2 overlaps");
+    assert_eq!(ov.mapping, vec![0, 1]);
+}
+
+#[test]
+fn aq3_gp1_does_not_overlap_gp2() {
+    let gp1 = decompose(&bgp(&format!(
+        "{P}SELECT ?s3 {{ ?s3 ex:pr ?s1 ; ex:pc ?o5 ; ex:ve ?s4 . ?s4 ex:cn ?o6 . }}"
+    )))
+    .unwrap();
+    let gp2 = decompose(&bgp(&format!(
+        "{P}SELECT ?s3 {{ ?s3 ex:pr ?s1 ; ex:pc ?o5 ; ex:ve ?o6 . ?s4 ex:cn ?o6 . }}"
+    )))
+    .unwrap();
+
+    // Both star pairs overlap individually (property sets intersect) …
+    assert!(stars_overlap(&gp1.stars[0], &gp2.stars[0]));
+    assert!(stars_overlap(&gp1.stars[1], &gp2.stars[1]));
+    // … but the join structures disagree (object-subject vs object-object),
+    // so Def 3.2 rejects the pair — exactly Fig. 3's verdict.
+    assert!(graphs_overlap(&gp1, &gp2).is_none());
+}
+
+#[test]
+fn aq2_composite_has_pf_and_ve_secondary() {
+    // Building the composite for the AQ2 pair through the analytical IR:
+    // props(Stp'_a) = { ty18, pf }, props(Stp'_b) = { pr, pc, ve } with pf
+    // and ve secondary (§3 "Construction of a Composite Graph Pattern").
+    let q = format!(
+        "{P}SELECT ?s1cnt ?s2cnt {{
+            {{ SELECT (COUNT(?o1) AS ?s1cnt)
+               {{ ?s1 a ex:PT18 . ?s2 ex:pr ?s1 ; ex:pc ?o1 ; ex:ve ?o2 . }} }}
+            {{ SELECT (COUNT(?o4) AS ?s2cnt)
+               {{ ?t1 a ex:PT18 ; ex:pf ?o3 . ?t2 ex:pr ?t1 ; ex:pc ?o4 . }} }}
+        }}"
+    );
+    let aq = rapida::core::extract(&parse_query(&q).unwrap()).unwrap();
+    match rapida::core::build_composite(&aq.blocks).unwrap() {
+        rapida::core::CompositeOutcome::Composite(c) => {
+            assert_eq!(c.stars.len(), 2);
+            let star_a = &c.stars[0];
+            assert_eq!(star_a.primary.len(), 1, "P_prim = {{ty18}}");
+            assert!(star_a.primary[0].is_type_key());
+            assert_eq!(star_a.secondary.len(), 1, "P_sec = {{pf}}");
+            let star_b = &c.stars[1];
+            assert_eq!(star_b.primary.len(), 2, "P_prim = {{pr, pc}}");
+            assert_eq!(star_b.secondary.len(), 1, "P_sec = {{ve}}");
+        }
+        other => panic!("AQ2 must compose, got {other:?}"),
+    }
+}
