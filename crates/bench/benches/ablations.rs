@@ -3,7 +3,8 @@
 //! parallel vs sequential Agg-Join (Fig. 6), and composite-GP sharing
 //! (RAPIDAnalytics vs RAPID+).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rapida_testkit::bench::{BenchmarkId, Criterion};
+use rapida_testkit::{criterion_group, criterion_main};
 use rapida_bench::Workbench;
 use rapida_core::engines::{RapidAnalytics, RapidPlus};
 use rapida_core::QueryEngine;

@@ -1,6 +1,6 @@
 //! Shared criterion plumbing for the per-table/figure benchmarks.
 
-use criterion::{BenchmarkId, Criterion};
+use rapida_testkit::bench::{BenchmarkId, Criterion};
 use rapida_bench::Workbench;
 use rapida_core::QueryEngine;
 use rapida_datagen::query;

@@ -2,7 +2,8 @@
 
 mod common;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rapida_testkit::bench::Criterion;
+use rapida_testkit::{criterion_group, criterion_main};
 use rapida_bench::{all_engines, Workbench};
 
 fn bench(c: &mut Criterion) {

@@ -2,7 +2,8 @@
 //! filter (Def 3.3), n-split (Def 3.4), α-join (Def 3.5) and Agg-Join
 //! accumulation (Def 3.6).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rapida_testkit::bench::Criterion;
+use rapida_testkit::{criterion_group, criterion_main};
 use rapida_ntga::{
     agg_join, alpha_join, n_split, opt_group_filter, AggJoinSpec, AggOp, AggSpec, AlphaCond,
     AlphaTerm, AnnTg, PropReq, StarSpec, TripleGroup, VarRef,

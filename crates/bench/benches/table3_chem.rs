@@ -3,7 +3,8 @@
 
 mod common;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rapida_testkit::bench::Criterion;
+use rapida_testkit::{criterion_group, criterion_main};
 use rapida_bench::{table3_engines, Workbench};
 
 fn bench(c: &mut Criterion) {

@@ -133,7 +133,7 @@ impl Workbench {
         )
     }
 
-    /// A tiny BSBM workbench for fast criterion runs and smoke tests.
+    /// A tiny BSBM workbench for fast bench runs and smoke tests.
     pub fn bsbm_tiny() -> Workbench {
         Workbench::new(
             generate_bsbm(&BsbmConfig::tiny()),

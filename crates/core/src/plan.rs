@@ -207,7 +207,7 @@ impl AllGroupFixup {
         let mut bb = BlockBuilder::new();
         bb.push(&buf);
         let mut blocks = existing.blocks.clone();
-        blocks.push(bytes::Bytes::from(bb.finish()));
+        blocks.push(rapida_mapred::Bytes::from(bb.finish()));
         dfs.put(
             &self.dataset,
             Dataset {

@@ -6,8 +6,7 @@
 //! Selectivity mirrors the paper's setup: `ProductType1` is low-selectivity
 //! (many products), `ProductType9` high-selectivity (few products).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rapida_testkit::rng::StdRng;
 use rapida_rdf::{vocab, Graph, Term};
 
 /// Generator configuration.

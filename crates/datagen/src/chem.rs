@@ -4,8 +4,7 @@
 //! "hepatomegaly") and MEDLINE-like publications (the large VP relations of
 //! G9 / MG9–MG10).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rapida_testkit::rng::StdRng;
 use rapida_rdf::{vocab, Graph, Term};
 
 /// Generator configuration.

@@ -6,8 +6,7 @@
 //! relations whose join blow-up made naive Hive exhaust HDFS space on MG13
 //! in the paper; the generator reproduces that fan-out at laptop scale.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rapida_testkit::rng::StdRng;
 use rapida_rdf::{vocab, Graph, Term};
 
 /// Generator configuration.

@@ -1,0 +1,155 @@
+//! A cheap-to-clone immutable byte buffer: the in-tree replacement for the
+//! `bytes` crate's `Bytes`.
+//!
+//! A [`Bytes`] is an `Arc<[u8]>` plus a window, so cloning a dataset block
+//! (which the simulated DFS does on every `get`) is a refcount bump, and
+//! slicing shares the parent allocation. Exactly the two properties the
+//! engine needs — nothing else from the external crate was used.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer with zero-copy slicing.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+            start: 0,
+            len: 0,
+        }
+    }
+
+    /// Length of the visible window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the window empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A zero-copy sub-window; panics when the range is out of bounds,
+    /// matching slice indexing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&i) => i,
+            Bound::Excluded(&i) => i + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&i) => i + 1,
+            Bound::Excluded(&i) => i,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            lo <= hi && hi <= self.len,
+            "slice {lo}..{hi} out of bounds for Bytes of length {}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            len: hi - lo,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            len: v.len(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_allocation() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let c = b.clone();
+        assert_eq!(&*b, &*c);
+        assert!(Arc::ptr_eq(&b.data, &c.data));
+    }
+
+    #[test]
+    fn slice_is_a_window() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(&*s, &[2, 3, 4]);
+        let ss = s.slice(1..);
+        assert_eq!(&*ss, &[3, 4]);
+        assert!(Arc::ptr_eq(&b.data, &ss.data));
+        assert_eq!(b.slice(..0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(vec![1u8]).slice(0..2);
+    }
+
+    #[test]
+    fn empty_and_eq() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from(vec![1u8, 2]), Bytes::from(&[1u8, 2][..]));
+    }
+}

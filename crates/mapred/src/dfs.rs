@@ -4,10 +4,10 @@
 //! block-per-split default. Read/write byte counters feed the cluster cost
 //! model.
 
+use crate::bytes::Bytes;
 use crate::codec::{BlockBuilder, RecordIter};
-use bytes::Bytes;
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -91,12 +91,12 @@ impl SimDfs {
     pub fn put(&self, name: &str, ds: Dataset) {
         self.bytes_written
             .fetch_add(ds.total_bytes() as u64, Ordering::Relaxed);
-        self.inner.write().insert(name.to_string(), ds);
+        self.inner.write().unwrap().insert(name.to_string(), ds);
     }
 
     /// Fetch a dataset (cheap: blocks are refcounted).
     pub fn get(&self, name: &str) -> Option<Dataset> {
-        let ds = self.inner.read().get(name).cloned();
+        let ds = self.inner.read().unwrap().get(name).cloned();
         if let Some(d) = &ds {
             self.bytes_read
                 .fetch_add(d.total_bytes() as u64, Ordering::Relaxed);
@@ -106,22 +106,22 @@ impl SimDfs {
 
     /// Peek at a dataset without counting a read.
     pub fn peek(&self, name: &str) -> Option<Dataset> {
-        self.inner.read().get(name).cloned()
+        self.inner.read().unwrap().get(name).cloned()
     }
 
     /// Remove a dataset.
     pub fn remove(&self, name: &str) -> Option<Dataset> {
-        self.inner.write().remove(name)
+        self.inner.write().unwrap().remove(name)
     }
 
     /// Does the dataset exist?
     pub fn contains(&self, name: &str) -> bool {
-        self.inner.read().contains_key(name)
+        self.inner.read().unwrap().contains_key(name)
     }
 
     /// Names of all stored datasets, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.inner.read().keys().cloned().collect();
+        let mut v: Vec<String> = self.inner.read().unwrap().keys().cloned().collect();
         v.sort();
         v
     }
@@ -140,6 +140,7 @@ impl SimDfs {
     pub fn stored_bytes(&self) -> u64 {
         self.inner
             .read()
+            .unwrap()
             .values()
             .map(|d| d.total_bytes() as u64)
             .sum()

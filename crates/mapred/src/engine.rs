@@ -2,12 +2,12 @@
 //! shuffle with sort, parallel reduce — a faithful in-process model of the
 //! Hadoop execution cycle, with real serialization at every boundary.
 
+use crate::bytes::Bytes;
 use crate::codec::{BlockBuilder, RecordIter};
 use crate::dfs::{Dataset, SimDfs};
 use crate::job::{InputSrc, Job, MapOutput, ReduceOutput};
 use crate::metrics::{JobMetrics, WorkflowMetrics};
-use bytes::Bytes;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// FNV-1a over a byte string; the shuffle partitioner.
@@ -18,6 +18,16 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// The reducer a key is routed to: FNV-1a modulo the reducer count.
+///
+/// This is *the* shuffle contract — it depends only on the key bytes and the
+/// partition count, never on worker threads or split layout, which is what
+/// makes reruns of a workflow bit-for-bit reproducible.
+#[inline]
+pub fn shuffle_partition(key: &[u8], num_partitions: usize) -> usize {
+    (fnv1a(key) % num_partitions.max(1) as u64) as usize
 }
 
 /// Execution engine bound to a [`SimDfs`].
@@ -88,10 +98,10 @@ impl Engine {
         let results: Mutex<Vec<MapResult>> = Mutex::new(Vec::new());
         let workers = self.workers.max(1);
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let next = splits_queue.lock().pop();
+                scope.spawn(|| loop {
+                    let next = splits_queue.lock().unwrap().pop();
                     let Some((_idx, (di, block))) = next else {
                         break;
                     };
@@ -130,10 +140,10 @@ impl Engine {
                     let mut partitions: Vec<Vec<(Vec<u8>, Vec<u8>)>> =
                         (0..num_partitions).map(|_| Vec::new()).collect();
                     for (k, v) in kvs {
-                        let p = (fnv1a(&k) % num_partitions as u64) as usize;
+                        let p = shuffle_partition(&k, num_partitions);
                         partitions[p].push((k, v));
                     }
-                    results.lock().push(MapResult {
+                    results.lock().unwrap().push(MapResult {
                         partitions,
                         records: std::mem::take(&mut out.records),
                         raw_kv_records,
@@ -141,10 +151,9 @@ impl Engine {
                     });
                 });
             }
-        })
-        .expect("map phase panicked");
+        });
 
-        let map_results = results.into_inner();
+        let map_results = results.into_inner().expect("map phase panicked");
         for r in &map_results {
             metrics.map_output_records += r.raw_kv_records;
             metrics.map_output_bytes += r.raw_kv_bytes;
@@ -195,10 +204,10 @@ impl Engine {
                     .collect::<Vec<_>>(),
             );
             let blocks_out: Mutex<Vec<(usize, Vec<u8>)>> = Mutex::new(Vec::new());
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|_| loop {
-                        let part = part_queue.lock().pop();
+                    scope.spawn(|| loop {
+                        let part = part_queue.lock().unwrap().pop();
                         let Some(kvs) = part else { break };
                         let mut task = reducer.create();
                         let mut out = ReduceOutput::default();
@@ -212,16 +221,15 @@ impl Engine {
                                 bb.push(rec);
                             }
                             let n = bb.records();
-                            blocks_out.lock().push((n, bb.finish()));
+                            blocks_out.lock().unwrap().push((n, bb.finish()));
                         }
                     });
                 }
-            })
-            .expect("reduce phase panicked");
+            });
 
             let mut blocks = Vec::new();
             let mut records = 0usize;
-            for (n, b) in blocks_out.into_inner() {
+            for (n, b) in blocks_out.into_inner().expect("reduce phase panicked") {
                 records += n;
                 blocks.push(Bytes::from(b));
             }

@@ -7,6 +7,8 @@
 //! measured, not estimated.
 //!
 //! Components:
+//! * [`bytes`] — the cheap-clone immutable byte buffer ([`Bytes`]) blocks
+//!   are made of.
 //! * [`codec`] — varint record encoding shared by all operators.
 //! * [`dfs`] — the simulated DFS ([`SimDfs`]) holding named datasets of
 //!   splits.
@@ -17,6 +19,7 @@
 //! * [`cost`] — the analytic cluster model turning metrics into simulated
 //!   cluster seconds ([`ClusterModel`]).
 
+pub mod bytes;
 pub mod codec;
 pub mod cost;
 pub mod dfs;
@@ -24,9 +27,10 @@ pub mod engine;
 pub mod job;
 pub mod metrics;
 
+pub use bytes::Bytes;
 pub use cost::ClusterModel;
 pub use dfs::{Dataset, DatasetWriter, SimDfs};
-pub use engine::Engine;
+pub use engine::{shuffle_partition, Engine};
 pub use job::{
     FnMapFactory, FnReduceFactory, InputSrc, Job, JobBuilder, MapOutput, MapTask, MapTaskFactory,
     ReduceOutput, ReduceTask, ReduceTaskFactory,

@@ -1,7 +1,7 @@
 //! Property tests for the cluster cost model: monotonicity in every input
 //! dimension and sane composition over workflows.
 
-use proptest::prelude::*;
+use rapida_testkit::prelude::*;
 use rapida_mapred::{ClusterModel, JobMetrics, WorkflowMetrics};
 
 fn arb_job() -> impl Strategy<Value = JobMetrics> {

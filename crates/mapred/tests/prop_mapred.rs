@@ -3,7 +3,7 @@
 //! checked against an in-memory oracle (with and without combiner, across
 //! reducer counts).
 
-use proptest::prelude::*;
+use rapida_testkit::prelude::*;
 use rapida_mapred::codec::{
     read_bytes, read_f64, read_u64_list, read_varint, write_bytes, write_f64, write_u64_list,
     write_varint, BlockBuilder, RecordIter,

@@ -1,7 +1,7 @@
 //! Property tests for the NTGA operators: the set-theoretic laws of
 //! Definitions 3.3–3.5, partial-aggregate algebra, and codec round-trips.
 
-use proptest::prelude::*;
+use rapida_testkit::prelude::*;
 use rapida_ntga::{
     alpha_join, any_alpha_partial, n_split, opt_group_filter, AggOp, AggRec, AlphaCond,
     AlphaTerm, AnnTg, PartialAgg, PropReq, StarSpec, TripleGroup,

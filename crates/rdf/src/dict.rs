@@ -6,9 +6,8 @@
 
 use crate::fxhash::FxHashMap;
 use crate::term::Term;
-use parking_lot::RwLock;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A dictionary-encoded term identifier.
 ///
@@ -57,10 +56,10 @@ impl Dictionary {
 
     /// Intern a term, returning its id. Idempotent.
     pub fn intern(&self, term: &Term) -> TermId {
-        if let Some(id) = self.inner.read().index.get(term) {
+        if let Some(id) = self.inner.read().unwrap().index.get(term) {
             return *id;
         }
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().unwrap();
         if let Some(id) = inner.index.get(term) {
             return *id;
         }
@@ -78,30 +77,32 @@ impl Dictionary {
 
     /// Look up an already-interned term without inserting.
     pub fn lookup(&self, term: &Term) -> Option<TermId> {
-        self.inner.read().index.get(term).copied()
+        self.inner.read().unwrap().index.get(term).copied()
     }
 
     /// Resolve an id back to its term. Panics on unknown ids (ids only come
     /// from this dictionary, so an unknown id is a logic error).
     pub fn term(&self, id: TermId) -> Term {
-        self.inner.read().terms[id.0 as usize].clone()
+        self.inner.read().unwrap().terms[id.0 as usize].clone()
     }
 
     /// The lexical form of the term behind `id` (IRI string / literal lexical
     /// form / bnode label).
     pub fn lexical(&self, id: TermId) -> String {
-        self.inner.read().terms[id.0 as usize].lexical().to_string()
+        self.inner.read().unwrap().terms[id.0 as usize]
+            .lexical()
+            .to_string()
     }
 
     /// Cached numeric value of the literal behind `id`, if numeric.
     #[inline]
     pub fn numeric_value(&self, id: TermId) -> Option<f64> {
-        self.inner.read().numeric[id.0 as usize]
+        self.inner.read().unwrap().numeric[id.0 as usize]
     }
 
     /// Number of distinct interned terms.
     pub fn len(&self) -> usize {
-        self.inner.read().terms.len()
+        self.inner.read().unwrap().terms.len()
     }
 
     /// True if nothing has been interned.
@@ -112,7 +113,7 @@ impl Dictionary {
     /// Snapshot of numeric values indexed by raw id, for lock-free access in
     /// parallel operators. Index `i` holds the numeric value of `TermId(i)`.
     pub fn numeric_snapshot(&self) -> Vec<Option<f64>> {
-        self.inner.read().numeric.clone()
+        self.inner.read().unwrap().numeric.clone()
     }
 
     /// Snapshot of lexical forms indexed by raw id, for lock-free access in
@@ -120,6 +121,7 @@ impl Dictionary {
     pub fn lexical_snapshot(&self) -> Vec<String> {
         self.inner
             .read()
+            .unwrap()
             .terms
             .iter()
             .map(|t| t.lexical().to_string())

@@ -1,7 +1,7 @@
 //! Property tests: N-Triples serialization round-trips for arbitrary terms,
 //! and dictionary identity laws.
 
-use proptest::prelude::*;
+use rapida_testkit::prelude::*;
 use rapida_rdf::{parse_ntriples, write_ntriples, Dictionary, Term, TermTriple};
 
 /// Printable-ish strings including the characters the escaper must handle.

@@ -33,10 +33,15 @@ impl Cell {
         match self {
             Cell::Term(id) => format!("t:{}", dict.term(*id)),
             Cell::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 9e15 {
-                    format!("n:{}", *n as i64)
+                // Round to the printed precision BEFORE testing integrality;
+                // otherwise 36516.0 and 36516.0000000000004 (the same sum
+                // accumulated in different orders) take different branches
+                // and canonicalization stops absorbing f64 noise.
+                let r = if n.abs() < 9e15 { (n * 1e6).round() / 1e6 } else { *n };
+                if r.fract() == 0.0 && r.abs() < 9e15 {
+                    format!("n:{}", r as i64)
                 } else {
-                    format!("n:{n:.6}")
+                    format!("n:{r:.6}")
                 }
             }
             Cell::Null => "∅".to_string(),

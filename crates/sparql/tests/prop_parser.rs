@@ -1,7 +1,7 @@
 //! Property tests for the SPARQL front end: total functions over arbitrary
 //! input (no panics), parse determinism, and evaluator laws.
 
-use proptest::prelude::*;
+use rapida_testkit::prelude::*;
 use rapida_rdf::{Graph, Term};
 use rapida_sparql::token::tokenize;
 use rapida_sparql::{evaluate, parse_query, Cell, Relation, Var};

@@ -1,7 +1,7 @@
 //! Property tests for the storage layouts: segment codec + stats laws,
 //! triplegroup codec, and store/graph consistency.
 
-use proptest::prelude::*;
+use rapida_testkit::prelude::*;
 use rapida_mapred::SimDfs;
 use rapida_rdf::{Graph, Term, TermId};
 use rapida_storage::{decode_segment, decode_stats, decode_tg, encode_segment, encode_tg, TgStore, VpKey, VpStore};

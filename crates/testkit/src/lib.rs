@@ -1,0 +1,41 @@
+//! # rapida-testkit
+//!
+//! In-tree, std-only test infrastructure for the RAPIDA workspace. The
+//! registry is unreachable in the build environment, so everything the tests
+//! and benchmarks need lives here:
+//!
+//! * [`rng`] — a seedable SplitMix64/xoshiro256** PRNG with the small
+//!   `StdRng::seed_from_u64` / `gen_range` / `gen_bool` surface the
+//!   generators use.
+//! * [`prop`] — a lightweight property-testing harness with a
+//!   `proptest!`-compatible macro shape, generator combinators, fixed
+//!   default seeds (overridable via `RAPIDA_PROP_SEED` / `RAPIDA_PROP_CASES`)
+//!   and greedy tape-based shrinking on failure.
+//! * [`bench`] — a micro-benchmark harness with a criterion-compatible
+//!   surface (warmup, N timed samples, median/min report, JSON output to
+//!   `BENCH_<group>.json`).
+//!
+//! Determinism is a correctness requirement here: the paper's claims are
+//! about relative plan cost (MR cycles, shuffle bytes), and the test suite
+//! must reproduce them bit-for-bit across runs. Every random draw in the
+//! workspace flows through [`rng`], seeded explicitly.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+/// One-line import for property tests, mirroring `proptest::prelude::*`.
+///
+/// Ported test files keep their `proptest::collection::vec(..)` /
+/// `prop::option::of(..)` paths working through the module aliases exported
+/// here.
+pub mod prelude {
+    pub use crate::prop::{
+        any, Arbitrary, Config, Config as ProptestConfig, Strategy, Union,
+    };
+    // Path-compatibility aliases: `proptest::collection::vec`,
+    // `prop::option::of`, `proptest::string::string_regex` all resolve.
+    pub use crate::prop as prop;
+    pub use crate::prop as proptest;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}

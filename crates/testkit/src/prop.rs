@@ -1,0 +1,789 @@
+//! A lightweight property-testing harness with a `proptest!`-compatible
+//! macro shape.
+//!
+//! ## Model
+//!
+//! A [`Strategy`] draws a value from a [`Gen`]. `Gen` records every raw
+//! `u64` it hands out on a *tape*; shrinking operates on that tape
+//! (truncate, zero, halve, decrement entries) and regenerates the value
+//! from the mutated tape. Because every combinator draws through `Gen`,
+//! shrinking works uniformly through `prop_map`, `prop_oneof!`, collections
+//! and string-regex strategies without per-type shrinkers: smaller draws
+//! produce structurally smaller values (a zeroed length draw empties a
+//! vector, a zeroed range draw lands on the range start).
+//!
+//! ## Determinism
+//!
+//! Every test runs from a fixed default seed; each case derives its own
+//! SplitMix64 stream, so case `i` is reproducible in isolation. On failure
+//! the harness greedily shrinks, then panics with the seed, the case index
+//! and the minimal failing input. `RAPIDA_PROP_CASES` and
+//! `RAPIDA_PROP_SEED` override the case count and seed.
+
+use crate::rng::{splitmix64, StdRng};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+// ---------------------------------------------------------------------------
+// Gen: the recording/replaying random source strategies draw from.
+// ---------------------------------------------------------------------------
+
+/// The random source handed to [`Strategy::generate`].
+///
+/// In *live* mode draws come from the PRNG; in *replay* mode they come from
+/// a (possibly mutated) tape, with zeros once the tape is exhausted. All
+/// draws are recorded, so the canonical tape of a generation is always
+/// available afterwards.
+pub struct Gen<'a> {
+    live: StdRng,
+    replay: Option<&'a [u64]>,
+    pos: usize,
+    tape: Vec<u64>,
+}
+
+impl<'a> Gen<'a> {
+    /// A live generator seeded from `seed`.
+    pub fn live(seed: u64) -> Self {
+        Gen {
+            live: StdRng::seed_from_u64(seed),
+            replay: None,
+            pos: 0,
+            tape: Vec::new(),
+        }
+    }
+
+    /// A replaying generator over a fixed tape (zeros past the end).
+    pub fn replay(tape: &'a [u64]) -> Self {
+        Gen {
+            live: StdRng::seed_from_u64(0),
+            replay: Some(tape),
+            pos: 0,
+            tape: Vec::new(),
+        }
+    }
+
+    /// The raw draws consumed by the last generation.
+    pub fn into_tape(self) -> Vec<u64> {
+        self.tape
+    }
+
+    /// Next raw 64 bits (recorded).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let v = match self.replay {
+            Some(t) => t.get(self.pos).copied().unwrap_or(0),
+            None => self.live.next_u64(),
+        };
+        self.pos += 1;
+        self.tape.push(v);
+        v
+    }
+
+    /// Uniform-ish value in `[0, n)`. Uses a plain modulo so that a zeroed
+    /// tape entry maps to the smallest value — the shrinker relies on this
+    /// (rejection sampling would consume a data-dependent number of draws
+    /// and desynchronize replayed tapes). A constant choice (`n <= 1`)
+    /// consumes no entropy at all, keeping tape positions stable.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n <= 1 {
+            return 0;
+        }
+        self.next_u64() % n
+    }
+
+    /// Uniform usize in a half-open range.
+    #[inline]
+    pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty size range");
+        range.start + self.below((range.end - range.start) as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy and Arbitrary.
+// ---------------------------------------------------------------------------
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: fmt::Debug;
+
+    /// Draw one value.
+    fn generate(&self, g: &mut Gen) -> Self::Value;
+
+    /// Map the produced value through `f`.
+    fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type (used by [`prop_oneof!`]).
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<V: fmt::Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, g: &mut Gen) -> V {
+        (**self).generate(g)
+    }
+}
+
+/// Types with a canonical "any value" strategy, used by [`any`].
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Draw an arbitrary value.
+    fn arbitrary(g: &mut Gen) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Arbitrary values of `T` — mirrors `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, g: &mut Gen) -> T {
+        T::arbitrary(g)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(g: &mut Gen) -> Self {
+                // Bias toward small and edge values: selector 0 (the shrunk
+                // state) is the "small" branch, so zeroed tapes give 0.
+                match g.below(4) {
+                    0 => (g.below(32)) as $t,
+                    1 => [0 as $t, 1, 2, <$t>::MAX, <$t>::MAX - 1]
+                        [g.below(5) as usize],
+                    _ => g.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(g: &mut Gen) -> Self {
+                match g.below(4) {
+                    0 => (g.below(32)) as $t - 16,
+                    1 => [0 as $t, 1, -1, <$t>::MAX, <$t>::MIN]
+                        [g.below(5) as usize],
+                    _ => g.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(g: &mut Gen) -> Self {
+        g.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(g: &mut Gen) -> Self {
+        match g.below(4) {
+            0 => [
+                0.0,
+                -0.0,
+                1.0,
+                -1.0,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::NAN,
+                f64::EPSILON,
+            ][g.below(8) as usize],
+            1 => (g.next_u64() as i64 as f64) / 1024.0,
+            _ => f64::from_bits(g.next_u64()),
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(g: &mut Gen) -> Self {
+        f64::arbitrary(g) as f32
+    }
+}
+
+// Integer and float ranges are strategies, shrinking toward the start.
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + g.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return g.next_u64() as $t;
+                }
+                (lo as i128 + g.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, g: &mut Gen) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + g.unit_f64() * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, g: &mut Gen) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + g.unit_f64() * (hi - lo)
+    }
+}
+
+// A string literal is a regex strategy, like proptest's `&str` impl.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, g: &mut Gen) -> String {
+        match string::string_regex(self) {
+            Ok(s) => s.generate(g),
+            Err(e) => panic!("invalid regex strategy {self:?}: {e}"),
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, g: &mut Gen) -> Self::Value {
+                ($(self.$idx.generate(g),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, g: &mut Gen) -> U {
+        (self.f)(self.inner.generate(g))
+    }
+}
+
+/// A uniform choice between same-valued strategies — built by
+/// [`prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Build from boxed arms. Panics on an empty arm list.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, g: &mut Gen) -> V {
+        let idx = g.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(g)
+    }
+}
+
+/// Collection strategies (`vec`, `btree_set`), mirroring
+/// `proptest::collection`.
+pub mod collection {
+    use super::{Gen, Strategy};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// `Vec<T>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, g: &mut Gen) -> Vec<S::Value> {
+            let len = g.usize_in(self.size.clone());
+            (0..len).map(|_| self.element.generate(g)).collect()
+        }
+    }
+
+    /// `BTreeSet<T>` aiming for a size drawn from `size` (duplicates from
+    /// the element strategy may produce fewer, as in proptest).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// The strategy returned by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, g: &mut Gen) -> BTreeSet<S::Value> {
+            let target = g.usize_in(self.size.clone());
+            let mut set = BTreeSet::new();
+            // Bounded attempts: a narrow element domain may not have
+            // `target` distinct values.
+            for _ in 0..target * 2 {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(g));
+            }
+            set
+        }
+    }
+}
+
+/// `Option<T>` strategies, mirroring `proptest::option`.
+pub mod option {
+    use super::{Gen, Strategy};
+
+    /// `None` a quarter of the time, `Some` otherwise (shrinks to `None`).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, g: &mut Gen) -> Option<S::Value> {
+            if g.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(g))
+            }
+        }
+    }
+}
+
+pub mod string;
+
+// ---------------------------------------------------------------------------
+// Config and runner.
+// ---------------------------------------------------------------------------
+
+/// Runner configuration. `..Config::default()` picks up the environment
+/// overrides, so per-test overrides compose with them the way proptest's
+/// `ProptestConfig` does.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases to run (`RAPIDA_PROP_CASES` overrides the default).
+    pub cases: u32,
+    /// Budget for shrink attempts after a failure.
+    pub max_shrink_iters: u32,
+    /// Base seed; each case derives its own stream from it
+    /// (`RAPIDA_PROP_SEED` overrides the default, decimal or `0x…` hex).
+    pub seed: u64,
+}
+
+/// The fixed default seed: tests reproduce bit-for-bit across runs and
+/// machines unless `RAPIDA_PROP_SEED` says otherwise.
+pub const DEFAULT_SEED: u64 = 0x5eed_cafe_f00d_0001;
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("RAPIDA_PROP_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        let seed = std::env::var("RAPIDA_PROP_SEED")
+            .ok()
+            .and_then(|v| parse_u64(&v))
+            .unwrap_or(DEFAULT_SEED);
+        Config {
+            cases,
+            max_shrink_iters: 2048,
+            seed,
+        }
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+fn call<V, T: Fn(V) -> Result<(), String>>(test: &T, value: V) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| test(value))) {
+        Ok(r) => r,
+        Err(payload) => Err(panic_message(payload)),
+    }
+}
+
+/// Run `test` over `config.cases` generated inputs; on failure, shrink
+/// greedily and panic with a reproducible report.
+///
+/// This is the target of the [`proptest!`] macro expansion, not usually
+/// called by hand.
+pub fn run<S, T>(name: &str, config: Config, strategy: &S, test: T)
+where
+    S: Strategy,
+    T: Fn(S::Value) -> Result<(), String>,
+{
+    let mut stream = config.seed;
+    for case in 0..config.cases {
+        let case_seed = splitmix64(&mut stream);
+        let mut g = Gen::live(case_seed);
+        let value = strategy.generate(&mut g);
+        if let Err(msg) = call(&test, value) {
+            let tape = g.into_tape();
+            let (tape, msg) = shrink(strategy, &test, tape, msg, config.max_shrink_iters);
+            let minimal = strategy.generate(&mut Gen::replay(&tape));
+            panic!(
+                "\n[{name}] property failed at case {case}/{total}\n\
+                 seed: {seed:#018x}  (rerun: RAPIDA_PROP_SEED={seed:#x} RAPIDA_PROP_CASES={total})\n\
+                 minimal failing input: {minimal:#?}\n\
+                 error: {msg}\n",
+                total = config.cases,
+                seed = config.seed,
+            );
+        }
+    }
+}
+
+/// Greedy tape shrinking: repeatedly try simpler tapes (shorter, then
+/// element-wise zero/halve/decrement), adopting the first candidate that
+/// still fails, until a full pass yields no progress or the budget runs out.
+fn shrink<S, T>(
+    strategy: &S,
+    test: &T,
+    tape: Vec<u64>,
+    msg: String,
+    budget: u32,
+) -> (Vec<u64>, String)
+where
+    S: Strategy,
+    T: Fn(S::Value) -> Result<(), String>,
+{
+    // Silence the default panic hook while probing candidates: a shrink run
+    // can provoke hundreds of expected panics.
+    let saved_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut best = tape;
+    let mut best_msg = msg;
+    let mut iters = 0u32;
+    'progress: loop {
+        for cand in candidates(&best) {
+            if iters >= budget {
+                break 'progress;
+            }
+            iters += 1;
+            let mut g = Gen::replay(&cand);
+            let value = strategy.generate(&mut g);
+            if let Err(m) = call(test, value) {
+                // Keep the tape as actually consumed — it may be shorter or
+                // longer than the candidate (zero-padded past its end). Only
+                // adopt strict progress: a truncated tape re-inflates to its
+                // consumed length, so without this check the same truncation
+                // would be re-adopted every round until the budget is gone.
+                let consumed = g.into_tape();
+                if simpler(&consumed, &best) {
+                    best = consumed;
+                    best_msg = m;
+                    continue 'progress;
+                }
+            }
+        }
+        break;
+    }
+
+    std::panic::set_hook(saved_hook);
+    (best, best_msg)
+}
+
+/// Tape order for shrinking: shorter wins, then lexicographically smaller —
+/// the same order Hypothesis uses, which guarantees shrink termination.
+fn simpler(a: &[u64], b: &[u64]) -> bool {
+    a.len() < b.len() || (a.len() == b.len() && a < b)
+}
+
+/// Candidate simpler tapes for one shrink round, simplest-first.
+fn candidates(tape: &[u64]) -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    let n = tape.len();
+    if n == 0 {
+        return out;
+    }
+    // Global truncations first: they remove whole substructures at once.
+    for cut in [0, n / 4, n / 2, 3 * n / 4, n - 1] {
+        if cut < n {
+            out.push(tape[..cut].to_vec());
+        }
+    }
+    // Element-wise simplifications, earliest draws first (sizes and
+    // selectors tend to come first and dominate structure).
+    let scan = n.min(512);
+    for i in 0..scan {
+        if tape[i] != 0 {
+            let mut t = tape.to_vec();
+            t[i] = 0;
+            out.push(t);
+        }
+    }
+    for i in 0..scan {
+        if tape[i] > 1 {
+            let mut t = tape.to_vec();
+            t[i] /= 2;
+            out.push(t);
+        }
+    }
+    for i in 0..scan {
+        if tape[i] != 0 {
+            let mut t = tape.to_vec();
+            t[i] -= 1;
+            out.push(t);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+/// Declare property tests — same shape as `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+///
+///     #[test]
+///     fn roundtrip(v in any::<u64>(), pad in 0usize..16) {
+///         prop_assert_eq!(decode(&encode(v, pad)), v);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::prop::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::prop::Config = $cfg;
+                let strategy = ( $($strat,)+ );
+                $crate::prop::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    config,
+                    &strategy,
+                    |( $($pat,)+ )| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Property assertion: on failure, reports and triggers shrinking instead
+/// of tearing the whole process state down mid-shrink.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), l, r
+            ));
+        }
+    }};
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::prop::Union::new(vec![
+            $( $crate::prop::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_u64_accepts_decimal_and_hex() {
+        assert_eq!(parse_u64("123"), Some(123));
+        assert_eq!(parse_u64(" 0x1f "), Some(31));
+        assert_eq!(parse_u64("0XFF"), Some(255));
+        assert_eq!(parse_u64("nope"), None);
+    }
+
+    #[test]
+    fn env_overrides_config() {
+        // This test owns both variables; nothing else in this binary reads
+        // them, so the set/remove pair is race-free in practice.
+        std::env::set_var("RAPIDA_PROP_CASES", "9");
+        std::env::set_var("RAPIDA_PROP_SEED", "0xabc");
+        let c = Config::default();
+        std::env::remove_var("RAPIDA_PROP_CASES");
+        std::env::remove_var("RAPIDA_PROP_SEED");
+        assert_eq!(c.cases, 9);
+        assert_eq!(c.seed, 0xabc);
+        let d = Config::default();
+        assert_eq!(d.cases, 64);
+        assert_eq!(d.seed, DEFAULT_SEED);
+    }
+
+    #[test]
+    fn simpler_orders_tapes_shortlex() {
+        assert!(simpler(&[5, 5], &[1, 1, 1]));
+        assert!(simpler(&[0, 9], &[1, 0]));
+        assert!(!simpler(&[2, 0], &[2, 0]));
+        assert!(!simpler(&[3], &[2]));
+    }
+
+    #[test]
+    fn candidates_are_all_simpler() {
+        let tape = vec![7u64, 0, 300];
+        for c in candidates(&tape) {
+            assert!(simpler(&c, &tape), "{c:?} not simpler than {tape:?}");
+        }
+        assert!(candidates(&[]).is_empty());
+    }
+}

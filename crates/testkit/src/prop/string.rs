@@ -1,0 +1,409 @@
+//! String strategies from a small regex subset, mirroring
+//! `proptest::string::string_regex`.
+//!
+//! Supported syntax — exactly what the workspace's property tests use, plus
+//! the obvious neighbors:
+//!
+//! * literals and escapes (`\.`, `\\`, `\n`, `\t`, `\r`)
+//! * character classes `[a-z0-9_-]` with ranges and escapes (no negation)
+//! * groups `( … )` and top-level/group alternation `a|b`
+//! * quantifiers `{m}`, `{m,n}`, `{m,}`, `?`, `*`, `+`
+//! * `\PC` / `\p{…}`-style shorthand for "any printable char" and the
+//!   `\d` / `\w` / `\s` classes
+//!
+//! Generation is uniform-ish and draws through [`Gen`], so regex-generated
+//! strings shrink (shorter repetitions, earlier alternatives, lower
+//! codepoints) like any other strategy.
+
+use super::{Gen, Strategy};
+
+/// Upper repetition bound for the unbounded quantifiers `*`, `+`, `{m,}`.
+const UNBOUNDED_MAX_EXTRA: u32 = 8;
+
+/// A parse error from [`string_regex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError(String);
+
+impl std::fmt::Display for RegexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// One alternative chosen uniformly.
+    Alt(Vec<Node>),
+    /// Atoms in sequence, each with a repetition range.
+    Seq(Vec<(Node, u32, u32)>),
+    /// A set of inclusive codepoint ranges.
+    Class(Vec<(u32, u32)>),
+    /// A literal character.
+    Lit(char),
+}
+
+/// Compile `pattern` into a `String` strategy. The `Result` mirrors
+/// proptest's signature; tests typically `.unwrap()`.
+pub fn string_regex(pattern: &str) -> Result<StringRegex, RegexError> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut p = Parser { chars, pos: 0 };
+    let node = p.parse_alt()?;
+    if p.pos != p.chars.len() {
+        return Err(RegexError(format!(
+            "unexpected `{}` at offset {}",
+            p.chars[p.pos], p.pos
+        )));
+    }
+    Ok(StringRegex { node })
+}
+
+/// The strategy returned by [`string_regex`].
+#[derive(Debug, Clone)]
+pub struct StringRegex {
+    node: Node,
+}
+
+impl Strategy for StringRegex {
+    type Value = String;
+    fn generate(&self, g: &mut Gen) -> String {
+        let mut out = String::new();
+        emit(&self.node, g, &mut out);
+        out
+    }
+}
+
+fn emit(node: &Node, g: &mut Gen, out: &mut String) {
+    match node {
+        Node::Alt(arms) => {
+            let idx = g.below(arms.len() as u64) as usize;
+            emit(&arms[idx], g, out);
+        }
+        Node::Seq(atoms) => {
+            for (atom, lo, hi) in atoms {
+                let n = lo + g.below(u64::from(hi - lo + 1)) as u32;
+                for _ in 0..n {
+                    emit(atom, g, out);
+                }
+            }
+        }
+        Node::Class(ranges) => {
+            let idx = g.below(ranges.len() as u64) as usize;
+            let (lo, hi) = ranges[idx];
+            let cp = lo + g.below(u64::from(hi - lo + 1)) as u32;
+            // Ranges are validated at parse time to avoid surrogates.
+            out.push(char::from_u32(cp).unwrap_or('?'));
+        }
+        Node::Lit(c) => out.push(*c),
+    }
+}
+
+/// Printable characters: ASCII, Latin-1/Latin Extended-A, some Greek, and a
+/// CJK slice — the stand-in for `\PC` ("not a control/unassigned char").
+fn printable_ranges() -> Vec<(u32, u32)> {
+    vec![
+        (0x20, 0x7e),
+        (0xa0, 0xff),
+        (0x100, 0x17f),
+        (0x391, 0x3c9),
+        (0x4e00, 0x4eff),
+    ]
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn err(&self, msg: &str) -> RegexError {
+        RegexError(format!("{msg} at offset {}", self.pos))
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, RegexError> {
+        let mut arms = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            arms.push(self.parse_seq()?);
+        }
+        if arms.len() == 1 {
+            Ok(arms.pop().unwrap())
+        } else {
+            Ok(Node::Alt(arms))
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Node, RegexError> {
+        let mut atoms = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            let (lo, hi) = self.parse_quantifier()?;
+            atoms.push((atom, lo, hi));
+        }
+        Ok(Node::Seq(atoms))
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, RegexError> {
+        match self.bump() {
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => self.parse_escape(false),
+            Some('.') => Ok(Node::Class(printable_ranges())),
+            Some(c @ ('{' | '}' | '*' | '+' | '?')) => {
+                Err(RegexError(format!("dangling quantifier `{c}`")))
+            }
+            Some(c) => Ok(Node::Lit(c)),
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    /// An escape sequence. Inside a class, `Lit` results are interpreted as
+    /// single chars by the caller.
+    fn parse_escape(&mut self, in_class: bool) -> Result<Node, RegexError> {
+        let c = self.bump().ok_or_else(|| self.err("dangling escape"))?;
+        match c {
+            'n' => Ok(Node::Lit('\n')),
+            't' => Ok(Node::Lit('\t')),
+            'r' => Ok(Node::Lit('\r')),
+            '0' => Ok(Node::Lit('\0')),
+            'd' => Ok(Node::Class(vec![(0x30, 0x39)])),
+            'w' => Ok(Node::Class(vec![
+                (0x30, 0x39),
+                (0x41, 0x5a),
+                (0x5f, 0x5f),
+                (0x61, 0x7a),
+            ])),
+            's' => Ok(Node::Class(vec![(0x20, 0x20), (0x09, 0x0a), (0x0d, 0x0d)])),
+            'P' | 'p' => {
+                // Unicode category shorthand. We only distinguish "printable"
+                // (`\PC`, `\p{L}`, …) — the tests use it as "any reasonable
+                // char", and that is what we generate.
+                if in_class {
+                    return Err(self.err("\\P inside a class is unsupported"));
+                }
+                match self.bump() {
+                    Some('{') => {
+                        while let Some(c) = self.bump() {
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                        Ok(Node::Class(printable_ranges()))
+                    }
+                    Some(_) => Ok(Node::Class(printable_ranges())),
+                    None => Err(self.err("dangling \\P")),
+                }
+            }
+            // Escaped metacharacter or punctuation: literal.
+            c => Ok(Node::Lit(c)),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, RegexError> {
+        if self.peek() == Some('^') {
+            return Err(self.err("negated classes are unsupported"));
+        }
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = self.bump().ok_or_else(|| self.err("unclosed class"))?;
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        ranges.push((p as u32, p as u32));
+                    }
+                    if ranges.is_empty() {
+                        return Err(self.err("empty class"));
+                    }
+                    return Ok(Node::Class(ranges));
+                }
+                '\\' => {
+                    let node = self.parse_escape(true)?;
+                    if let Some(p) = pending.take() {
+                        ranges.push((p as u32, p as u32));
+                    }
+                    match node {
+                        Node::Lit(l) => pending = Some(l),
+                        Node::Class(mut rs) => ranges.append(&mut rs),
+                        _ => return Err(self.err("unsupported class escape")),
+                    }
+                }
+                '-' => {
+                    // A range if we have a pending start and a following end;
+                    // otherwise a literal '-'.
+                    match (pending.take(), self.peek()) {
+                        (Some(start), Some(end)) if end != ']' => {
+                            self.bump();
+                            let end = if end == '\\' {
+                                match self.parse_escape(true)? {
+                                    Node::Lit(l) => l,
+                                    _ => return Err(self.err("bad range end")),
+                                }
+                            } else {
+                                end
+                            };
+                            let (lo, hi) = (start as u32, end as u32);
+                            if lo > hi {
+                                return Err(self.err("inverted class range"));
+                            }
+                            // Reject ranges spanning the surrogate gap.
+                            if lo < 0xd800 && hi > 0xdfff {
+                                return Err(self.err("range spans surrogates"));
+                            }
+                            ranges.push((lo, hi));
+                        }
+                        (start, _) => {
+                            if let Some(s) = start {
+                                ranges.push((s as u32, s as u32));
+                            }
+                            pending = Some('-');
+                        }
+                    }
+                }
+                c => {
+                    if let Some(p) = pending.take() {
+                        ranges.push((p as u32, p as u32));
+                    }
+                    pending = Some(c);
+                }
+            }
+        }
+    }
+
+    /// `{m}`, `{m,n}`, `{m,}`, `?`, `*`, `+`, or nothing (exactly once).
+    fn parse_quantifier(&mut self) -> Result<(u32, u32), RegexError> {
+        match self.peek() {
+            Some('?') => {
+                self.bump();
+                Ok((0, 1))
+            }
+            Some('*') => {
+                self.bump();
+                Ok((0, UNBOUNDED_MAX_EXTRA))
+            }
+            Some('+') => {
+                self.bump();
+                Ok((1, 1 + UNBOUNDED_MAX_EXTRA))
+            }
+            Some('{') => {
+                self.bump();
+                let lo = self.parse_number()?;
+                match self.bump() {
+                    Some('}') => Ok((lo, lo)),
+                    Some(',') => {
+                        if self.peek() == Some('}') {
+                            self.bump();
+                            return Ok((lo, lo + UNBOUNDED_MAX_EXTRA));
+                        }
+                        let hi = self.parse_number()?;
+                        if self.bump() != Some('}') {
+                            return Err(self.err("unclosed quantifier"));
+                        }
+                        if hi < lo {
+                            return Err(self.err("inverted quantifier"));
+                        }
+                        Ok((lo, hi))
+                    }
+                    _ => Err(self.err("malformed quantifier")),
+                }
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<u32, RegexError> {
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        digits
+            .parse()
+            .map_err(|_| self.err("expected a number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_one(pattern: &str, seed: u64) -> String {
+        let s = string_regex(pattern).unwrap();
+        s.generate(&mut Gen::live(seed))
+    }
+
+    #[test]
+    fn literal_patterns_emit_verbatim() {
+        assert_eq!(gen_one("abc", 1), "abc");
+        assert_eq!(gen_one("http://x\\.y/z", 2), "http://x.y/z");
+    }
+
+    #[test]
+    fn class_and_quantifier_respect_bounds() {
+        for seed in 0..50 {
+            let s = gen_one("[a-d]{1,3}", seed);
+            assert!((1..=3).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn alternation_and_optional_group() {
+        for seed in 0..50 {
+            let s = gen_one("[a-z]{2}(-[A-Z]{2})?", seed);
+            assert!(s.len() == 2 || s.len() == 5, "{s:?}");
+            if s.len() == 5 {
+                assert_eq!(s.as_bytes()[2], b'-');
+            }
+        }
+    }
+
+    #[test]
+    fn printable_category_generates_no_controls() {
+        for seed in 0..20 {
+            let s = gen_one("\\PC{0,200}", seed);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escapes_in_classes() {
+        for seed in 0..30 {
+            let s = gen_one("[ -~\n\t\"\\\\]{0,40}", seed);
+            assert!(s.chars().all(|c| {
+                (' '..='~').contains(&c) || c == '\n' || c == '\t' || c == '\\'
+            }), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_patterns_error() {
+        assert!(string_regex("[z-a]").is_err());
+        assert!(string_regex("(unclosed").is_err());
+        assert!(string_regex("a{3,1}").is_err());
+        assert!(string_regex("[^ab]").is_err());
+    }
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything must pass with no network access.
+#
+#   build (release)  ->  full workspace test suite  ->  bench smoke
+#
+# The bench smoke runs every bench target with one timed iteration per
+# benchmark (RAPIDA_BENCH_SMOKE=1), which proves the harnesses execute
+# end-to-end without paying for a real measurement run. JSON reports land
+# in target/bench-smoke/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test --workspace --offline"
+cargo test -q --workspace --offline
+
+echo "==> bench smoke (1 iteration per benchmark)"
+RAPIDA_BENCH_SMOKE=1 RAPIDA_BENCH_DIR=target/bench-smoke \
+    cargo bench --offline -p rapida-bench
+
+echo "==> verify OK"

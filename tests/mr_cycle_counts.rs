@@ -82,10 +82,45 @@ fn map_only_cycles_reported() {
     let aq = extract(&parse_query(&q.sparql).unwrap()).unwrap();
     let plan = HiveNaive::default().plan(&aq, &cat).unwrap();
     assert_eq!(plan.cycles(), 13);
-    assert!(
-        plan.map_only_cycles() >= 8,
-        "most MG6 joins should be map-joins on small VP tables; got {} of {}",
+    assert_eq!(
         plan.map_only_cycles(),
-        plan.cycles()
+        11,
+        "paper: 11 of MG6's 13 Hive cycles are map-only"
+    );
+}
+
+/// The full Fig. 8 matrix, pinned exactly: every (query, engine) pair's
+/// compiled cycle count. A planner change that moves any cell fails here
+/// loudly, with the whole row in the message — the cheap early-warning
+/// tripwire in front of the (slow) executed-agreement tests.
+#[test]
+fn fig8_exact_cycle_matrix() {
+    let bsbm = DataCatalog::load(&generate_bsbm(&BsbmConfig::tiny()));
+    let chem = DataCatalog::load(&generate_chem(&ChemConfig::tiny()));
+
+    // (query, [Hive naive, Hive MQO, RAPID+, RAPIDAnalytics]).
+    // MQO counts include the final map-only join (module docs).
+    let bsbm_expected = [
+        ("G1", [4, 4, 2, 2]),
+        ("G2", [4, 4, 2, 2]),
+        ("G3", [4, 4, 2, 2]),
+        ("G4", [4, 4, 2, 2]),
+        ("MG1", [9, 8, 5, 3]),
+        ("MG2", [9, 8, 5, 3]),
+        ("MG3", [11, 9, 7, 4]),
+        ("MG4", [11, 9, 7, 4]),
+    ];
+    for (id, expected) in bsbm_expected {
+        let got = plan_cycles(&bsbm, id);
+        assert_eq!(
+            got, expected,
+            "{id}: cycles [naive, MQO, RAPID+, RAPIDA] drifted from the pinned Fig. 8 plan"
+        );
+    }
+    let got = plan_cycles(&chem, "MG6");
+    assert_eq!(
+        got,
+        [13, 8, 7, 4],
+        "MG6: cycles [naive, MQO, RAPID+, RAPIDA] drifted from the pinned Fig. 8 plan"
     );
 }

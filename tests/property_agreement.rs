@@ -3,7 +3,7 @@
 //! shared keys, filters, non-overlapping fallback) — every engine must
 //! agree with the reference evaluator on the result multiset.
 
-use proptest::prelude::*;
+use rapida_testkit::prelude::*;
 use rapida::prelude::*;
 use rapida::rdf::vocab;
 
