@@ -6,9 +6,10 @@
 //! experiments [table3|fig8a|fig8b|fig8c|table4|cycles|ablations|all]
 //! ```
 
-use rapida_bench::{all_engines, render_table, speedups, table3_engines, Workbench};
+use rapida_bench::{all_engines, render_table, results_json, speedups, table3_engines, Workbench};
 use rapida_core::engines::{RapidAnalytics, RapidPlus};
 use rapida_core::QueryEngine;
+use rapida_mapred::FaultPlan;
 
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -20,6 +21,7 @@ fn main() {
         "table4" => table4(),
         "cycles" => cycles(),
         "ablations" => ablations(),
+        "chaos" => chaos(),
         "all" => {
             table3();
             fig8a();
@@ -28,10 +30,13 @@ fn main() {
             table4();
             cycles();
             ablations();
+            chaos();
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: experiments [table3|fig8a|fig8b|fig8c|table4|cycles|ablations|all]");
+            eprintln!(
+                "usage: experiments [table3|fig8a|fig8b|fig8c|table4|cycles|ablations|chaos|all]"
+            );
             std::process::exit(2);
         }
     }
@@ -131,6 +136,51 @@ fn cycles() {
             print!(" {} |", r.cycles);
         }
         println!(" {expect} |");
+    }
+}
+
+/// Fault tolerance: MG1–MG4 on BSBM-500K under an aggressive fault plan vs
+/// a perfect cluster. Prints the attempt ledger per engine and writes the
+/// faulted rows as `CHAOS_fig8.json` (to `RAPIDA_BENCH_DIR`, default `.`).
+fn chaos() {
+    let mut wb = Workbench::bsbm_500k();
+    let engines = all_engines();
+    let ids = ["MG1", "MG2", "MG3", "MG4"];
+
+    let clean: Vec<_> = ids.iter().map(|id| wb.run_query(&engines, id)).collect();
+    wb.set_faults(Some(FaultPlan::chaotic(0xC4A05)));
+    let faulted: Vec<_> = ids.iter().map(|id| wb.run_query(&engines, id)).collect();
+
+    println!("\n### Fault tolerance — MG1–MG4 on BSBM-500K, chaotic fault plan\n");
+    println!("| Query | Engine | sim s (clean) | sim s (faults) | attempts | retried | speculative | wasted MB | backoff s |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for (crow, frow) in clean.iter().zip(&faulted) {
+        for (c, f) in crow.iter().zip(frow) {
+            assert_eq!(c.rows, f.rows, "fault recovery changed a result");
+            println!(
+                "| {} | {} | {:.0} | {:.0} | {} | {} | {} | {:.2} | {:.0} |",
+                f.query,
+                f.engine,
+                c.sim_seconds,
+                f.sim_seconds,
+                f.task_attempts,
+                f.retried_attempts,
+                f.speculative_attempts,
+                f.wasted_mb,
+                f.backoff_s,
+            );
+        }
+    }
+
+    let dir = std::env::var("RAPIDA_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("failed to create {dir}: {e}");
+    }
+    let path = format!("{dir}/CHAOS_fig8.json");
+    let json = results_json("Fig. 8 workloads under chaotic faults (BSBM-500K)", &faulted);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
     }
 }
 

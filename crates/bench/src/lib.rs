@@ -11,7 +11,7 @@ use rapida_datagen::{
     generate_bsbm, generate_chem, generate_pubmed, query, BsbmConfig, CatalogQuery, ChemConfig,
     PubmedConfig,
 };
-use rapida_mapred::{ClusterModel, Engine};
+use rapida_mapred::{ClusterModel, Engine, FaultPlan};
 use rapida_sparql::parse_query;
 use std::time::Instant;
 
@@ -34,7 +34,7 @@ pub fn table3_engines() -> Vec<Box<dyn QueryEngine>> {
 }
 
 /// One measured engine run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ExperimentResult {
     /// Query id.
     pub query: String,
@@ -56,6 +56,18 @@ pub struct ExperimentResult {
     pub materialized_mb: f64,
     /// Result row count.
     pub rows: usize,
+    /// Total task attempts (map + reduce, incl. retries and speculation).
+    pub task_attempts: u64,
+    /// Attempts killed by injected failures and retried.
+    pub retried_attempts: u64,
+    /// Speculative duplicate attempts launched for stragglers.
+    pub speculative_attempts: u64,
+    /// Straggling tasks observed.
+    pub straggler_tasks: u64,
+    /// Megabytes produced by attempts whose work was discarded.
+    pub wasted_mb: f64,
+    /// Simulated retry backoff, seconds.
+    pub backoff_s: f64,
 }
 
 /// A prepared workload: catalog + cluster model calibrated to the paper's
@@ -169,7 +181,18 @@ impl Workbench {
             shuffle_mb: wf.total_shuffle_bytes() as f64 / 1e6,
             materialized_mb: wf.total_output_bytes() as f64 / 1e6,
             rows: rel.len(),
+            task_attempts: wf.total_task_attempts(),
+            retried_attempts: wf.total_retried_attempts(),
+            speculative_attempts: wf.total_speculative_attempts(),
+            straggler_tasks: wf.total_straggler_tasks(),
+            wasted_mb: wf.total_wasted_output_bytes() as f64 / 1e6,
+            backoff_s: wf.total_backoff_s(),
         })
+    }
+
+    /// Attach (or clear) a fault-injection plan for subsequent runs.
+    pub fn set_faults(&mut self, faults: Option<FaultPlan>) {
+        self.mr.faults = faults;
     }
 
     /// Run one query id across a set of engines.
@@ -256,6 +279,63 @@ pub fn run_sparql(
     Ok(r)
 }
 
+/// Serialize experiment rows as a JSON document (same hand-rolled style as
+/// `rapida_testkit::bench`'s reports), including the fault counters — the
+/// machine-readable companion to [`render_table`].
+pub fn results_json(title: &str, results: &[Vec<ExperimentResult>]) -> String {
+    let esc = |s: &str| {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    };
+    let num = |v: f64| {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    };
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"title\": {},\n", esc(title)));
+    json.push_str("  \"results\": [\n");
+    let flat: Vec<&ExperimentResult> = results.iter().flatten().collect();
+    for (i, r) in flat.iter().enumerate() {
+        json.push_str("    {");
+        json.push_str(&format!("\"query\": {}, ", esc(&r.query)));
+        json.push_str(&format!("\"engine\": {}, ", esc(&r.engine)));
+        json.push_str(&format!("\"sim_seconds\": {}, ", num(r.sim_seconds)));
+        json.push_str(&format!("\"cycles\": {}, ", r.cycles));
+        json.push_str(&format!("\"full_cycles\": {}, ", r.full_cycles));
+        json.push_str(&format!("\"map_only_cycles\": {}, ", r.map_only_cycles));
+        json.push_str(&format!("\"shuffle_mb\": {}, ", num(r.shuffle_mb)));
+        json.push_str(&format!("\"materialized_mb\": {}, ", num(r.materialized_mb)));
+        json.push_str(&format!("\"rows\": {}, ", r.rows));
+        json.push_str(&format!("\"task_attempts\": {}, ", r.task_attempts));
+        json.push_str(&format!("\"retried_attempts\": {}, ", r.retried_attempts));
+        json.push_str(&format!(
+            "\"speculative_attempts\": {}, ",
+            r.speculative_attempts
+        ));
+        json.push_str(&format!("\"straggler_tasks\": {}, ", r.straggler_tasks));
+        json.push_str(&format!("\"wasted_mb\": {}, ", num(r.wasted_mb)));
+        json.push_str(&format!("\"backoff_s\": {}", num(r.backoff_s)));
+        json.push_str(if i + 1 == flat.len() { "}\n" } else { "},\n" });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
 /// Compute the slowdown factor of every other engine relative to the last
 /// column (RAPIDAnalytics in the standard ordering).
 pub fn speedups(row: &[ExperimentResult]) -> Vec<(String, f64)> {
@@ -297,18 +377,60 @@ mod tests {
     }
 
     #[test]
+    fn fault_counters_surface_in_results_and_json() {
+        let mut wb = Workbench::bsbm_tiny();
+        let engines = all_engines();
+        let clean = wb.run_query(&engines, "MG1");
+        assert!(clean.iter().all(|r| r.retried_attempts == 0
+            && r.speculative_attempts == 0
+            && r.task_attempts > 0));
+
+        wb.set_faults(Some(FaultPlan::chaotic(0xBEEF)));
+        let faulted = wb.run_query(&engines, "MG1");
+        for (c, f) in clean.iter().zip(&faulted) {
+            assert_eq!(c.rows, f.rows, "{}: rows changed under faults", c.engine);
+            assert_eq!(
+                c.shuffle_mb, f.shuffle_mb,
+                "{}: committed shuffle changed under faults",
+                c.engine
+            );
+            assert!(
+                f.task_attempts >= c.task_attempts,
+                "{}: attempts can only grow under faults",
+                c.engine
+            );
+        }
+        let injected: u64 = faulted
+            .iter()
+            .map(|r| r.retried_attempts + r.speculative_attempts)
+            .sum();
+        assert!(injected > 0, "chaotic plan injected nothing across engines");
+        let total_extra_cost: f64 = faulted
+            .iter()
+            .zip(&clean)
+            .map(|(f, c)| f.sim_seconds - c.sim_seconds)
+            .sum();
+        assert!(total_extra_cost > 0.0, "faults must cost simulated seconds");
+
+        let json = results_json("chaos", &[faulted]);
+        for key in [
+            "\"task_attempts\"",
+            "\"retried_attempts\"",
+            "\"speculative_attempts\"",
+            "\"wasted_mb\"",
+            "\"backoff_s\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in: {json}");
+        }
+    }
+
+    #[test]
     fn speedup_helper() {
         let mk = |engine: &str, s: f64| ExperimentResult {
             query: "q".into(),
             engine: engine.into(),
-            wall_ms: 0.0,
             sim_seconds: s,
-            cycles: 0,
-            full_cycles: 0,
-            map_only_cycles: 0,
-            shuffle_mb: 0.0,
-            materialized_mb: 0.0,
-            rows: 0,
+            ..Default::default()
         };
         let row = vec![mk("a", 100.0), mk("b", 50.0), mk("ra", 10.0)];
         let sp = speedups(&row);

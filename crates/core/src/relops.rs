@@ -816,7 +816,7 @@ mod tests {
             })))
             .output("out")
             .build();
-        Engine::new(dfs.clone()).run_job(&job);
+        Engine::with_workers(dfs.clone(), 4).run_job(&job);
         let mut rows = read_rows(&dfs, "out");
         rows.sort_by_key(|r| (r[0].id(), r[2].id()));
         assert_eq!(
@@ -874,7 +874,7 @@ mod tests {
             })))
             .output("out")
             .build();
-        Engine::new(dfs.clone()).run_job(&job);
+        Engine::with_workers(dfs.clone(), 4).run_job(&job);
         let mut rows = read_rows(&dfs, "out");
         rows.sort_by_key(|r| r[0].id());
         assert_eq!(
@@ -927,7 +927,7 @@ mod tests {
             .mapper(Arc::new(MapJoinFactory::new(cfg, dfs.clone())))
             .output("out")
             .build();
-        let m = Engine::new(dfs.clone()).run_job(&job);
+        let m = Engine::with_workers(dfs.clone(), 4).run_job(&job);
         assert!(m.map_only);
         let rows = read_rows(&dfs, "out");
         assert_eq!(rows, vec![vec![RVal::Id(1), RVal::Id(5), RVal::Id(50)]]);
@@ -969,7 +969,7 @@ mod tests {
             })))
             .output("out")
             .build();
-        Engine::new(dfs.clone()).run_job(&job);
+        Engine::with_workers(dfs.clone(), 4).run_job(&job);
         let mut recs: Vec<AggRec> = dfs
             .get("out")
             .unwrap()
@@ -1008,7 +1008,7 @@ mod tests {
             .reducer(Arc::new(FnReduceFactory(|| DistinctReduceTask)))
             .output("out")
             .build();
-        Engine::new(dfs.clone()).run_job(&job);
+        Engine::with_workers(dfs.clone(), 4).run_job(&job);
         let rows = read_rows(&dfs, "out");
         assert_eq!(rows, vec![vec![RVal::Id(1), RVal::Id(10)]]);
     }
@@ -1079,7 +1079,7 @@ mod tests {
             .mapper(Arc::new(MapJoinFactory::new(cfg, dfs.clone())))
             .output("out")
             .build();
-        Engine::new(dfs.clone()).run_job(&job);
+        Engine::with_workers(dfs.clone(), 4).run_job(&job);
         let rows = read_rows(&dfs, "out");
         assert_eq!(rows, vec![vec![RVal::Id(2)]]);
     }

@@ -29,6 +29,9 @@ pub struct ClusterModel {
     pub task_overhead_s: f64,
     /// CPU cost per record processed, microseconds.
     pub cpu_per_record_us: f64,
+    /// Extra seconds a straggling task adds to its wave when speculation
+    /// does not replace it (the slow attempt holds the job open).
+    pub straggler_penalty_s: f64,
     /// HDFS replication factor applied to final job output writes.
     pub replication: f64,
     /// Scale factor mapping simulator bytes to modeled cluster bytes
@@ -111,7 +114,34 @@ impl ClusterModel {
             0.0
         };
 
-        self.job_startup_s + map_time + shuffle_time + reduce_time + map_only_write
+        self.job_startup_s
+            + map_time
+            + shuffle_time
+            + reduce_time
+            + map_only_write
+            + self.fault_overhead(m)
+    }
+
+    /// Extra simulated seconds attributable to injected faults: retry
+    /// backoff, per-attempt scheduling overhead for every attempt beyond
+    /// the one-per-task minimum, redoing the work that was discarded, and
+    /// the tail latency of stragglers speculation didn't cover.
+    ///
+    /// Every term is ≥ 0 and zero on a fault-free run, so adding this to
+    /// [`ClusterModel::job_time`] can only increase a job's cost — the
+    /// monotonicity the `prop_cost` properties pin down.
+    pub fn fault_overhead(&self, m: &JobMetrics) -> f64 {
+        let mb = |bytes: u64| (bytes as f64) * self.data_scale / (1024.0 * 1024.0);
+        let extra = m.extra_attempts() as f64;
+        let slots = self.map_slots();
+        let redo_io = mb(m.wasted_output_bytes) / (self.disk_mbps * slots);
+        let redo_cpu = m.wasted_input_records as f64 * self.cpu_per_record_us / 1e6 / slots;
+        let unspeculated = m.straggler_tasks.saturating_sub(m.speculative_attempts) as f64;
+        m.backoff_s
+            + extra * self.task_overhead_s
+            + redo_io
+            + redo_cpu
+            + unspeculated * self.straggler_penalty_s
     }
 
     /// Simulated time of a whole workflow (jobs run sequentially, as Hadoop
@@ -132,6 +162,7 @@ impl Default for ClusterModel {
             job_startup_s: 12.0,
             task_overhead_s: 1.5,
             cpu_per_record_us: 1.5,
+            straggler_penalty_s: 8.0,
             replication: 2.0,
             data_scale: 1.0,
         }
@@ -156,7 +187,7 @@ mod tests {
             shuffle_bytes: shuffle,
             output_records: 10_000,
             output_bytes: out,
-            wall: Default::default(),
+            ..Default::default()
         }
     }
 
@@ -217,6 +248,47 @@ mod tests {
         let small = model.job_time(&job(false, 1 << 20, 1 << 20));
         let large = model.job_time(&job(false, 512 << 20, 1 << 20));
         assert!(large > small + 1.0);
+    }
+
+    #[test]
+    fn fault_overhead_is_zero_without_faults_and_additive_with() {
+        let model = ClusterModel::nodes10();
+        let clean = job(false, 1 << 20, 1 << 20);
+        assert_eq!(model.fault_overhead(&clean), 0.0);
+
+        let mut faulty = clean.clone();
+        faulty.map_attempts = faulty.map_tasks as u64 + 3;
+        faulty.reduce_attempts = faulty.reduce_tasks as u64;
+        faulty.failed_attempts = 3;
+        faulty.wasted_input_records = 10_000;
+        faulty.wasted_output_bytes = 1 << 20;
+        faulty.backoff_s = 14.0;
+        // Overhead covers at least the backoff plus the extra scheduling.
+        assert!(
+            model.job_time(&faulty)
+                >= model.job_time(&clean) + faulty.backoff_s + 3.0 * model.task_overhead_s
+        );
+    }
+
+    #[test]
+    fn unspeculated_stragglers_pay_the_tail_penalty() {
+        let model = ClusterModel::nodes10();
+        let mut slow = job(false, 1 << 20, 1 << 20);
+        slow.map_attempts = slow.map_tasks as u64;
+        slow.reduce_attempts = slow.reduce_tasks as u64;
+        slow.straggler_tasks = 2;
+        assert_eq!(
+            model.fault_overhead(&slow),
+            2.0 * model.straggler_penalty_s
+        );
+        // With speculation covering them, the tail penalty disappears (the
+        // duplicates' cost shows up as extra attempts + wasted work instead).
+        slow.speculative_attempts = 2;
+        slow.map_attempts += 2;
+        assert_eq!(
+            model.fault_overhead(&slow),
+            2.0 * model.task_overhead_s
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use crate::bytes::Bytes;
 use crate::codec::{BlockBuilder, RecordIter};
 use crate::dfs::{Dataset, SimDfs};
+use crate::fault::{FaultPlan, Outcome, TaskKind};
 use crate::job::{InputSrc, Job, MapOutput, ReduceOutput};
 use crate::metrics::{JobMetrics, WorkflowMetrics};
 use std::sync::Mutex;
@@ -39,6 +40,50 @@ pub struct Engine {
     pub workers: usize,
     /// Target output split size in bytes.
     pub split_bytes: usize,
+    /// Optional fault-injection plan; `None` runs the cluster perfectly.
+    pub faults: Option<FaultPlan>,
+}
+
+/// Per-job fault accounting, accumulated across worker threads.
+#[derive(Default)]
+struct FaultStats {
+    map_attempts: u64,
+    reduce_attempts: u64,
+    failed: u64,
+    speculative: u64,
+    stragglers: u64,
+    node_loss: u64,
+    wasted_input_records: u64,
+    wasted_output_bytes: u64,
+    backoff_s: f64,
+}
+
+impl FaultStats {
+    fn merge(&mut self, o: FaultStats) {
+        self.map_attempts += o.map_attempts;
+        self.reduce_attempts += o.reduce_attempts;
+        self.failed += o.failed;
+        self.speculative += o.speculative;
+        self.stragglers += o.stragglers;
+        self.node_loss += o.node_loss;
+        self.wasted_input_records += o.wasted_input_records;
+        self.wasted_output_bytes += o.wasted_output_bytes;
+        self.backoff_s += o.backoff_s;
+    }
+}
+
+/// Bytes an attempt produced (emitted kvs + written records) — what gets
+/// thrown away when the attempt is killed or superseded.
+fn map_output_size(out: &MapOutput) -> u64 {
+    let kv: u64 = out.kvs.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
+    let rec: u64 = out.records.iter().map(|r| r.len() as u64).sum();
+    kv + rec
+}
+
+fn reduce_output_size(out: &ReduceOutput) -> u64 {
+    let kv: u64 = out.kvs.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
+    let rec: u64 = out.records.iter().map(|r| r.len() as u64).sum();
+    kv + rec
 }
 
 impl Engine {
@@ -51,7 +96,23 @@ impl Engine {
                 .map(|n| n.get())
                 .unwrap_or(4),
             split_bytes: 256 * 1024,
+            faults: None,
         }
+    }
+
+    /// Create an engine with an explicitly pinned worker count — what tests
+    /// use so metrics never depend on the host machine's parallelism.
+    pub fn with_workers(dfs: SimDfs, workers: usize) -> Self {
+        Engine {
+            workers: workers.max(1),
+            ..Engine::new(dfs)
+        }
+    }
+
+    /// Attach a fault-injection plan (builder style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Run a sequence of jobs, accumulating workflow metrics.
@@ -95,22 +156,19 @@ impl Engine {
         }
 
         let splits_queue = Mutex::new(splits.into_iter().enumerate().collect::<Vec<_>>());
-        let results: Mutex<Vec<MapResult>> = Mutex::new(Vec::new());
+        let results: Mutex<Vec<(usize, MapResult)>> = Mutex::new(Vec::new());
+        let fault_stats: Mutex<FaultStats> = Mutex::new(FaultStats::default());
         let workers = self.workers.max(1);
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let next = splits_queue.lock().unwrap().pop();
-                    let Some((_idx, (di, block))) = next else {
+                    let Some((idx, (di, block))) = next else {
                         break;
                     };
-                    let mut task = job.mapper.create();
-                    let mut out = MapOutput::default();
-                    for rec in RecordIter::new(&block) {
-                        task.map(InputSrc { dataset: di }, rec, &mut out);
-                    }
-                    task.cleanup(&mut out);
+                    let mut local = FaultStats::default();
+                    let mut out = self.run_map_task(job, idx, di, &block, &mut local);
 
                     let raw_kv_records = out.kvs.len() as u64;
                     let raw_kv_bytes = out
@@ -143,17 +201,27 @@ impl Engine {
                         let p = shuffle_partition(&k, num_partitions);
                         partitions[p].push((k, v));
                     }
-                    results.lock().unwrap().push(MapResult {
-                        partitions,
-                        records: std::mem::take(&mut out.records),
-                        raw_kv_records,
-                        raw_kv_bytes,
-                    });
+                    results.lock().unwrap().push((
+                        idx,
+                        MapResult {
+                            partitions,
+                            records: std::mem::take(&mut out.records),
+                            raw_kv_records,
+                            raw_kv_bytes,
+                        },
+                    ));
+                    fault_stats.lock().unwrap().merge(local);
                 });
             }
         });
 
-        let map_results = results.into_inner().expect("map phase panicked");
+        // Canonical task order: results arrive in thread-completion order,
+        // which is racy — sort by map-task index so downstream block layout
+        // and equal-key value order are identical on every run, at any
+        // worker count, with or without injected faults.
+        let mut indexed = results.into_inner().expect("map phase panicked");
+        indexed.sort_by_key(|(idx, _)| *idx);
+        let map_results: Vec<MapResult> = indexed.into_iter().map(|(_, r)| r).collect();
         for r in &map_results {
             metrics.map_output_records += r.raw_kv_records;
             metrics.map_output_bytes += r.raw_kv_bytes;
@@ -195,41 +263,45 @@ impl Engine {
                 .sum();
             metrics.reduce_tasks = shuffled.iter().filter(|p| !p.is_empty()).count();
 
-            // Reduce phase, parallel over partitions.
+            // Reduce phase, parallel over partitions. Tasks are identified
+            // by their partition index — stable across worker counts and
+            // fault scenarios, so fault decisions and output order are too.
             let reducer = job.reducer.as_ref().expect("checked map_only");
             let part_queue = Mutex::new(
                 shuffled
                     .into_iter()
-                    .filter(|p| !p.is_empty())
+                    .enumerate()
+                    .filter(|(_, p)| !p.is_empty())
                     .collect::<Vec<_>>(),
             );
-            let blocks_out: Mutex<Vec<(usize, Vec<u8>)>> = Mutex::new(Vec::new());
+            let blocks_out: Mutex<Vec<(usize, usize, Vec<u8>)>> = Mutex::new(Vec::new());
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
                         let part = part_queue.lock().unwrap().pop();
-                        let Some(kvs) = part else { break };
-                        let mut task = reducer.create();
-                        let mut out = ReduceOutput::default();
-                        run_key_groups(&kvs, |key, values| {
-                            task.reduce(key, values, &mut out);
-                        });
-                        task.cleanup(&mut out);
+                        let Some((p_idx, kvs)) = part else { break };
+                        let mut local = FaultStats::default();
+                        let out =
+                            self.run_reduce_task(job, reducer.as_ref(), p_idx, &kvs, &mut local);
                         if !out.records.is_empty() {
                             let mut bb = BlockBuilder::new();
                             for rec in &out.records {
                                 bb.push(rec);
                             }
                             let n = bb.records();
-                            blocks_out.lock().unwrap().push((n, bb.finish()));
+                            blocks_out.lock().unwrap().push((p_idx, n, bb.finish()));
                         }
+                        fault_stats.lock().unwrap().merge(local);
                     });
                 }
             });
 
+            // Canonical partition order (see the map-phase sort above).
+            let mut out_blocks = blocks_out.into_inner().expect("reduce phase panicked");
+            out_blocks.sort_by_key(|(p_idx, _, _)| *p_idx);
             let mut blocks = Vec::new();
             let mut records = 0usize;
-            for (n, b) in blocks_out.into_inner().expect("reduce phase panicked") {
+            for (_, n, b) in out_blocks {
                 records += n;
                 blocks.push(Bytes::from(b));
             }
@@ -243,8 +315,171 @@ impl Engine {
         metrics.output_records = output_ds.records as u64;
         metrics.output_bytes = output_ds.total_bytes() as u64;
         self.dfs.put(&job.output, output_ds);
+
+        let stats = fault_stats.into_inner().expect("fault stats poisoned");
+        metrics.map_attempts = stats.map_attempts;
+        metrics.reduce_attempts = stats.reduce_attempts;
+        metrics.failed_attempts = stats.failed;
+        metrics.speculative_attempts = stats.speculative;
+        metrics.straggler_tasks = stats.stragglers;
+        metrics.lost_node_tasks = stats.node_loss;
+        metrics.wasted_input_records = stats.wasted_input_records;
+        metrics.wasted_output_bytes = stats.wasted_output_bytes;
+        metrics.backoff_s = stats.backoff_s;
+
         metrics.wall = start.elapsed();
         metrics
+    }
+
+    /// Run one map task to a committed result, injecting the fault plan's
+    /// outcomes attempt by attempt. The committed [`MapOutput`] is always
+    /// the output of one clean full pass over the split — killed attempts
+    /// only accumulate wasted-work counters — so the data flowing into the
+    /// shuffle is identical to a fault-free run.
+    fn run_map_task(
+        &self,
+        job: &Job,
+        task_idx: usize,
+        di: usize,
+        block: &Bytes,
+        stats: &mut FaultStats,
+    ) -> MapOutput {
+        let full = |out: &mut MapOutput| {
+            let mut task = job.mapper.create();
+            let mut n = 0u64;
+            for rec in RecordIter::new(block) {
+                task.map(InputSrc { dataset: di }, rec, out);
+                n += 1;
+            }
+            task.cleanup(out);
+            n
+        };
+        let Some(plan) = &self.faults else {
+            stats.map_attempts += 1;
+            let mut out = MapOutput::default();
+            full(&mut out);
+            return out;
+        };
+
+        let mut retries = 0usize;
+        loop {
+            let outcome = plan.decide(&job.name, TaskKind::Map, task_idx, retries);
+            stats.map_attempts += 1;
+            match outcome {
+                Outcome::Fail {
+                    fraction,
+                    node_loss,
+                } => {
+                    // Genuinely run the doomed attempt over a prefix of the
+                    // split (the kill point), then discard its work. No
+                    // cleanup: the attempt died mid-task.
+                    let total = RecordIter::new(block).count();
+                    let limit = ((fraction * total as f64) as usize).min(total);
+                    let mut task = job.mapper.create();
+                    let mut wasted = MapOutput::default();
+                    for rec in RecordIter::new(block).take(limit) {
+                        task.map(InputSrc { dataset: di }, rec, &mut wasted);
+                    }
+                    stats.failed += 1;
+                    if node_loss {
+                        stats.node_loss += 1;
+                    }
+                    stats.wasted_input_records += limit as u64;
+                    stats.wasted_output_bytes += map_output_size(&wasted);
+                    stats.backoff_s += plan.backoff_s(retries);
+                    retries += 1;
+                }
+                Outcome::Straggle { .. } => {
+                    let mut out = MapOutput::default();
+                    let read = full(&mut out);
+                    stats.stragglers += 1;
+                    if plan.speculation {
+                        // The speculative duplicate finishes first and
+                        // commits; the slow original's work is discarded.
+                        stats.map_attempts += 1;
+                        stats.speculative += 1;
+                        stats.wasted_input_records += read;
+                        stats.wasted_output_bytes += map_output_size(&out);
+                        let mut dup = MapOutput::default();
+                        full(&mut dup);
+                        return dup;
+                    }
+                    return out;
+                }
+                Outcome::Success => {
+                    let mut out = MapOutput::default();
+                    full(&mut out);
+                    return out;
+                }
+            }
+        }
+    }
+
+    /// Run one reduce task (identified by its partition index) to a
+    /// committed result, mirroring [`Engine::run_map_task`]'s attempt loop.
+    fn run_reduce_task(
+        &self,
+        job: &Job,
+        reducer: &dyn crate::job::ReduceTaskFactory,
+        p_idx: usize,
+        kvs: &[(Vec<u8>, Vec<u8>)],
+        stats: &mut FaultStats,
+    ) -> ReduceOutput {
+        let full = || {
+            let mut task = reducer.create();
+            let mut out = ReduceOutput::default();
+            run_key_groups(kvs, |key, values| {
+                task.reduce(key, values, &mut out);
+            });
+            task.cleanup(&mut out);
+            out
+        };
+        let Some(plan) = &self.faults else {
+            stats.reduce_attempts += 1;
+            return full();
+        };
+
+        let mut retries = 0usize;
+        loop {
+            let outcome = plan.decide(&job.name, TaskKind::Reduce, p_idx, retries);
+            stats.reduce_attempts += 1;
+            match outcome {
+                Outcome::Fail {
+                    fraction,
+                    node_loss,
+                } => {
+                    // Run the doomed attempt over a prefix of its shuffled
+                    // input, then discard.
+                    let limit = ((fraction * kvs.len() as f64) as usize).min(kvs.len());
+                    let mut task = reducer.create();
+                    let mut wasted = ReduceOutput::default();
+                    run_key_groups(&kvs[..limit], |key, values| {
+                        task.reduce(key, values, &mut wasted);
+                    });
+                    stats.failed += 1;
+                    if node_loss {
+                        stats.node_loss += 1;
+                    }
+                    stats.wasted_input_records += limit as u64;
+                    stats.wasted_output_bytes += reduce_output_size(&wasted);
+                    stats.backoff_s += plan.backoff_s(retries);
+                    retries += 1;
+                }
+                Outcome::Straggle { .. } => {
+                    let out = full();
+                    stats.stragglers += 1;
+                    if plan.speculation {
+                        stats.reduce_attempts += 1;
+                        stats.speculative += 1;
+                        stats.wasted_input_records += kvs.len() as u64;
+                        stats.wasted_output_bytes += reduce_output_size(&out);
+                        return full();
+                    }
+                    return out;
+                }
+                Outcome::Success => return full(),
+            }
+        }
     }
 }
 
@@ -310,22 +545,9 @@ mod tests {
 
     fn run_wordcount(with_combiner: bool) -> (Vec<String>, JobMetrics) {
         let dfs = SimDfs::new();
-        dfs.put(
-            "in",
-            word_dataset(&["a", "b", "a", "c", "a", "b", "a", "b", "c", "c", "c", "a"]),
-        );
-        let mut builder = JobBuilder::new("wordcount")
-            .input("in")
-            .mapper(Arc::new(FnMapFactory(|| WcMap)))
-            .reducer(Arc::new(FnReduceFactory(|| WcReduce { as_output: true })))
-            .output("out")
-            .num_reducers(3);
-        if with_combiner {
-            builder =
-                builder.combiner(Arc::new(FnReduceFactory(|| WcReduce { as_output: false })));
-        }
-        let engine = Engine::new(dfs.clone());
-        let m = engine.run_job(&builder.build());
+        dfs.put("in", wc_input());
+        let engine = Engine::with_workers(dfs.clone(), 4);
+        let m = engine.run_job(&wordcount_job(with_combiner));
         let out = dfs.get("out").unwrap();
         let mut lines: Vec<String> = out
             .iter_records()
@@ -374,7 +596,7 @@ mod tests {
             .mapper(Arc::new(FnMapFactory(|| IdMap)))
             .output("out")
             .build();
-        let engine = Engine::new(dfs.clone());
+        let engine = Engine::with_workers(dfs.clone(), 4);
         let m = engine.run_job(&job);
         assert!(m.map_only);
         assert_eq!(m.shuffle_bytes, 0);
@@ -403,7 +625,7 @@ mod tests {
             .mapper(Arc::new(FnMapFactory(|| TagMap)))
             .output("out")
             .build();
-        let engine = Engine::new(dfs.clone());
+        let engine = Engine::with_workers(dfs.clone(), 4);
         engine.run_job(&job);
         let mut recs: Vec<String> = dfs
             .get("out")
@@ -454,7 +676,7 @@ mod tests {
             .output("out")
             .num_reducers(1)
             .build();
-        let engine = Engine::new(dfs.clone());
+        let engine = Engine::with_workers(dfs.clone(), 4);
         let m = engine.run_job(&job);
         let recs: Vec<String> = dfs
             .get("out")
@@ -482,12 +704,151 @@ mod tests {
             .reducer(Arc::new(FnReduceFactory(|| WcReduce { as_output: true })))
             .output("out")
             .build();
-        let engine = Engine::new(dfs.clone());
+        let engine = Engine::with_workers(dfs.clone(), 4);
         let wf = engine.run_workflow(&[j1, j2]);
         assert_eq!(wf.cycles(), 2);
         assert_eq!(wf.full_cycles(), 1);
         assert_eq!(wf.map_only_cycles(), 1);
         assert_eq!(dfs.get("out").unwrap().records, 2);
+    }
+
+    fn wordcount_job(with_combiner: bool) -> Job {
+        let mut builder = JobBuilder::new("wordcount")
+            .input("in")
+            .mapper(Arc::new(FnMapFactory(|| WcMap)))
+            .reducer(Arc::new(FnReduceFactory(|| WcReduce { as_output: true })))
+            .output("out")
+            .num_reducers(3);
+        if with_combiner {
+            builder =
+                builder.combiner(Arc::new(FnReduceFactory(|| WcReduce { as_output: false })));
+        }
+        builder.build()
+    }
+
+    fn wc_input() -> Dataset {
+        word_dataset(&["a", "b", "a", "c", "a", "b", "a", "b", "c", "c", "c", "a"])
+    }
+
+    #[test]
+    fn fault_free_run_counts_one_attempt_per_task() {
+        let dfs = SimDfs::new();
+        dfs.put("in", wc_input());
+        let engine = Engine::with_workers(dfs.clone(), 4);
+        let m = engine.run_job(&wordcount_job(false));
+        assert_eq!(m.map_attempts, m.map_tasks as u64);
+        assert_eq!(m.reduce_attempts, m.reduce_tasks as u64);
+        assert_eq!(m.extra_attempts(), 0);
+        assert_eq!(m.failed_attempts, 0);
+        assert_eq!(m.wasted_input_records, 0);
+        assert_eq!(m.backoff_s, 0.0);
+    }
+
+    #[test]
+    fn chaotic_run_recovers_to_identical_output() {
+        let run = |faults: Option<FaultPlan>| {
+            let dfs = SimDfs::new();
+            dfs.put("in", wc_input());
+            let mut engine = Engine::with_workers(dfs.clone(), 4);
+            engine.faults = faults;
+            let m = engine.run_job(&wordcount_job(true));
+            let bytes: Vec<Vec<u8>> = dfs
+                .get("out")
+                .unwrap()
+                .blocks
+                .iter()
+                .map(|b| b.as_ref().to_vec())
+                .collect();
+            (bytes, m)
+        };
+        let (golden, clean) = run(None);
+        let (chaotic, m) = run(Some(FaultPlan::chaotic(1)));
+        assert_eq!(golden, chaotic, "recovered run must be bit-identical");
+        // Committed data-flow metrics match the fault-free run exactly.
+        assert_eq!(m.shuffle_records, clean.shuffle_records);
+        assert_eq!(m.shuffle_bytes, clean.shuffle_bytes);
+        assert_eq!(m.output_bytes, clean.output_bytes);
+        // ... while the attempt ledger shows the chaos.
+        assert!(m.extra_attempts() > 0, "chaotic plan must cost attempts");
+    }
+
+    #[test]
+    fn injected_failures_are_ledgered() {
+        let dfs = SimDfs::new();
+        dfs.put("in", wc_input());
+        let engine = Engine::with_workers(dfs.clone(), 4)
+            .with_faults(FaultPlan::failures_only(5, 0.9));
+        let m = engine.run_job(&wordcount_job(false));
+        assert!(m.failed_attempts > 0);
+        assert_eq!(
+            m.task_attempts(),
+            (m.map_tasks + m.reduce_tasks) as u64 + m.failed_attempts,
+        );
+        assert!(m.backoff_s > 0.0);
+        assert!(m.wasted_output_bytes > 0 || m.wasted_input_records > 0);
+    }
+
+    #[test]
+    fn node_loss_retries_every_task_on_the_node() {
+        let dfs = SimDfs::new();
+        dfs.put("in", wc_input());
+        let plan = FaultPlan {
+            nodes: 2,
+            lost_node: Some(0),
+            ..FaultPlan::new(0)
+        };
+        let engine = Engine::with_workers(dfs.clone(), 4).with_faults(plan.clone());
+        let m = engine.run_job(&wordcount_job(false));
+        let on_lost_node = (0..m.map_tasks).filter(|t| plan.node_of(*t) == 0).count()
+            + (0..3).filter(|p| plan.node_of(*p) == 0).count().min(m.reduce_tasks);
+        assert!(m.lost_node_tasks > 0);
+        assert!(m.lost_node_tasks as usize <= on_lost_node);
+        let out: Vec<String> = dfs
+            .get("out")
+            .unwrap()
+            .iter_records()
+            .map(|r| String::from_utf8(r.to_vec()).unwrap())
+            .collect();
+        let mut sorted = out.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec!["a=5", "b=3", "c=4"]);
+    }
+
+    #[test]
+    fn stragglers_without_speculation_are_counted_not_duplicated() {
+        let dfs = SimDfs::new();
+        dfs.put("in", wc_input());
+        let plan = FaultPlan {
+            straggler_p: 1.0,
+            straggler_slowdown: 4.0,
+            speculation: false,
+            ..FaultPlan::new(2)
+        };
+        let engine = Engine::with_workers(dfs.clone(), 4).with_faults(plan);
+        let m = engine.run_job(&wordcount_job(false));
+        assert_eq!(
+            m.straggler_tasks,
+            (m.map_tasks + m.reduce_tasks) as u64,
+            "every task straggles at p=1"
+        );
+        assert_eq!(m.speculative_attempts, 0);
+        assert_eq!(m.extra_attempts(), 0);
+    }
+
+    #[test]
+    fn speculation_duplicates_stragglers() {
+        let dfs = SimDfs::new();
+        dfs.put("in", wc_input());
+        let plan = FaultPlan {
+            straggler_p: 1.0,
+            straggler_slowdown: 4.0,
+            ..FaultPlan::new(2)
+        };
+        let engine = Engine::with_workers(dfs.clone(), 4).with_faults(plan);
+        let m = engine.run_job(&wordcount_job(false));
+        assert_eq!(m.speculative_attempts, (m.map_tasks + m.reduce_tasks) as u64);
+        assert_eq!(m.extra_attempts(), m.speculative_attempts);
+        assert!(m.wasted_input_records > 0, "superseded attempts are waste");
     }
 
     #[test]
@@ -498,7 +859,7 @@ mod tests {
             .mapper(Arc::new(FnMapFactory(|| IdMap)))
             .output("out")
             .build();
-        let engine = Engine::new(dfs.clone());
+        let engine = Engine::with_workers(dfs.clone(), 4);
         let m = engine.run_job(&job);
         assert_eq!(m.input_records, 0);
         assert_eq!(m.output_records, 0);

@@ -1,0 +1,335 @@
+//! Deterministic fault injection for the MapReduce simulator.
+//!
+//! Hadoop's defining robustness features — per-task retry with backoff,
+//! speculative re-execution of stragglers, and whole-node loss — are cost
+//! events the paper's plan-quality argument implicitly relies on: every
+//! extra MR cycle is another chance to pay for a failed or straggling task.
+//! A [`FaultPlan`] makes those events first-class in the simulator while
+//! keeping every run bit-for-bit reproducible.
+//!
+//! ## Determinism
+//!
+//! Fault decisions are a *pure function* of
+//! `(plan seed, job name, task kind, task index, attempt number)` — derived
+//! by hashing through the testkit's pinned SplitMix64 mixer — never of
+//! worker threads, scheduling order, or wall-clock time. Two consequences:
+//!
+//! 1. The same plan replays the same faults on every run, on any machine,
+//!    at any worker count.
+//! 2. Because injected failure probabilities are threshold comparisons
+//!    against those fixed hashes, raising a probability only *adds* faults
+//!    (every attempt that failed at `p` still fails at `p' > p`), which is
+//!    what makes simulated cost monotone in the injected fault rate.
+//!
+//! ## Bounded retry
+//!
+//! Attempts per task are capped at [`FaultPlan::max_attempts`] (Hadoop's
+//! `mapred.map.max.attempts`, default 4). The plan never injects a failure
+//! into a task's final allowed attempt, so recovery always terminates and
+//! every chaos run completes with output identical to the fault-free run —
+//! the simulator models the *cost* of failure, not job abortion.
+
+use rapida_testkit::rng::splitmix64;
+
+/// Which phase a task attempt belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// A map task (one per input split).
+    Map,
+    /// A reduce task (one per non-empty partition).
+    Reduce,
+}
+
+/// The injected outcome of one task attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// The attempt runs to completion and commits.
+    Success,
+    /// The attempt is killed after processing `fraction` of its input
+    /// (work wasted, retry follows after backoff). `node_loss` marks
+    /// failures injected by a simulated whole-node loss.
+    Fail {
+        /// Fraction of the attempt's input processed before the kill, in
+        /// `[0, 1)`.
+        fraction: f64,
+        /// Whether this failure models the task's node disappearing.
+        node_loss: bool,
+    },
+    /// The attempt runs to completion but `slowdown`× slower than normal.
+    /// With [`FaultPlan::speculation`] on, the engine launches a duplicate
+    /// attempt that wins; otherwise the slow attempt commits.
+    Straggle {
+        /// Slowdown factor (≥ 1) relative to a healthy attempt.
+        slowdown: f64,
+    },
+}
+
+/// A seedable, deterministic fault-injection plan.
+///
+/// All fields are public; construct with struct-update syntax over
+/// [`FaultPlan::new`] or use the [`FaultPlan::chaotic`] preset the chaos
+/// suite sweeps.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed deriving every fault decision.
+    pub seed: u64,
+    /// Per-attempt probability that a map attempt is killed mid-task.
+    pub map_fail_p: f64,
+    /// Per-attempt probability that a reduce attempt is killed mid-task.
+    pub reduce_fail_p: f64,
+    /// Per-attempt probability that an attempt straggles.
+    pub straggler_p: f64,
+    /// Straggler slowdown factor (≥ 1).
+    pub straggler_slowdown: f64,
+    /// Launch a speculative duplicate for stragglers (Hadoop's
+    /// `mapred.map.tasks.speculative.execution`).
+    pub speculation: bool,
+    /// Maximum attempts per task; the last attempt always succeeds.
+    pub max_attempts: usize,
+    /// Simulated backoff before the first retry, in seconds; doubles on
+    /// every further retry of the same task.
+    pub backoff_base_s: f64,
+    /// Number of simulated nodes tasks are placed on (round-robin by task
+    /// index).
+    pub nodes: usize,
+    /// If set, the node with this id (mod [`FaultPlan::nodes`]) is lost:
+    /// the first attempt of every task placed on it fails wholesale.
+    pub lost_node: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A quiet plan: no faults at all (useful as a baseline carrier).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            map_fail_p: 0.0,
+            reduce_fail_p: 0.0,
+            straggler_p: 0.0,
+            straggler_slowdown: 1.0,
+            speculation: true,
+            max_attempts: 4,
+            backoff_base_s: 2.0,
+            nodes: 8,
+            lost_node: None,
+        }
+    }
+
+    /// The aggressive preset the chaos suite sweeps: frequent task kills
+    /// and stragglers with speculation on.
+    pub fn chaotic(seed: u64) -> Self {
+        FaultPlan {
+            map_fail_p: 0.35,
+            reduce_fail_p: 0.35,
+            straggler_p: 0.25,
+            straggler_slowdown: 6.0,
+            ..FaultPlan::new(seed)
+        }
+    }
+
+    /// Failures only, no stragglers, probability `p` — the shape whose
+    /// simulated cost is provably monotone in `p` (see module docs).
+    pub fn failures_only(seed: u64, p: f64) -> Self {
+        FaultPlan {
+            map_fail_p: p,
+            reduce_fail_p: p,
+            ..FaultPlan::new(seed)
+        }
+    }
+
+    /// The pinned per-decision hash: a pure function of the plan seed and
+    /// the attempt's coordinates. `salt` separates independent draws for
+    /// the same attempt (fail? / fail fraction / straggle?).
+    fn hash(&self, job: &str, kind: TaskKind, task: usize, attempt: usize, salt: u64) -> u64 {
+        let mut state = self.seed ^ 0x9d89_0e4a_11c9_b3f7;
+        for &b in job.as_bytes() {
+            state ^= u64::from(b);
+            state = splitmix64(&mut state);
+        }
+        state ^= match kind {
+            TaskKind::Map => 0x6d61_70,
+            TaskKind::Reduce => 0x7265_64,
+        };
+        let _ = splitmix64(&mut state);
+        state ^= (task as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let _ = splitmix64(&mut state);
+        state ^= (attempt as u64) << 32 | salt;
+        splitmix64(&mut state)
+    }
+
+    /// Map a hash to a uniform `f64` in `[0, 1)` (top 53 bits, same
+    /// construction as `StdRng::unit_f64`).
+    fn unit(h: u64) -> f64 {
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The simulated node a task is placed on.
+    pub fn node_of(&self, task: usize) -> usize {
+        task % self.nodes.max(1)
+    }
+
+    /// Decide the outcome of attempt `attempt` of task `task` — pure,
+    /// order-independent, identical on every replay.
+    pub fn decide(&self, job: &str, kind: TaskKind, task: usize, attempt: usize) -> Outcome {
+        let final_attempt = attempt + 1 >= self.max_attempts.max(1);
+        if !final_attempt {
+            // Whole-node loss: every task placed on the lost node dies on
+            // its first attempt, wholesale (fraction ~1: the node took the
+            // attempt's full progress with it).
+            if attempt == 0 {
+                if let Some(node) = self.lost_node {
+                    if self.node_of(task) == node % self.nodes.max(1) {
+                        return Outcome::Fail {
+                            fraction: 1.0 - f64::EPSILON,
+                            node_loss: true,
+                        };
+                    }
+                }
+            }
+            let fail_p = match kind {
+                TaskKind::Map => self.map_fail_p,
+                TaskKind::Reduce => self.reduce_fail_p,
+            };
+            if Self::unit(self.hash(job, kind, task, attempt, 1)) < fail_p {
+                return Outcome::Fail {
+                    fraction: Self::unit(self.hash(job, kind, task, attempt, 2)),
+                    node_loss: false,
+                };
+            }
+        }
+        if Self::unit(self.hash(job, kind, task, attempt, 3)) < self.straggler_p {
+            return Outcome::Straggle {
+                slowdown: self.straggler_slowdown.max(1.0),
+            };
+        }
+        Outcome::Success
+    }
+
+    /// Simulated backoff before retry number `retry` (0-based) of a task:
+    /// exponential, `backoff_base_s · 2^retry`.
+    pub fn backoff_s(&self, retry: usize) -> f64 {
+        self.backoff_base_s * 2f64.powi(retry.min(16) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure() {
+        let plan = FaultPlan::chaotic(42);
+        for task in 0..32 {
+            for attempt in 0..4 {
+                for kind in [TaskKind::Map, TaskKind::Reduce] {
+                    assert_eq!(
+                        plan.decide("j", kind, task, attempt),
+                        plan.decide("j", kind, task, attempt),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_vary_with_coordinates() {
+        let plan = FaultPlan::chaotic(7);
+        // Over many tasks, at chaotic probabilities, all three outcome
+        // kinds must appear — and differ across job names.
+        let mut fails = 0;
+        let mut straggles = 0;
+        let mut diffs = 0;
+        for task in 0..200 {
+            match plan.decide("a", TaskKind::Map, task, 0) {
+                Outcome::Fail { .. } => fails += 1,
+                Outcome::Straggle { .. } => straggles += 1,
+                Outcome::Success => {}
+            }
+            if plan.decide("a", TaskKind::Map, task, 0) != plan.decide("b", TaskKind::Map, task, 0)
+            {
+                diffs += 1;
+            }
+        }
+        assert!(fails > 20, "expected ~35% failures, got {fails}/200");
+        assert!(straggles > 10, "expected stragglers, got {straggles}/200");
+        assert!(diffs > 50, "decisions must depend on the job name");
+    }
+
+    #[test]
+    fn final_attempt_never_fails() {
+        let plan = FaultPlan {
+            map_fail_p: 1.0,
+            reduce_fail_p: 1.0,
+            lost_node: Some(0),
+            ..FaultPlan::new(0)
+        };
+        for task in 0..16 {
+            for kind in [TaskKind::Map, TaskKind::Reduce] {
+                // Attempts 0..max-1 all fail at p=1; the last may not.
+                for attempt in 0..plan.max_attempts - 1 {
+                    assert!(matches!(
+                        plan.decide("j", kind, task, attempt),
+                        Outcome::Fail { .. }
+                    ));
+                }
+                assert!(!matches!(
+                    plan.decide("j", kind, task, plan.max_attempts - 1),
+                    Outcome::Fail { .. }
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn failure_set_is_monotone_in_probability() {
+        // Raising the failure probability never un-fails an attempt: the
+        // property simulated-cost monotonicity rests on.
+        let lo = FaultPlan::failures_only(3, 0.2);
+        let hi = FaultPlan::failures_only(3, 0.6);
+        for task in 0..200 {
+            for attempt in 0..3 {
+                if matches!(
+                    lo.decide("j", TaskKind::Map, task, attempt),
+                    Outcome::Fail { .. }
+                ) {
+                    assert!(matches!(
+                        hi.decide("j", TaskKind::Map, task, attempt),
+                        Outcome::Fail { .. }
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_loss_kills_exactly_the_lost_nodes_tasks() {
+        let plan = FaultPlan {
+            lost_node: Some(2),
+            ..FaultPlan::new(9)
+        };
+        for task in 0..64 {
+            let first = plan.decide("j", TaskKind::Map, task, 0);
+            if plan.node_of(task) == 2 {
+                assert!(
+                    matches!(first, Outcome::Fail { node_loss: true, .. }),
+                    "task {task} on the lost node must die first"
+                );
+                // The retry lands elsewhere and is not re-killed by the
+                // node loss.
+                assert!(!matches!(
+                    plan.decide("j", TaskKind::Map, task, 1),
+                    Outcome::Fail { node_loss: true, .. }
+                ));
+            } else {
+                assert!(!matches!(first, Outcome::Fail { node_loss: true, .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_exponential() {
+        let plan = FaultPlan::new(0);
+        assert_eq!(plan.backoff_s(0), 2.0);
+        assert_eq!(plan.backoff_s(1), 4.0);
+        assert_eq!(plan.backoff_s(2), 8.0);
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`job`] — job specs with Hadoop-style task lifecycles (map / combiner /
 //!   reduce, per-task `cleanup` hooks).
 //! * [`engine`] — the executor ([`Engine`]).
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]): task
+//!   failures, stragglers, node loss, with bounded retry + speculation.
 //! * [`metrics`] — measured per-job and per-workflow counters.
 //! * [`cost`] — the analytic cluster model turning metrics into simulated
 //!   cluster seconds ([`ClusterModel`]).
@@ -24,6 +26,7 @@ pub mod codec;
 pub mod cost;
 pub mod dfs;
 pub mod engine;
+pub mod fault;
 pub mod job;
 pub mod metrics;
 
@@ -31,6 +34,7 @@ pub use bytes::Bytes;
 pub use cost::ClusterModel;
 pub use dfs::{Dataset, DatasetWriter, SimDfs};
 pub use engine::{shuffle_partition, Engine};
+pub use fault::{FaultPlan, Outcome, TaskKind};
 pub use job::{
     FnMapFactory, FnReduceFactory, InputSrc, Job, JobBuilder, MapOutput, MapTask, MapTaskFactory,
     ReduceOutput, ReduceTask, ReduceTaskFactory,

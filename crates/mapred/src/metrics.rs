@@ -33,6 +33,27 @@ pub struct JobMetrics {
     pub output_records: u64,
     /// Output bytes written to the DFS.
     pub output_bytes: u64,
+    /// Total map task attempts, including retries and speculative
+    /// duplicates (equals `map_tasks` on a fault-free run).
+    pub map_attempts: u64,
+    /// Total reduce task attempts, including retries and speculative
+    /// duplicates (equals `reduce_tasks` on a fault-free run).
+    pub reduce_attempts: u64,
+    /// Attempts killed by injected failures (each one forced a retry).
+    pub failed_attempts: u64,
+    /// Speculative duplicate attempts launched for stragglers.
+    pub speculative_attempts: u64,
+    /// Tasks whose attempt straggled (slow attempt observed, whether or
+    /// not speculation replaced it).
+    pub straggler_tasks: u64,
+    /// Failed attempts attributed to a simulated whole-node loss.
+    pub lost_node_tasks: u64,
+    /// Input records processed by attempts whose work was discarded.
+    pub wasted_input_records: u64,
+    /// Output bytes produced by attempts whose work was discarded.
+    pub wasted_output_bytes: u64,
+    /// Simulated retry backoff accumulated by this job, seconds.
+    pub backoff_s: f64,
     /// In-process wall time of this job.
     pub wall: Duration,
 }
@@ -45,6 +66,18 @@ impl JobMetrics {
         } else {
             self.shuffle_records as f64 / self.map_output_records as f64
         }
+    }
+
+    /// Total task attempts across both phases.
+    pub fn task_attempts(&self) -> u64 {
+        self.map_attempts + self.reduce_attempts
+    }
+
+    /// Attempts beyond the one-per-task minimum: retries after failures
+    /// plus speculative duplicates. Zero on a fault-free run.
+    pub fn extra_attempts(&self) -> u64 {
+        self.task_attempts()
+            .saturating_sub((self.map_tasks + self.reduce_tasks) as u64)
     }
 }
 
@@ -64,7 +97,19 @@ impl fmt::Display for JobMetrics {
             self.map_tasks,
             self.reduce_tasks,
             self.wall,
-        )
+        )?;
+        if self.extra_attempts() > 0 || self.straggler_tasks > 0 {
+            write!(
+                f,
+                " attempts={} (failed={} speculative={} stragglers={}) backoff={:.1}s",
+                self.task_attempts(),
+                self.failed_attempts,
+                self.speculative_attempts,
+                self.straggler_tasks,
+                self.backoff_s,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -109,6 +154,43 @@ impl WorkflowMetrics {
     /// Total in-process wall time.
     pub fn total_wall(&self) -> Duration {
         self.jobs.iter().map(|j| j.wall).sum()
+    }
+
+    /// Total task attempts across all jobs (map + reduce, incl. retries
+    /// and speculation).
+    pub fn total_task_attempts(&self) -> u64 {
+        self.jobs.iter().map(|j| j.task_attempts()).sum()
+    }
+
+    /// Total attempts killed by injected failures across all jobs.
+    pub fn total_retried_attempts(&self) -> u64 {
+        self.jobs.iter().map(|j| j.failed_attempts).sum()
+    }
+
+    /// Total speculative duplicate attempts across all jobs.
+    pub fn total_speculative_attempts(&self) -> u64 {
+        self.jobs.iter().map(|j| j.speculative_attempts).sum()
+    }
+
+    /// Total straggling tasks observed across all jobs.
+    pub fn total_straggler_tasks(&self) -> u64 {
+        self.jobs.iter().map(|j| j.straggler_tasks).sum()
+    }
+
+    /// Total input records whose processing was discarded (failed or
+    /// superseded attempts) across all jobs.
+    pub fn total_wasted_input_records(&self) -> u64 {
+        self.jobs.iter().map(|j| j.wasted_input_records).sum()
+    }
+
+    /// Total output bytes produced then discarded across all jobs.
+    pub fn total_wasted_output_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.wasted_output_bytes).sum()
+    }
+
+    /// Total simulated retry backoff across all jobs, seconds.
+    pub fn total_backoff_s(&self) -> f64 {
+        self.jobs.iter().map(|j| j.backoff_s).sum()
     }
 }
 

@@ -1,0 +1,229 @@
+//! Chaos suite for the MapReduce simulator itself: sweep fault seeds ×
+//! worker counts over a three-cycle workflow and require (a) bit-identical
+//! recovery and (b) an honest attempt ledger with correspondingly higher
+//! simulated cost.
+//!
+//! Sweep width is tunable via `RAPIDA_CHAOS_SEEDS` (see
+//! `rapida_testkit::chaos`); `scripts/verify.sh` runs this file as its
+//! chaos smoke pass.
+
+use rapida_mapred::{
+    ClusterModel, DatasetWriter, Engine, FaultPlan, FnMapFactory, FnReduceFactory, InputSrc,
+    JobBuilder, MapOutput, MapTask, ReduceOutput, ReduceTask, SimDfs, WorkflowMetrics,
+};
+use rapida_testkit::chaos;
+use rapida_testkit::chaos::{ChaosConfig, Scenario};
+use rapida_testkit::rng::StdRng;
+use std::sync::Arc;
+
+/// Emits (word, 1) for every input record.
+struct TokenMap;
+impl MapTask for TokenMap {
+    fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
+        out.emit(record.to_vec(), 1u32.to_le_bytes().to_vec());
+    }
+}
+
+/// Map-only pass that drops records shorter than 2 bytes.
+struct FilterMap;
+impl MapTask for FilterMap {
+    fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
+        if record.len() >= 2 {
+            out.write(record.to_vec());
+        }
+    }
+}
+
+/// Sums u32 values; writes `key \0 sum` as output or re-emits as combiner.
+struct Sum {
+    to_output: bool,
+}
+impl ReduceTask for Sum {
+    fn reduce(&mut self, key: &[u8], values: &[&[u8]], out: &mut ReduceOutput) {
+        let total: u32 = values
+            .iter()
+            .map(|v| {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(v);
+                u32::from_le_bytes(b)
+            })
+            .sum();
+        if self.to_output {
+            let mut rec = key.to_vec();
+            rec.push(0);
+            rec.extend_from_slice(&total.to_le_bytes());
+            out.write(rec);
+        } else {
+            out.emit(key.to_vec(), total.to_le_bytes().to_vec());
+        }
+    }
+}
+
+/// The three-cycle workflow: map-only filter → combined word count →
+/// re-aggregation (same shape as the determinism suite's).
+fn workflow() -> Vec<rapida_mapred::Job> {
+    vec![
+        JobBuilder::new("filter")
+            .input("in")
+            .mapper(Arc::new(FnMapFactory(|| FilterMap)))
+            .output("filtered")
+            .build(),
+        JobBuilder::new("wc")
+            .input("filtered")
+            .mapper(Arc::new(FnMapFactory(|| TokenMap)))
+            .combiner(Arc::new(FnReduceFactory(|| Sum { to_output: false })))
+            .reducer(Arc::new(FnReduceFactory(|| Sum { to_output: true })))
+            .output("counts")
+            .num_reducers(5)
+            .build(),
+        JobBuilder::new("regroup")
+            .input("counts")
+            .mapper(Arc::new(FnMapFactory(|| TokenMap)))
+            .reducer(Arc::new(FnReduceFactory(|| Sum { to_output: true })))
+            .output("out")
+            .num_reducers(3)
+            .build(),
+    ]
+}
+
+/// Run the workflow under a scenario; returns full workflow metrics plus
+/// the output dataset's exact block bytes.
+fn run(scenario: &Scenario, plan_of: impl Fn(u64) -> FaultPlan) -> (WorkflowMetrics, Vec<Vec<u8>>) {
+    let dfs = SimDfs::new();
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let mut w = DatasetWriter::new(64);
+    for _ in 0..400 {
+        let len = rng.gen_range(1usize..=4);
+        let word: String = (0..len)
+            .map(|_| (b'a' + rng.gen_range(0u8..6)) as char)
+            .collect();
+        w.push(word.as_bytes());
+    }
+    dfs.put("in", w.finish());
+    let mut engine = Engine::with_workers(dfs.clone(), scenario.workers);
+    engine.faults = scenario.fault_seed.map(plan_of);
+    let wf = engine.run_workflow(&workflow());
+    let blocks: Vec<Vec<u8>> = dfs
+        .get("out")
+        .expect("workflow output")
+        .blocks
+        .iter()
+        .map(|b| b.as_ref().to_vec())
+        .collect();
+    (wf, blocks)
+}
+
+/// The committed (data-flow) portion of the metrics: everything the cost
+/// of a *fault-free* run depends on. Attempt counters are deliberately
+/// excluded — they are supposed to differ across scenarios.
+fn committed_signature(wf: &WorkflowMetrics) -> Vec<(String, bool, usize, usize, [u64; 8])> {
+    wf.jobs
+        .iter()
+        .map(|m| {
+            (
+                m.name.clone(),
+                m.map_only,
+                m.map_tasks,
+                m.reduce_tasks,
+                [
+                    m.input_bytes,
+                    m.input_records,
+                    m.map_output_records,
+                    m.map_output_bytes,
+                    m.shuffle_records,
+                    m.shuffle_bytes,
+                    m.output_records,
+                    m.output_bytes,
+                ],
+            )
+        })
+        .collect()
+}
+
+chaos! {
+    /// Output blocks and committed metrics are identical across the whole
+    /// seed × worker grid under the aggressive chaotic preset.
+    fn workflow_survives_chaotic_faults(scenario) {
+        let (wf, blocks) = run(scenario, FaultPlan::chaotic);
+        (committed_signature(&wf), blocks)
+    }
+
+    /// Same, under pure failures at a high rate (no stragglers).
+    fn workflow_survives_pure_failures(scenario) {
+        let (wf, blocks) = run(scenario, |seed| FaultPlan::failures_only(seed, 0.5));
+        (committed_signature(&wf), blocks)
+    }
+
+    /// Same, losing a whole node on top of background failures, with
+    /// speculation disabled.
+    fn workflow_survives_node_loss_without_speculation(scenario) {
+        let (wf, blocks) = run(scenario, |seed| FaultPlan {
+            lost_node: Some((seed % 8) as usize),
+            speculation: false,
+            straggler_p: 0.2,
+            straggler_slowdown: 5.0,
+            ..FaultPlan::failures_only(seed, 0.3)
+        });
+        (committed_signature(&wf), blocks)
+    }
+}
+
+/// Faulted runs must report the chaos they absorbed — retries and/or
+/// speculative attempts — and the cost model must charge for it.
+#[test]
+fn faulted_runs_ledger_attempts_and_cost_more() {
+    let model = ClusterModel::nodes10();
+    let cfg = ChaosConfig::from_env();
+    let clean = Scenario {
+        fault_seed: None,
+        workers: 4,
+    };
+    let (clean_wf, _) = run(&clean, FaultPlan::chaotic);
+    assert_eq!(clean_wf.total_retried_attempts(), 0);
+    assert_eq!(clean_wf.total_speculative_attempts(), 0);
+    assert_eq!(
+        clean_wf.total_task_attempts(),
+        clean_wf
+            .jobs
+            .iter()
+            .map(|j| (j.map_tasks + j.reduce_tasks) as u64)
+            .sum::<u64>()
+    );
+    let clean_cost = model.workflow_time(&clean_wf);
+
+    for seed in &cfg.seeds {
+        let s = Scenario {
+            fault_seed: Some(*seed),
+            workers: 4,
+        };
+        let (wf, _) = run(&s, FaultPlan::chaotic);
+        let extra: u64 = wf.jobs.iter().map(|j| j.extra_attempts()).sum();
+        assert!(
+            wf.total_retried_attempts() + wf.total_speculative_attempts() > 0,
+            "seed {seed:#x}: chaotic plan injected nothing"
+        );
+        assert_eq!(
+            extra,
+            wf.total_retried_attempts() + wf.total_speculative_attempts(),
+            "attempt ledger must balance"
+        );
+        assert!(
+            model.workflow_time(&wf) > clean_cost,
+            "seed {seed:#x}: faulted cost not above fault-free cost"
+        );
+    }
+}
+
+/// The chaos sweep macro re-exported path works (`rapida_testkit::chaos`
+/// as both module and macro) — compile-time check via an explicit call.
+#[test]
+fn sweep_callable_directly() {
+    chaos::sweep(
+        "direct",
+        &ChaosConfig::with_seed_count(1),
+        |s| {
+            let (wf, blocks) = run(s, FaultPlan::chaotic);
+            (committed_signature(&wf), blocks)
+        },
+    );
+}

@@ -10,8 +10,8 @@
 
 use rapida_mapred::engine::shuffle_partition;
 use rapida_mapred::{
-    DatasetWriter, Engine, FnMapFactory, FnReduceFactory, InputSrc, JobBuilder, JobMetrics,
-    MapOutput, MapTask, ReduceOutput, ReduceTask, SimDfs, WorkflowMetrics,
+    DatasetWriter, Engine, FaultPlan, FnMapFactory, FnReduceFactory, InputSrc, JobBuilder,
+    JobMetrics, MapOutput, MapTask, ReduceOutput, ReduceTask, SimDfs, WorkflowMetrics,
 };
 use rapida_testkit::rng::StdRng;
 use std::sync::Arc;
@@ -121,10 +121,18 @@ fn signature(m: &JobMetrics) -> (String, bool, usize, usize, [u64; 8]) {
 }
 
 fn run_with_workers(seed: u64, workers: usize) -> (WorkflowMetrics, Vec<Vec<u8>>) {
+    run_with_faults(seed, workers, None)
+}
+
+fn run_with_faults(
+    seed: u64,
+    workers: usize,
+    faults: Option<FaultPlan>,
+) -> (WorkflowMetrics, Vec<Vec<u8>>) {
     let dfs = SimDfs::new();
     seeded_input(&dfs, seed);
-    let mut engine = Engine::new(dfs.clone());
-    engine.workers = workers;
+    let mut engine = Engine::with_workers(dfs.clone(), workers);
+    engine.faults = faults;
     let wf = engine.run_workflow(&workflow());
     let out: Vec<Vec<u8>> = dfs
         .get("out")
@@ -165,6 +173,51 @@ fn metrics_do_not_depend_on_worker_count() {
             );
         }
         assert_eq!(out_one, out_many, "output differs at workers={workers}");
+    }
+}
+
+#[test]
+fn outputs_bit_identical_across_workers_with_and_without_faults() {
+    // The workers ∈ {1, 2, 8} grid, fault-free and under two fault plans:
+    // every combination must reproduce the golden run's committed metrics
+    // AND the exact output bytes (block layout included).
+    let (golden_wf, golden_out) = run_with_workers(23, 1);
+    let plans: [Option<FaultPlan>; 3] = [
+        None,
+        Some(FaultPlan::chaotic(0xDECAF)),
+        Some(FaultPlan {
+            lost_node: Some(1),
+            ..FaultPlan::failures_only(99, 0.4)
+        }),
+    ];
+    for plan in &plans {
+        for workers in [1usize, 2, 8] {
+            let (wf, out) = run_with_faults(23, workers, plan.clone());
+            for (ja, jb) in golden_wf.jobs.iter().zip(&wf.jobs) {
+                assert_eq!(
+                    signature(ja),
+                    signature(jb),
+                    "job {} drifted at workers={workers}, faults={:?}",
+                    ja.name,
+                    plan.as_ref().map(|p| p.seed)
+                );
+            }
+            assert_eq!(
+                golden_out,
+                out,
+                "output bytes drifted at workers={workers}, faults={:?}",
+                plan.as_ref().map(|p| p.seed)
+            );
+            // Faulted runs must actually have injected something.
+            if plan.is_some() {
+                assert!(
+                    wf.total_retried_attempts() + wf.total_speculative_attempts() > 0,
+                    "fault plan injected nothing"
+                );
+            } else {
+                assert_eq!(wf.total_retried_attempts(), 0);
+            }
+        }
     }
 }
 

@@ -431,7 +431,7 @@ mod tests {
             .output("joined")
             .num_reducers(2)
             .build();
-        Engine::new(dfs.clone()).run_job(&job);
+        Engine::with_workers(dfs.clone(), 4).run_job(&job);
         dfs.get("joined")
             .unwrap()
             .iter_records()
@@ -511,7 +511,7 @@ mod tests {
             })))
             .output("joined")
             .build();
-        Engine::new(dfs.clone()).run_job(&job);
+        Engine::with_workers(dfs.clone(), 4).run_job(&job);
         let joined: Vec<AnnTg> = dfs
             .get("joined")
             .unwrap()
@@ -581,7 +581,7 @@ mod tests {
             })))
             .output("aggs")
             .build();
-        Engine::new(dfs.clone()).run_job(&job);
+        Engine::with_workers(dfs.clone(), 4).run_job(&job);
         let mut recs: Vec<AggRec> = dfs
             .get("aggs")
             .unwrap()
@@ -652,7 +652,7 @@ mod tests {
                 })))
                 .output(out)
                 .build();
-            Engine::new(dfs.clone()).run_job(&job)
+            Engine::with_workers(dfs.clone(), 4).run_job(&job)
         };
         let with = run(true, "out_with");
         let without = run(false, "out_without");

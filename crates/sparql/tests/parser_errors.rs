@@ -1,0 +1,141 @@
+//! Negative tests for the SPARQL parser: every malformed-input error path
+//! around SELECT projections, aggregates and GROUP BY must fail cleanly
+//! (no panic) with its specific message — these paths previously had no
+//! coverage at all.
+
+use rapida_sparql::parse_query;
+
+/// Assert `sparql` fails to parse and the error message mentions `expect`.
+fn assert_parse_error(sparql: &str, expect: &str) {
+    match parse_query(sparql) {
+        Ok(q) => panic!("parsed malformed query {sparql:?} into {q:?}"),
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(
+                msg.contains(expect),
+                "query {sparql:?}: error {msg:?} does not mention {expect:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn non_select_query_form_is_rejected() {
+    assert_parse_error("ASK { ?s ?p ?o . }", "expected keyword 'SELECT'");
+}
+
+#[test]
+fn select_without_projection_is_rejected() {
+    assert_parse_error(
+        "SELECT { ?s ?p ?o . }",
+        "SELECT requires '*' or at least one projection item",
+    );
+}
+
+#[test]
+fn unknown_aggregate_function_is_rejected() {
+    assert_parse_error(
+        "SELECT (MEDIAN(?x) AS ?m) { ?s ?p ?x . }",
+        "unknown aggregate 'MEDIAN'",
+    );
+}
+
+#[test]
+fn parenthesized_non_aggregate_is_rejected() {
+    assert_parse_error(
+        "SELECT (?x AS ?y) { ?s ?p ?x . }",
+        "expected aggregate function",
+    );
+}
+
+#[test]
+fn aggregate_argument_must_be_variable_or_star() {
+    assert_parse_error(
+        "SELECT (COUNT(42) AS ?c) { ?s ?p ?x . }",
+        "expected variable or * in aggregate",
+    );
+}
+
+#[test]
+fn aggregate_missing_closing_paren_is_rejected() {
+    assert_parse_error("SELECT (COUNT(?x AS ?c) { ?s ?p ?x . }", "expected ')'");
+}
+
+#[test]
+fn aggregate_without_alias_is_rejected() {
+    assert_parse_error(
+        "SELECT (COUNT(?x)) { ?s ?p ?x . }",
+        "expected alias variable after aggregate",
+    );
+}
+
+#[test]
+fn aggregate_alias_must_be_variable() {
+    assert_parse_error(
+        "SELECT (COUNT(?x) AS count) { ?s ?p ?x . }",
+        "expected alias variable after aggregate",
+    );
+}
+
+#[test]
+fn group_without_by_is_rejected() {
+    assert_parse_error(
+        "SELECT ?s { ?s ?p ?o . } GROUP ?s",
+        "expected keyword 'BY'",
+    );
+}
+
+#[test]
+fn group_by_without_variables_is_rejected() {
+    assert_parse_error(
+        "SELECT ?s { ?s ?p ?o . } GROUP BY",
+        "GROUP BY requires at least one variable",
+    );
+}
+
+#[test]
+fn group_by_non_variable_is_rejected() {
+    // `GROUP BY 3` binds no variable, so the empty-group-by error fires
+    // and the stray literal is never silently swallowed.
+    assert_parse_error(
+        "SELECT ?s { ?s ?p ?o . } GROUP BY 3",
+        "GROUP BY requires at least one variable",
+    );
+}
+
+#[test]
+fn unterminated_pattern_is_rejected() {
+    assert_parse_error("SELECT ?s { ?s ?p ?o .", "unterminated group graph pattern");
+}
+
+#[test]
+fn trailing_tokens_are_rejected() {
+    assert_parse_error(
+        "SELECT ?s { ?s ?p ?o . } LIMIT",
+        "trailing tokens after query",
+    );
+}
+
+#[test]
+fn prefix_without_name_is_rejected() {
+    assert_parse_error(
+        "PREFIX <http://x/> SELECT ?s { ?s ?p ?o . }",
+        "expected prefix name after PREFIX",
+    );
+}
+
+#[test]
+fn well_formed_neighbours_still_parse() {
+    // Guard against over-eager rejection: the closest well-formed variants
+    // of each malformed query above must parse.
+    for q in [
+        "SELECT * { ?s ?p ?o . }",
+        "SELECT (COUNT(?x) AS ?c) { ?s ?p ?x . }",
+        "SELECT (COUNT(*) AS ?c) { ?s ?p ?x . }",
+        "SELECT ?s { ?s ?p ?o . } GROUP BY ?s",
+        "SELECT (COUNT(?x) ?c) { ?s ?p ?x . }",
+        "PREFIX ex: <http://x/> SELECT ?s { ?s ex:p ?o . }",
+    ] {
+        parse_query(q).unwrap_or_else(|e| panic!("rejected well-formed {q:?}: {e}"));
+    }
+}

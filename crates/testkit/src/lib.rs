@@ -14,6 +14,9 @@
 //! * [`bench`] — a micro-benchmark harness with a criterion-compatible
 //!   surface (warmup, N timed samples, median/min report, JSON output to
 //!   `BENCH_<group>.json`).
+//! * [`chaos`] — a deterministic chaos-test harness (`chaos!`) sweeping
+//!   fault seeds × worker counts and asserting output equivalence against
+//!   the fault-free golden run (width via `RAPIDA_CHAOS_SEEDS`).
 //!
 //! Determinism is a correctness requirement here: the paper's claims are
 //! about relative plan cost (MR cycles, shuffle bytes), and the test suite
@@ -21,6 +24,7 @@
 //! workspace flows through [`rng`], seeded explicitly.
 
 pub mod bench;
+pub mod chaos;
 pub mod prop;
 pub mod rng;
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: everything must pass with no network access.
 #
-#   build (release)  ->  full workspace test suite  ->  bench smoke
+#   build (release)  ->  full workspace test suite  ->  chaos smoke  ->  bench smoke
 #
 # The bench smoke runs every bench target with one timed iteration per
 # benchmark (RAPIDA_BENCH_SMOKE=1), which proves the harnesses execute
@@ -15,6 +15,9 @@ cargo build --release --offline
 
 echo "==> cargo test --workspace --offline"
 cargo test -q --workspace --offline
+
+echo "==> chaos smoke (4 fault seeds x worker counts)"
+RAPIDA_CHAOS_SEEDS=4 cargo test -q --offline -p rapida-mapred --test chaos
 
 echo "==> bench smoke (1 iteration per benchmark)"
 RAPIDA_BENCH_SMOKE=1 RAPIDA_BENCH_DIR=target/bench-smoke \
