@@ -130,7 +130,7 @@ impl FinalJoinTask {
                     },
                 })
                 .collect();
-            out.write(row_bytes(&row));
+            out.write(&row_bytes(&row));
             return;
         }
         let probe_key: Vec<u64> = self.cfg.joins[j - 1]
@@ -208,11 +208,20 @@ impl AllGroupFixup {
         bb.push(&buf);
         let mut blocks = existing.blocks.clone();
         blocks.push(rapida_mapred::Bytes::from(bb.finish()));
+        // Extend per-block record counts only when the existing dataset
+        // tracks them for every block; otherwise leave them unknown.
+        let mut block_records = existing.block_records.clone();
+        if block_records.len() + 1 == blocks.len() {
+            block_records.push(1);
+        } else {
+            block_records = Vec::new();
+        }
         dfs.put(
             &self.dataset,
             Dataset {
                 records: existing.records + 1,
                 blocks,
+                block_records,
             },
         );
     }

@@ -250,7 +250,7 @@ impl MapTask for JoinMapTask {
             let mut vb = Vec::with_capacity(row.len() * 4 + 2);
             write_varint(&mut vb, src.dataset as u64);
             crate::rows::encode_row(&row, &mut vb);
-            out.emit(kb, vb);
+            out.emit(&kb, &vb);
         });
     }
 }
@@ -352,7 +352,7 @@ impl JoinReduceTask {
         {
             return;
         }
-        out.write(row_bytes(&row));
+        out.write(&row_bytes(&row));
     }
 }
 
@@ -478,7 +478,7 @@ impl MapJoinTask {
                 return;
             }
             let row: Vec<RVal> = self.cfg.output_cols.iter().map(|&c| acc[c]).collect();
-            out.write(row_bytes(&row));
+            out.write(&row_bytes(&row));
             return;
         }
         let small = &self.cfg.smalls[i];
@@ -622,7 +622,7 @@ impl MapTask for GroupAggMapTask {
                 for p in &partials {
                     p.encode(&mut vb);
                 }
-                out.emit(kb, vb);
+                out.emit(&kb, &vb);
             }
         });
     }
@@ -633,7 +633,7 @@ impl MapTask for GroupAggMapTask {
             for p in &partials {
                 p.encode(&mut vb);
             }
-            out.emit(kb, vb);
+            out.emit(&kb, &vb);
         }
     }
 }
@@ -684,7 +684,7 @@ impl ReduceTask for GroupAggReduceTask {
         };
         let mut buf = Vec::new();
         rec.encode(&mut buf);
-        out.write(buf);
+        out.write(&buf);
     }
 }
 
@@ -724,7 +724,7 @@ impl MapTask for DistinctMapTask {
         let projected: Vec<RVal> = self.cfg.project_cols.iter().map(|&c| row[c]).collect();
         let kb = row_bytes(&projected);
         if self.seen.insert(kb.clone()) {
-            out.emit(kb, Vec::new());
+            out.emit(&kb, &[]);
         }
     }
 }
@@ -734,7 +734,7 @@ pub struct DistinctReduceTask;
 
 impl ReduceTask for DistinctReduceTask {
     fn reduce(&mut self, key: &[u8], _values: &[&[u8]], out: &mut ReduceOutput) {
-        out.write(key.to_vec());
+        out.write(key);
     }
 }
 

@@ -98,11 +98,14 @@ fn corrupt_records_are_skipped() {
         let garbage: Dataset = w.finish();
         let mut blocks = ds.blocks.clone();
         blocks.extend(garbage.blocks);
+        let mut block_records = ds.block_records.clone();
+        block_records.extend(garbage.block_records);
         cat.dfs.put(
             &name,
             Dataset {
                 records: ds.records + garbage.records,
                 blocks,
+                block_records,
             },
         );
     }

@@ -135,6 +135,184 @@ impl BlockBuilder {
     }
 }
 
+/// One key/value pair borrowed from a [`KvBuffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvRef<'a> {
+    /// The key bytes.
+    pub key: &'a [u8],
+    /// The value bytes.
+    pub value: &'a [u8],
+}
+
+/// Offset-table entry of a [`KvBuffer`]: where one pair's payload lives.
+#[derive(Debug, Clone, Copy)]
+struct KvEnt {
+    /// Byte offset of the key in the arena (the value follows it).
+    off: u64,
+    /// Key length in bytes.
+    klen: u32,
+    /// Value length in bytes.
+    vlen: u32,
+}
+
+/// An arena-backed key/value buffer: every pair's payload lives in one
+/// contiguous `data` arena (`key` immediately followed by `value`), located
+/// through a compact offset table. This replaces per-record
+/// `(Vec<u8>, Vec<u8>)` heap pairs on the shuffle path — emitting a pair is
+/// two `extend_from_slice` calls into an amortized arena, and sorting moves
+/// 16-byte table entries instead of 48-byte pair structs, never the payload.
+#[derive(Default, Clone)]
+pub struct KvBuffer {
+    data: Vec<u8>,
+    ents: Vec<KvEnt>,
+}
+
+impl KvBuffer {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New buffer with pre-reserved capacity.
+    pub fn with_capacity(records: usize, payload_bytes: usize) -> Self {
+        KvBuffer {
+            data: Vec::with_capacity(payload_bytes),
+            ents: Vec::with_capacity(records),
+        }
+    }
+
+    /// Append one pair (copies both slices into the arena).
+    #[inline]
+    pub fn push(&mut self, key: &[u8], value: &[u8]) {
+        let off = self.data.len() as u64;
+        self.data.extend_from_slice(key);
+        self.data.extend_from_slice(value);
+        self.ents.push(KvEnt {
+            off,
+            klen: key.len() as u32,
+            vlen: value.len() as u32,
+        });
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.ents.len()
+    }
+
+    /// True if no pairs have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.ents.is_empty()
+    }
+
+    /// Total payload bytes (sum of key + value lengths, no framing) — the
+    /// quantity the shuffle byte counters are defined over.
+    pub fn payload_bytes(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Key + value bytes of pair `i`.
+    #[inline]
+    pub fn pair_bytes(&self, i: usize) -> u64 {
+        let e = self.ents[i];
+        u64::from(e.klen) + u64::from(e.vlen)
+    }
+
+    /// Key bytes of pair `i`.
+    #[inline]
+    pub fn key(&self, i: usize) -> &[u8] {
+        let e = self.ents[i];
+        &self.data[e.off as usize..e.off as usize + e.klen as usize]
+    }
+
+    /// Value bytes of pair `i`.
+    #[inline]
+    pub fn value(&self, i: usize) -> &[u8] {
+        let e = self.ents[i];
+        let start = e.off as usize + e.klen as usize;
+        &self.data[start..start + e.vlen as usize]
+    }
+
+    /// Pair `i` as a [`KvRef`].
+    #[inline]
+    pub fn kv(&self, i: usize) -> KvRef<'_> {
+        KvRef {
+            key: self.key(i),
+            value: self.value(i),
+        }
+    }
+
+    /// Iterate pairs in table order.
+    pub fn iter(&self) -> impl Iterator<Item = KvRef<'_>> {
+        (0..self.len()).map(|i| self.kv(i))
+    }
+
+    /// Sort the offset table by `(key bytes, insertion order)` without
+    /// touching the payload arena. `sort_unstable` is safe here even though
+    /// the shuffle's determinism contract needs equal keys kept in emit
+    /// order: the insertion index is part of the comparison key, so no two
+    /// distinct entries ever compare equal — the result is exactly what a
+    /// stable key-only sort would produce.
+    pub fn sort_unstable(&mut self) {
+        let mut order: Vec<u32> = (0..self.ents.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            self.key(a as usize)
+                .cmp(self.key(b as usize))
+                .then(a.cmp(&b))
+        });
+        self.ents = order.iter().map(|&i| self.ents[i as usize]).collect();
+    }
+}
+
+/// An arena-backed record list: the direct-output twin of [`KvBuffer`],
+/// replacing `Vec<Vec<u8>>` on map-only and reduce output paths.
+#[derive(Default, Clone)]
+pub struct RecBuffer {
+    data: Vec<u8>,
+    /// End offset of each record; record `i` spans `ends[i-1]..ends[i]`.
+    ends: Vec<u64>,
+}
+
+impl RecBuffer {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one record (copies the slice into the arena).
+    #[inline]
+    pub fn push(&mut self, record: &[u8]) {
+        self.data.extend_from_slice(record);
+        self.ends.push(self.data.len() as u64);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// True if no records have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Total payload bytes (no framing).
+    pub fn payload_bytes(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Record `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &[u8] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.data[start..self.ends[i] as usize]
+    }
+
+    /// Iterate records in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.len()).map(|i| self.get(i))
+    }
+}
+
 /// Iterate the records of a block produced by [`BlockBuilder`].
 pub struct RecordIter<'a> {
     buf: &'a [u8],
@@ -230,5 +408,53 @@ mod tests {
     #[test]
     fn empty_block_iterates_nothing() {
         assert_eq!(RecordIter::new(&[]).count(), 0);
+    }
+
+    #[test]
+    fn kvbuffer_push_and_read_back() {
+        let mut b = KvBuffer::new();
+        b.push(b"alpha", b"1");
+        b.push(b"", b"empty-key");
+        b.push(b"beta", b"");
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.payload_bytes(), (5 + 1 + 9 + 4) as u64);
+        assert_eq!(b.kv(0), KvRef { key: b"alpha", value: b"1" });
+        assert_eq!(b.kv(1), KvRef { key: b"", value: b"empty-key" });
+        assert_eq!(b.kv(2), KvRef { key: b"beta", value: b"" });
+        assert_eq!(b.pair_bytes(0), 6);
+        assert_eq!(b.iter().count(), 3);
+    }
+
+    #[test]
+    fn kvbuffer_sort_is_stable_for_equal_keys() {
+        let mut b = KvBuffer::new();
+        b.push(b"b", b"1");
+        b.push(b"a", b"2");
+        b.push(b"b", b"3");
+        b.push(b"a", b"4");
+        b.sort_unstable();
+        let got: Vec<(&[u8], &[u8])> = b.iter().map(|kv| (kv.key, kv.value)).collect();
+        // Equal keys keep emit order — the shuffle's determinism contract.
+        assert_eq!(
+            got,
+            vec![
+                (&b"a"[..], &b"2"[..]),
+                (&b"a"[..], &b"4"[..]),
+                (&b"b"[..], &b"1"[..]),
+                (&b"b"[..], &b"3"[..]),
+            ]
+        );
+    }
+
+    #[test]
+    fn recbuffer_roundtrip() {
+        let mut r = RecBuffer::new();
+        r.push(b"one");
+        r.push(b"");
+        r.push(b"three");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.payload_bytes(), 8);
+        let got: Vec<&[u8]> = r.iter().collect();
+        assert_eq!(got, vec![&b"one"[..], &b""[..], &b"three"[..]]);
     }
 }

@@ -18,6 +18,12 @@ pub struct Dataset {
     pub blocks: Vec<Bytes>,
     /// Total record count.
     pub records: usize,
+    /// Per-block record counts, parallel to [`Self::blocks`]. May be empty
+    /// on hand-assembled datasets (counts unknown); engine-written and
+    /// [`DatasetWriter`]-written datasets always fill it, which lets the
+    /// fault-injection kill point know a split's record count without a
+    /// decode pass.
+    pub block_records: Vec<usize>,
 }
 
 impl Dataset {
@@ -30,6 +36,11 @@ impl Dataset {
     pub fn iter_records(&self) -> impl Iterator<Item = &[u8]> {
         self.blocks.iter().flat_map(|b| RecordIter::new(b))
     }
+
+    /// Record count of block `i`, if tracked.
+    pub fn block_record_count(&self, i: usize) -> Option<usize> {
+        self.block_records.get(i).copied()
+    }
 }
 
 /// Builder that packs records into blocks of roughly `split_bytes`.
@@ -37,6 +48,7 @@ pub struct DatasetWriter {
     split_bytes: usize,
     current: BlockBuilder,
     blocks: Vec<Bytes>,
+    block_records: Vec<usize>,
     records: usize,
 }
 
@@ -47,6 +59,7 @@ impl DatasetWriter {
             split_bytes: split_bytes.max(1),
             current: BlockBuilder::new(),
             blocks: Vec::new(),
+            block_records: Vec::new(),
             records: 0,
         }
     }
@@ -57,6 +70,7 @@ impl DatasetWriter {
         self.records += 1;
         if self.current.len() >= self.split_bytes {
             let b = std::mem::take(&mut self.current);
+            self.block_records.push(b.records());
             self.blocks.push(Bytes::from(b.finish()));
         }
     }
@@ -64,11 +78,13 @@ impl DatasetWriter {
     /// Finish, producing the dataset.
     pub fn finish(mut self) -> Dataset {
         if !self.current.is_empty() {
+            self.block_records.push(self.current.records());
             self.blocks.push(Bytes::from(self.current.finish()));
         }
         Dataset {
             blocks: self.blocks,
             records: self.records,
+            block_records: self.block_records,
         }
     }
 }
@@ -161,6 +177,12 @@ mod tests {
         assert!(ds.blocks.len() > 1, "expected multiple splits");
         assert_eq!(ds.records, 100);
         assert_eq!(ds.iter_records().count(), 100);
+        // Per-block counts are tracked and consistent with the blocks.
+        assert_eq!(ds.block_records.len(), ds.blocks.len());
+        assert_eq!(ds.block_records.iter().sum::<usize>(), 100);
+        for (i, b) in ds.blocks.iter().enumerate() {
+            assert_eq!(ds.block_record_count(i), Some(RecordIter::new(b).count()));
+        }
     }
 
     #[test]

@@ -1,12 +1,23 @@
-//! The MapReduce execution engine: parallel map over splits, hash-partitioned
-//! shuffle with sort, parallel reduce — a faithful in-process model of the
-//! Hadoop execution cycle, with real serialization at every boundary.
+//! The MapReduce execution engine: parallel map over splits, arena-backed
+//! map-side sorted runs, a loser-tree run-merge shuffle, parallel streaming
+//! reduce — a faithful in-process model of the Hadoop execution cycle, with
+//! real serialization at every boundary.
+//!
+//! Data path (see DESIGN.md "Zero-copy shuffle data path"): map tasks emit
+//! into one contiguous [`KvBuffer`] arena per task; the arena's offset table
+//! is sorted once map-side by `(key, emit order)` (also feeding the combiner
+//! a streaming grouped pass) and spilled into compact per-`(task,
+//! partition)` sorted arenas; the reduce side merges those pre-sorted runs
+//! with a loser tree — each run read sequentially, front to back — and
+//! streams key groups straight into the reducer. No materialized `Vec` of
+//! pairs, no reduce-side re-sort, no per-record heap allocation.
 
 use crate::bytes::Bytes;
-use crate::codec::{BlockBuilder, RecordIter};
+use crate::codec::{BlockBuilder, KvBuffer, RecordIter};
 use crate::dfs::{Dataset, SimDfs};
 use crate::fault::{FaultPlan, Outcome, TaskKind};
 use crate::job::{InputSrc, Job, MapOutput, ReduceOutput};
+use crate::merge::{merge_key_groups, Run};
 use crate::metrics::{JobMetrics, WorkflowMetrics};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -73,17 +84,15 @@ impl FaultStats {
 }
 
 /// Bytes an attempt produced (emitted kvs + written records) — what gets
-/// thrown away when the attempt is killed or superseded.
+/// thrown away when the attempt is killed or superseded. Arena payload
+/// lengths carry no framing, so these are the same sums of key + value +
+/// record lengths the counters have always used.
 fn map_output_size(out: &MapOutput) -> u64 {
-    let kv: u64 = out.kvs.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
-    let rec: u64 = out.records.iter().map(|r| r.len() as u64).sum();
-    kv + rec
+    out.kvs.payload_bytes() + out.records.payload_bytes()
 }
 
 fn reduce_output_size(out: &ReduceOutput) -> u64 {
-    let kv: u64 = out.kvs.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
-    let rec: u64 = out.records.iter().map(|r| r.len() as u64).sum();
-    kv + rec
+    out.kvs.payload_bytes() + out.records.payload_bytes()
 }
 
 impl Engine {
@@ -133,14 +142,25 @@ impl Engine {
             ..Default::default()
         };
 
-        // Gather input splits: (dataset index, block).
-        let mut splits: Vec<(usize, Bytes)> = Vec::new();
+        // Gather input splits: (dataset index, block, known record count).
+        let mut splits: Vec<(usize, Bytes, Option<usize>)> = Vec::new();
         for (di, name) in job.inputs.iter().enumerate() {
             if let Some(ds) = self.dfs.get(name) {
                 metrics.input_bytes += ds.total_bytes() as u64;
                 metrics.input_records += ds.records as u64;
-                for b in ds.blocks {
-                    splits.push((di, b));
+                let Dataset {
+                    blocks,
+                    block_records,
+                    ..
+                } = ds;
+                let counts_known = block_records.len() == blocks.len();
+                for (bi, b) in blocks.into_iter().enumerate() {
+                    let n = if counts_known {
+                        Some(block_records[bi])
+                    } else {
+                        None
+                    };
+                    splits.push((di, b, n));
                 }
             }
         }
@@ -148,9 +168,12 @@ impl Engine {
 
         let num_partitions = job.num_reducers.max(1);
         // Per-map-task results, merged after the parallel section.
+        // `parts[p]` is the task's compact, key-sorted spill arena for
+        // reduce partition `p` — one pre-sorted run per (task, partition),
+        // ready for the reduce-side loser-tree merge to read sequentially.
         struct MapResult {
-            partitions: Vec<Vec<(Vec<u8>, Vec<u8>)>>,
-            records: Vec<Vec<u8>>,
+            parts: Vec<KvBuffer>,
+            records: crate::codec::RecBuffer,
             raw_kv_records: u64,
             raw_kv_bytes: u64,
         }
@@ -164,47 +187,69 @@ impl Engine {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let next = splits_queue.lock().unwrap().pop();
-                    let Some((idx, (di, block))) = next else {
+                    let Some((idx, (di, block, block_recs))) = next else {
                         break;
                     };
                     let mut local = FaultStats::default();
-                    let mut out = self.run_map_task(job, idx, di, &block, &mut local);
+                    let mut out =
+                        self.run_map_task(job, idx, di, &block, block_recs, &mut local);
 
                     let raw_kv_records = out.kvs.len() as u64;
-                    let raw_kv_bytes = out
-                        .kvs
-                        .iter()
-                        .map(|(k, v)| (k.len() + v.len()) as u64)
-                        .sum();
+                    let raw_kv_bytes = out.kvs.payload_bytes();
 
-                    // Map-side combiner: sort + group + combine before the
-                    // shuffle, exactly like Hadoop's combiner contract.
-                    let kvs = match (&job.combiner, job.is_map_only()) {
-                        (Some(comb), false) if !out.kvs.is_empty() => {
-                            let mut kvs = std::mem::take(&mut out.kvs);
-                            kvs.sort_by(|a, b| a.0.cmp(&b.0));
-                            let mut ctask = comb.create();
-                            let mut cout = ReduceOutput::default();
-                            run_key_groups(&kvs, |key, values| {
-                                ctask.reduce(key, values, &mut cout);
-                            });
-                            ctask.cleanup(&mut cout);
-                            cout.kvs
+                    let mut kvs = std::mem::take(&mut out.kvs);
+                    let mut parts: Vec<KvBuffer> = Vec::new();
+                    if !job.is_map_only() {
+                        // Map-side sort: one offset-table sort per task,
+                        // by (key, emit order). The payload arena never
+                        // moves.
+                        kvs.sort_unstable();
+                        // Map-side combiner: stream the sorted run's key
+                        // groups through the combiner and sort its output
+                        // the same way — Hadoop's combiner contract.
+                        if let Some(comb) = &job.combiner {
+                            if !kvs.is_empty() {
+                                let mut ctask = comb.create();
+                                let mut cout = ReduceOutput::default();
+                                merge_key_groups(
+                                    &[Run::sorted(&kvs)],
+                                    None,
+                                    |key, values| {
+                                        ctask.reduce(key, values, &mut cout);
+                                    },
+                                );
+                                ctask.cleanup(&mut cout);
+                                kvs = cout.kvs;
+                                kvs.sort_unstable();
+                            }
                         }
-                        _ => std::mem::take(&mut out.kvs),
-                    };
-
-                    // Partition.
-                    let mut partitions: Vec<Vec<(Vec<u8>, Vec<u8>)>> =
-                        (0..num_partitions).map(|_| Vec::new()).collect();
-                    for (k, v) in kvs {
-                        let p = shuffle_partition(&k, num_partitions);
-                        partitions[p].push((k, v));
+                        // Spill: copy each partition's pairs — scanning in
+                        // sorted order, so every spill stays key-sorted
+                        // with equal keys in emit order — into a compact
+                        // per-partition arena. The reduce-side merge then
+                        // reads each run front to back, sequentially. An
+                        // exact-size counting pass first, so the spill
+                        // arenas never reallocate.
+                        let mut pidx: Vec<u32> = Vec::with_capacity(kvs.len());
+                        let mut counts = vec![(0usize, 0u64); num_partitions];
+                        for i in 0..kvs.len() {
+                            let p = shuffle_partition(kvs.key(i), num_partitions);
+                            pidx.push(p as u32);
+                            counts[p].0 += 1;
+                            counts[p].1 += kvs.pair_bytes(i);
+                        }
+                        parts = counts
+                            .iter()
+                            .map(|&(n, bytes)| KvBuffer::with_capacity(n, bytes as usize))
+                            .collect();
+                        for i in 0..kvs.len() {
+                            parts[pidx[i] as usize].push(kvs.key(i), kvs.value(i));
+                        }
                     }
                     results.lock().unwrap().push((
                         idx,
                         MapResult {
-                            partitions,
+                            parts,
                             records: std::mem::take(&mut out.records),
                             raw_kv_records,
                             raw_kv_bytes,
@@ -218,9 +263,11 @@ impl Engine {
         // Canonical task order: results arrive in thread-completion order,
         // which is racy — sort by map-task index so downstream block layout
         // and equal-key value order are identical on every run, at any
-        // worker count, with or without injected faults.
+        // worker count, with or without injected faults. sort_unstable is
+        // safe here: task indices are unique, so no equal elements exist
+        // for stability to distinguish.
         let mut indexed = results.into_inner().expect("map phase panicked");
-        indexed.sort_by_key(|(idx, _)| *idx);
+        indexed.sort_unstable_by_key(|(idx, _)| *idx);
         let map_results: Vec<MapResult> = indexed.into_iter().map(|(_, r)| r).collect();
         for r in &map_results {
             metrics.map_output_records += r.raw_kv_records;
@@ -230,48 +277,55 @@ impl Engine {
         let output_ds = if job.is_map_only() {
             // Map-only: one output block per non-empty map task.
             let mut blocks = Vec::new();
+            let mut block_records = Vec::new();
             let mut records = 0usize;
-            for r in map_results {
+            for r in &map_results {
                 if r.records.is_empty() {
                     continue;
                 }
                 let mut bb = BlockBuilder::new();
-                for rec in &r.records {
+                for rec in r.records.iter() {
                     bb.push(rec);
                 }
                 records += bb.records();
+                block_records.push(bb.records());
                 blocks.push(Bytes::from(bb.finish()));
             }
-            Dataset { blocks, records }
+            Dataset {
+                blocks,
+                records,
+                block_records,
+            }
         } else {
-            // Shuffle: merge each partition across map tasks, sort by key.
-            let mut shuffled: Vec<Vec<(Vec<u8>, Vec<u8>)>> =
+            // Shuffle: hand each partition its ordered list of pre-sorted
+            // runs, accounting shuffle volume off the offset tables in the
+            // same pass — nothing is concatenated or re-sorted.
+            let mut part_runs: Vec<Vec<Run<'_>>> =
                 (0..num_partitions).map(|_| Vec::new()).collect();
-            for r in map_results {
-                for (p, kvs) in r.partitions.into_iter().enumerate() {
-                    shuffled[p].extend(kvs);
+            let mut part_records: Vec<usize> = vec![0; num_partitions];
+            for r in &map_results {
+                for (p, spill) in r.parts.iter().enumerate() {
+                    if spill.is_empty() {
+                        continue;
+                    }
+                    metrics.shuffle_records += spill.len() as u64;
+                    metrics.shuffle_bytes += spill.payload_bytes();
+                    part_records[p] += spill.len();
+                    part_runs[p].push(Run::sorted(spill));
                 }
             }
-            for p in &mut shuffled {
-                p.sort_by(|a, b| a.0.cmp(&b.0));
-            }
-            metrics.shuffle_records = shuffled.iter().map(|p| p.len() as u64).sum();
-            metrics.shuffle_bytes = shuffled
-                .iter()
-                .flat_map(|p| p.iter())
-                .map(|(k, v)| (k.len() + v.len()) as u64)
-                .sum();
-            metrics.reduce_tasks = shuffled.iter().filter(|p| !p.is_empty()).count();
+            metrics.reduce_tasks = part_runs.iter().filter(|rs| !rs.is_empty()).count();
 
             // Reduce phase, parallel over partitions. Tasks are identified
             // by their partition index — stable across worker counts and
             // fault scenarios, so fault decisions and output order are too.
             let reducer = job.reducer.as_ref().expect("checked map_only");
             let part_queue = Mutex::new(
-                shuffled
+                part_runs
                     .into_iter()
+                    .zip(part_records)
                     .enumerate()
-                    .filter(|(_, p)| !p.is_empty())
+                    .filter(|(_, (runs, _))| !runs.is_empty())
                     .collect::<Vec<_>>(),
             );
             let blocks_out: Mutex<Vec<(usize, usize, Vec<u8>)>> = Mutex::new(Vec::new());
@@ -279,13 +333,19 @@ impl Engine {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
                         let part = part_queue.lock().unwrap().pop();
-                        let Some((p_idx, kvs)) = part else { break };
+                        let Some((p_idx, (runs, total))) = part else { break };
                         let mut local = FaultStats::default();
-                        let out =
-                            self.run_reduce_task(job, reducer.as_ref(), p_idx, &kvs, &mut local);
+                        let out = self.run_reduce_task(
+                            job,
+                            reducer.as_ref(),
+                            p_idx,
+                            &runs,
+                            total,
+                            &mut local,
+                        );
                         if !out.records.is_empty() {
                             let mut bb = BlockBuilder::new();
-                            for rec in &out.records {
+                            for rec in out.records.iter() {
                                 bb.push(rec);
                             }
                             let n = bb.records();
@@ -296,16 +356,23 @@ impl Engine {
                 }
             });
 
-            // Canonical partition order (see the map-phase sort above).
+            // Canonical partition order (see the map-phase sort above;
+            // unique partition indices make sort_unstable safe).
             let mut out_blocks = blocks_out.into_inner().expect("reduce phase panicked");
-            out_blocks.sort_by_key(|(p_idx, _, _)| *p_idx);
+            out_blocks.sort_unstable_by_key(|(p_idx, _, _)| *p_idx);
             let mut blocks = Vec::new();
+            let mut block_records = Vec::new();
             let mut records = 0usize;
             for (_, n, b) in out_blocks {
                 records += n;
+                block_records.push(n);
                 blocks.push(Bytes::from(b));
             }
-            Dataset { blocks, records }
+            Dataset {
+                blocks,
+                records,
+                block_records,
+            }
         };
 
         if metrics.map_only {
@@ -342,6 +409,7 @@ impl Engine {
         task_idx: usize,
         di: usize,
         block: &Bytes,
+        block_recs: Option<usize>,
         stats: &mut FaultStats,
     ) -> MapOutput {
         let full = |out: &mut MapOutput| {
@@ -372,8 +440,12 @@ impl Engine {
                 } => {
                     // Genuinely run the doomed attempt over a prefix of the
                     // split (the kill point), then discard its work. No
-                    // cleanup: the attempt died mid-task.
-                    let total = RecordIter::new(block).count();
+                    // cleanup: the attempt died mid-task. The split's record
+                    // count is tracked by the dataset writer; only
+                    // hand-assembled datasets without counts pay a decode
+                    // pass here.
+                    let total =
+                        block_recs.unwrap_or_else(|| RecordIter::new(block).count());
                     let limit = ((fraction * total as f64) as usize).min(total);
                     let mut task = job.mapper.create();
                     let mut wasted = MapOutput::default();
@@ -417,18 +489,22 @@ impl Engine {
 
     /// Run one reduce task (identified by its partition index) to a
     /// committed result, mirroring [`Engine::run_map_task`]'s attempt loop.
+    /// Input arrives as the partition's pre-sorted runs (one per map task,
+    /// in canonical task order); the loser-tree merge streams key groups
+    /// straight into the reducer without materializing the merged list.
     fn run_reduce_task(
         &self,
         job: &Job,
         reducer: &dyn crate::job::ReduceTaskFactory,
         p_idx: usize,
-        kvs: &[(Vec<u8>, Vec<u8>)],
+        runs: &[Run<'_>],
+        total: usize,
         stats: &mut FaultStats,
     ) -> ReduceOutput {
         let full = || {
             let mut task = reducer.create();
             let mut out = ReduceOutput::default();
-            run_key_groups(kvs, |key, values| {
+            merge_key_groups(runs, None, |key, values| {
                 task.reduce(key, values, &mut out);
             });
             task.cleanup(&mut out);
@@ -448,12 +524,13 @@ impl Engine {
                     fraction,
                     node_loss,
                 } => {
-                    // Run the doomed attempt over a prefix of its shuffled
-                    // input, then discard.
-                    let limit = ((fraction * kvs.len() as f64) as usize).min(kvs.len());
+                    // Run the doomed attempt over a prefix of its merged
+                    // input (the merge's `limit` stops mid-group exactly
+                    // where the old materialized slice did), then discard.
+                    let limit = ((fraction * total as f64) as usize).min(total);
                     let mut task = reducer.create();
                     let mut wasted = ReduceOutput::default();
-                    run_key_groups(&kvs[..limit], |key, values| {
+                    merge_key_groups(runs, Some(limit), |key, values| {
                         task.reduce(key, values, &mut wasted);
                     });
                     stats.failed += 1;
@@ -471,7 +548,7 @@ impl Engine {
                     if plan.speculation {
                         stats.reduce_attempts += 1;
                         stats.speculative += 1;
-                        stats.wasted_input_records += kvs.len() as u64;
+                        stats.wasted_input_records += total as u64;
                         stats.wasted_output_bytes += reduce_output_size(&out);
                         return full();
                     }
@@ -480,24 +557,6 @@ impl Engine {
                 Outcome::Success => return full(),
             }
         }
-    }
-}
-
-/// Iterate runs of equal keys in a key-sorted kv list, invoking `f` with the
-/// key and the slice of values.
-fn run_key_groups<F: FnMut(&[u8], &[&[u8]])>(kvs: &[(Vec<u8>, Vec<u8>)], mut f: F) {
-    let mut i = 0;
-    let mut values: Vec<&[u8]> = Vec::new();
-    while i < kvs.len() {
-        let key = &kvs[i].0;
-        values.clear();
-        let mut j = i;
-        while j < kvs.len() && &kvs[j].0 == key {
-            values.push(&kvs[j].1);
-            j += 1;
-        }
-        f(key, &values);
-        i = j;
     }
 }
 
@@ -512,7 +571,7 @@ mod tests {
     struct WcMap;
     impl MapTask for WcMap {
         fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
-            out.emit(record.to_vec(), vec![1]);
+            out.emit(record, &[1]);
         }
     }
 
@@ -526,11 +585,11 @@ mod tests {
                 let mut rec = key.to_vec();
                 rec.push(b'=');
                 rec.extend_from_slice(total.to_string().as_bytes());
-                out.write(rec);
+                out.write(&rec);
             } else {
                 // Combiner path: cap each count byte at 255 (test data is
                 // small).
-                out.emit(key.to_vec(), vec![total as u8]);
+                out.emit(key, &[total as u8]);
             }
         }
     }
@@ -583,7 +642,7 @@ mod tests {
     struct IdMap;
     impl MapTask for IdMap {
         fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
-            out.write(record.to_vec());
+            out.write(record);
         }
     }
 
@@ -610,7 +669,7 @@ mod tests {
         fn map(&mut self, src: InputSrc, record: &[u8], out: &mut MapOutput) {
             let mut rec = vec![b'0' + src.dataset as u8, b':'];
             rec.extend_from_slice(record);
-            out.write(rec);
+            out.write(&rec);
         }
     }
 
@@ -646,7 +705,7 @@ mod tests {
             self.seen += 1;
         }
         fn cleanup(&mut self, out: &mut MapOutput) {
-            out.emit(b"count".to_vec(), self.seen.to_le_bytes().to_vec());
+            out.emit(b"count", &self.seen.to_le_bytes());
         }
     }
 
@@ -661,7 +720,7 @@ mod tests {
                     u64::from_le_bytes(b)
                 })
                 .sum();
-            out.write(total.to_string().into_bytes());
+            out.write(total.to_string().as_bytes());
         }
     }
 

@@ -3,6 +3,7 @@
 //! or key group, `cleanup` at task end — the hook Algorithm 3's map-side
 //! hash aggregation relies on).
 
+use crate::codec::{KvBuffer, RecBuffer};
 use std::sync::Arc;
 
 /// Identifies which job input a record came from (Hadoop: input path tag).
@@ -12,49 +13,51 @@ pub struct InputSrc {
     pub dataset: usize,
 }
 
-/// Output sink handed to map tasks.
+/// Output sink handed to map tasks. Emitted pairs and records land in
+/// contiguous arenas ([`KvBuffer`] / [`RecBuffer`]) — the task borrows the
+/// bytes it emits, and no per-record heap pair is ever allocated.
 #[derive(Default)]
 pub struct MapOutput {
     /// Key-value pairs destined for the shuffle.
-    pub kvs: Vec<(Vec<u8>, Vec<u8>)>,
+    pub kvs: KvBuffer,
     /// Direct records (map-only jobs).
-    pub records: Vec<Vec<u8>>,
+    pub records: RecBuffer,
 }
 
 impl MapOutput {
     /// Emit a key-value pair into the shuffle.
     #[inline]
-    pub fn emit(&mut self, key: Vec<u8>, value: Vec<u8>) {
-        self.kvs.push((key, value));
+    pub fn emit(&mut self, key: &[u8], value: &[u8]) {
+        self.kvs.push(key, value);
     }
 
     /// Write a record directly to the job output (map-only jobs).
     #[inline]
-    pub fn write(&mut self, record: Vec<u8>) {
+    pub fn write(&mut self, record: &[u8]) {
         self.records.push(record);
     }
 }
 
-/// Output sink handed to reduce tasks.
+/// Output sink handed to reduce tasks (arena-backed, like [`MapOutput`]).
 #[derive(Default)]
 pub struct ReduceOutput {
     /// Final output records.
-    pub records: Vec<Vec<u8>>,
+    pub records: RecBuffer,
     /// Re-keyed pairs (used when a combiner runs map-side).
-    pub kvs: Vec<(Vec<u8>, Vec<u8>)>,
+    pub kvs: KvBuffer,
 }
 
 impl ReduceOutput {
     /// Write a record to the job output.
     #[inline]
-    pub fn write(&mut self, record: Vec<u8>) {
+    pub fn write(&mut self, record: &[u8]) {
         self.records.push(record);
     }
 
     /// Emit a key-value pair (combiner path: stays in the shuffle).
     #[inline]
-    pub fn emit(&mut self, key: Vec<u8>, value: Vec<u8>) {
-        self.kvs.push((key, value));
+    pub fn emit(&mut self, key: &[u8], value: &[u8]) {
+        self.kvs.push(key, value);
     }
 }
 

@@ -6,10 +6,19 @@
 //! records, so the byte and record counts feeding the cluster cost model are
 //! measured, not estimated.
 //!
+//! The shuffle data path is zero-copy: map tasks emit into contiguous
+//! arenas ([`KvBuffer`] / [`RecBuffer`]), each task's output is sorted once
+//! map-side by permuting its offset table, and the reduce side merges the
+//! pre-sorted runs with a loser tree ([`merge`]) that streams key groups
+//! straight into reducers — no per-record heap pairs, no reduce-side
+//! re-sort. See `DESIGN.md`, "Zero-copy shuffle data path".
+//!
 //! Components:
 //! * [`bytes`] — the cheap-clone immutable byte buffer ([`Bytes`]) blocks
 //!   are made of.
-//! * [`codec`] — varint record encoding shared by all operators.
+//! * [`codec`] — varint record encoding shared by all operators, plus the
+//!   [`KvBuffer`] / [`RecBuffer`] emit arenas.
+//! * [`merge`] — sorted-run selection and the loser-tree k-way merge.
 //! * [`dfs`] — the simulated DFS ([`SimDfs`]) holding named datasets of
 //!   splits.
 //! * [`job`] — job specs with Hadoop-style task lifecycles (map / combiner /
@@ -28,12 +37,15 @@ pub mod dfs;
 pub mod engine;
 pub mod fault;
 pub mod job;
+pub mod merge;
 pub mod metrics;
 
 pub use bytes::Bytes;
+pub use codec::{KvBuffer, KvRef, RecBuffer};
 pub use cost::ClusterModel;
 pub use dfs::{Dataset, DatasetWriter, SimDfs};
 pub use engine::{shuffle_partition, Engine};
+pub use merge::{merge_key_groups, LoserTree, Run};
 pub use fault::{FaultPlan, Outcome, TaskKind};
 pub use job::{
     FnMapFactory, FnReduceFactory, InputSrc, Job, JobBuilder, MapOutput, MapTask, MapTaskFactory,

@@ -1,0 +1,350 @@
+//! K-way merge of pre-sorted shuffle runs.
+//!
+//! Each map task leaves one key-sorted run per reduce partition; the
+//! reduce-side shuffle is a [`LoserTree`] merge of those runs that feeds the
+//! reducer a *streaming* sequence of key groups ([`merge_key_groups`])
+//! instead of a materialized, re-sorted `Vec` of pairs.
+//!
+//! ## Determinism
+//!
+//! The merge is a total order: pairs are compared by key bytes and ties are
+//! broken by run index (runs are supplied in canonical map-task order).
+//! Because every run is itself sorted by `(key, emit order)`
+//! ([`KvBuffer::sort_unstable`]), the merged sequence is exactly what the
+//! old engine's stable reduce-side sort over the task-ordered concatenation
+//! produced — equal keys surface in (map task, emit) order, byte for byte.
+
+use crate::codec::KvBuffer;
+
+/// One pre-sorted run: a [`KvBuffer`] plus an optional selection of entry
+/// indices (a map task's slice of one reduce partition). With no selection
+/// the whole buffer is the run.
+#[derive(Clone, Copy)]
+pub struct Run<'a> {
+    buf: &'a KvBuffer,
+    sel: Option<&'a [u32]>,
+}
+
+impl<'a> Run<'a> {
+    /// A run covering the whole (pre-sorted) buffer.
+    pub fn sorted(buf: &'a KvBuffer) -> Self {
+        Run { buf, sel: None }
+    }
+
+    /// A run over a selection of entry indices, in selection order (the
+    /// indices must point at keys in non-decreasing order).
+    pub fn select(buf: &'a KvBuffer, sel: &'a [u32]) -> Self {
+        Run {
+            buf,
+            sel: Some(sel),
+        }
+    }
+
+    /// Number of pairs in the run.
+    pub fn len(&self) -> usize {
+        self.sel.map_or(self.buf.len(), |s| s.len())
+    }
+
+    /// True if the run holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn entry(&self, i: usize) -> usize {
+        match self.sel {
+            Some(s) => s[i] as usize,
+            None => i,
+        }
+    }
+
+    /// Key bytes of the run's `i`-th pair.
+    #[inline]
+    pub fn key(&self, i: usize) -> &'a [u8] {
+        self.buf.key(self.entry(i))
+    }
+
+    /// Value bytes of the run's `i`-th pair.
+    #[inline]
+    pub fn value(&self, i: usize) -> &'a [u8] {
+        self.buf.value(self.entry(i))
+    }
+}
+
+/// A classic loser tree over `k` runs: `next()` yields `(run, index)` pairs
+/// in `(key, run)` order with `O(log k)` comparisons per pair (one replay
+/// path from the winning leaf to the root), versus `O(k)` for naive
+/// selection and `O(log k)` with ~2× the comparisons for a binary heap.
+pub struct LoserTree<'a, 'r> {
+    runs: &'r [Run<'a>],
+    /// Next unconsumed position in each run.
+    pos: Vec<usize>,
+    /// Each live run's current head key, resolved once per advance —
+    /// replay comparisons touch only these cached slices instead of
+    /// re-chasing selection → offset table → arena at every tree level.
+    /// `None` marks an exhausted run.
+    heads: Vec<Option<&'a [u8]>>,
+    /// `tree[0]` is the overall winner; `tree[1..k]` hold the loser of the
+    /// internal match at that node. Leaves are implicit at `k..2k`, padded
+    /// to a power of two with exhausted virtual runs.
+    tree: Vec<usize>,
+    /// Padded leaf count (power of two, 0 when there are no runs).
+    k: usize,
+}
+
+impl<'a, 'r> LoserTree<'a, 'r> {
+    /// Build the tree over `runs` (each pre-sorted by key).
+    pub fn new(runs: &'r [Run<'a>]) -> Self {
+        let n = runs.len();
+        if n == 0 {
+            return LoserTree {
+                runs,
+                pos: Vec::new(),
+                heads: Vec::new(),
+                tree: Vec::new(),
+                k: 0,
+            };
+        }
+        let k = n.next_power_of_two();
+        let pos = vec![0usize; n];
+        let heads: Vec<Option<&'a [u8]>> = runs
+            .iter()
+            .map(|r| if r.is_empty() { None } else { Some(r.key(0)) })
+            .collect();
+        let mut lt = LoserTree {
+            runs,
+            pos,
+            heads,
+            tree: vec![usize::MAX; k],
+            k,
+        };
+        // Initial matches, bottom-up: winners propagate, losers stay.
+        let mut winners = vec![0usize; 2 * k];
+        for leaf in 0..k {
+            winners[k + leaf] = leaf; // leaf id == run id; >= n means virtual
+        }
+        for node in (1..k).rev() {
+            let (a, b) = (winners[2 * node], winners[2 * node + 1]);
+            if lt.beats(a, b) {
+                winners[node] = a;
+                lt.tree[node] = b;
+            } else {
+                winners[node] = b;
+                lt.tree[node] = a;
+            }
+        }
+        lt.tree[0] = winners[1];
+        lt
+    }
+
+    /// Does run `a`'s head beat run `b`'s head? Exhausted (or virtual) runs
+    /// lose to everything; ties break toward the lower run index.
+    #[inline]
+    fn beats(&self, a: usize, b: usize) -> bool {
+        let ha = if a < self.heads.len() { self.heads[a] } else { None };
+        let hb = if b < self.heads.len() { self.heads[b] } else { None };
+        match (ha, hb) {
+            (Some(x), Some(y)) => x.cmp(y).then(a.cmp(&b)).is_lt(),
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// Pop the next pair in merge order: `(run index, index within run)`.
+    pub fn next(&mut self) -> Option<(usize, usize)> {
+        self.next_with_key().map(|(r, i, _)| (r, i))
+    }
+
+    /// Pop the next pair along with its key bytes — the key is the cached
+    /// head slice, so callers on the hot path skip one arena resolution.
+    pub fn next_with_key(&mut self) -> Option<(usize, usize, &'a [u8])> {
+        if self.k == 0 {
+            return None;
+        }
+        let w = self.tree[0];
+        if w >= self.runs.len() {
+            return None;
+        }
+        let key = self.heads[w]?; // None: overall winner exhausted, merge done
+        let idx = self.pos[w];
+        self.pos[w] += 1;
+        self.heads[w] = if self.pos[w] < self.runs[w].len() {
+            Some(self.runs[w].key(self.pos[w]))
+        } else {
+            None
+        };
+        // Replay the path from w's leaf to the root.
+        let mut cur = w;
+        let mut node = (self.k + w) / 2;
+        while node >= 1 {
+            let other = self.tree[node];
+            if self.beats(other, cur) {
+                self.tree[node] = cur;
+                cur = other;
+            }
+            node /= 2;
+        }
+        self.tree[0] = cur;
+        Some((w, idx, key))
+    }
+}
+
+/// Merge `runs` and stream key groups to `f(key, values)` — the reduce-side
+/// shuffle in one pass, never materializing the merged pair list. With
+/// `limit = Some(n)` consumption stops after `n` pairs, emitting the final
+/// (possibly cut) group — the fault-injection kill point, matching the old
+/// engine's `kvs[..limit]` prefix semantics. Returns the pairs consumed.
+pub fn merge_key_groups<F: FnMut(&[u8], &[&[u8]])>(
+    runs: &[Run<'_>],
+    limit: Option<usize>,
+    mut f: F,
+) -> usize {
+    let cap = limit.unwrap_or(usize::MAX);
+    if cap == 0 {
+        return 0;
+    }
+    let mut lt = LoserTree::new(runs);
+    let Some((r0, i0, k0)) = lt.next_with_key() else {
+        return 0;
+    };
+    let mut cur_key = k0;
+    let mut values: Vec<&[u8]> = vec![runs[r0].value(i0)];
+    let mut consumed = 1usize;
+    while consumed < cap {
+        let Some((r, i, key)) = lt.next_with_key() else {
+            break;
+        };
+        if key != cur_key {
+            f(cur_key, &values);
+            values.clear();
+            cur_key = key;
+        }
+        values.push(runs[r].value(i));
+        consumed += 1;
+    }
+    f(cur_key, &values);
+    consumed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_buf(pairs: &[(&[u8], &[u8])]) -> KvBuffer {
+        let mut b = KvBuffer::new();
+        for (k, v) in pairs {
+            b.push(k, v);
+        }
+        b.sort_unstable();
+        b
+    }
+
+    fn merged(runs: &[Run<'_>]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut lt = LoserTree::new(runs);
+        let mut out = Vec::new();
+        while let Some((r, i)) = lt.next() {
+            out.push((runs[r].key(i).to_vec(), runs[r].value(i).to_vec()));
+        }
+        out
+    }
+
+    #[test]
+    fn merges_in_key_order_with_run_tiebreak() {
+        let a = sorted_buf(&[(b"b", b"a1"), (b"d", b"a2")]);
+        let b = sorted_buf(&[(b"a", b"b1"), (b"b", b"b2"), (b"b", b"b3")]);
+        let c = sorted_buf(&[(b"c", b"c1")]);
+        let runs = [Run::sorted(&a), Run::sorted(&b), Run::sorted(&c)];
+        let got = merged(&runs);
+        let want: Vec<(Vec<u8>, Vec<u8>)> = vec![
+            (b"a".to_vec(), b"b1".to_vec()),
+            (b"b".to_vec(), b"a1".to_vec()), // run 0 wins the b-tie
+            (b"b".to_vec(), b"b2".to_vec()),
+            (b"b".to_vec(), b"b3".to_vec()),
+            (b"c".to_vec(), b"c1".to_vec()),
+            (b"d".to_vec(), b"a2".to_vec()),
+        ];
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn merge_matches_reference_sort_on_many_runs() {
+        // 7 runs (non-power-of-two) of varying sizes with heavy key overlap.
+        let mut bufs = Vec::new();
+        for r in 0..7u64 {
+            let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+            for i in 0..(10 + 13 * r) {
+                let key = ((i * 7 + r * 3) % 17).to_string().into_bytes();
+                pairs.push((key, format!("r{r}i{i}").into_bytes()));
+            }
+            let mut b = KvBuffer::new();
+            for (k, v) in &pairs {
+                b.push(k, v);
+            }
+            b.sort_unstable();
+            bufs.push((b, pairs));
+        }
+        // Reference: task-ordered concatenation, stable sort by key.
+        let mut reference: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for (_, pairs) in &bufs {
+            reference.extend(pairs.iter().cloned());
+        }
+        reference.sort_by(|x, y| x.0.cmp(&y.0));
+        let runs: Vec<Run<'_>> = bufs.iter().map(|(b, _)| Run::sorted(b)).collect();
+        assert_eq!(merged(&runs), reference);
+    }
+
+    #[test]
+    fn empty_and_single_run_edges() {
+        assert_eq!(merged(&[]), Vec::new());
+        let empty = KvBuffer::new();
+        assert_eq!(merged(&[Run::sorted(&empty)]), Vec::new());
+        let one = sorted_buf(&[(b"k", b"v")]);
+        assert_eq!(
+            merged(&[Run::sorted(&one)]),
+            vec![(b"k".to_vec(), b"v".to_vec())]
+        );
+    }
+
+    #[test]
+    fn selection_runs_merge_like_full_runs() {
+        let mut buf = KvBuffer::new();
+        for (k, v) in [(b"c", b"1"), (b"a", b"2"), (b"b", b"3"), (b"a", b"4")] {
+            buf.push(k, v);
+        }
+        buf.sort_unstable(); // a2 a4 b3 c1
+        let evens: Vec<u32> = vec![0, 2]; // a2, b3
+        let odds: Vec<u32> = vec![1, 3]; // a4, c1
+        let runs = [Run::select(&buf, &evens), Run::select(&buf, &odds)];
+        let got = merged(&runs);
+        assert_eq!(
+            got,
+            vec![
+                (b"a".to_vec(), b"2".to_vec()),
+                (b"a".to_vec(), b"4".to_vec()),
+                (b"b".to_vec(), b"3".to_vec()),
+                (b"c".to_vec(), b"1".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn grouped_merge_groups_and_limits() {
+        let a = sorted_buf(&[(b"a", b"1"), (b"b", b"2")]);
+        let b = sorted_buf(&[(b"a", b"3"), (b"c", b"4")]);
+        let runs = [Run::sorted(&a), Run::sorted(&b)];
+        let mut groups: Vec<(Vec<u8>, usize)> = Vec::new();
+        let n = merge_key_groups(&runs, None, |k, vs| groups.push((k.to_vec(), vs.len())));
+        assert_eq!(n, 4);
+        assert_eq!(
+            groups,
+            vec![(b"a".to_vec(), 2), (b"b".to_vec(), 1), (b"c".to_vec(), 1)]
+        );
+        // A limit cutting the first group mid-way still emits the partial
+        // group (prefix semantics of the fault kill point).
+        let mut cut: Vec<(Vec<u8>, usize)> = Vec::new();
+        let n = merge_key_groups(&runs, Some(1), |k, vs| cut.push((k.to_vec(), vs.len())));
+        assert_eq!(n, 1);
+        assert_eq!(cut, vec![(b"a".to_vec(), 1)]);
+        assert_eq!(merge_key_groups(&runs, Some(0), |_, _| panic!()), 0);
+    }
+}

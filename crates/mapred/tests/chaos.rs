@@ -20,7 +20,7 @@ use std::sync::Arc;
 struct TokenMap;
 impl MapTask for TokenMap {
     fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
-        out.emit(record.to_vec(), 1u32.to_le_bytes().to_vec());
+        out.emit(record, &1u32.to_le_bytes());
     }
 }
 
@@ -29,8 +29,22 @@ struct FilterMap;
 impl MapTask for FilterMap {
     fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
         if record.len() >= 2 {
-            out.write(record.to_vec());
+            out.write(record);
         }
+    }
+}
+
+/// Shuffle-heavy mapper: emits one pair per byte of the record (so every
+/// map task produces several sorted runs with heavy key overlap) plus a
+/// per-record length marker — exercises the loser-tree run merge with
+/// many equal keys spread across every task.
+struct FanoutMap;
+impl MapTask for FanoutMap {
+    fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
+        for &b in record {
+            out.emit(&[b], &1u32.to_le_bytes());
+        }
+        out.emit(&[b'L', record.len() as u8], &1u32.to_le_bytes());
     }
 }
 
@@ -52,9 +66,9 @@ impl ReduceTask for Sum {
             let mut rec = key.to_vec();
             rec.push(0);
             rec.extend_from_slice(&total.to_le_bytes());
-            out.write(rec);
+            out.write(&rec);
         } else {
-            out.emit(key.to_vec(), total.to_le_bytes().to_vec());
+            out.emit(key, &total.to_le_bytes());
         }
     }
 }
@@ -166,6 +180,70 @@ chaos! {
         });
         (committed_signature(&wf), blocks)
     }
+
+    /// Sorted-run merge under map-side chaos only: a shuffle-heavy job
+    /// (several emitted pairs per record, runs overlapping on every key)
+    /// where map attempts fail or straggle but reduce tasks never do.
+    /// Killed map attempts re-emit into fresh arenas; the committed runs —
+    /// and therefore the merged reduce input — must be bit-identical to the
+    /// fault-free golden.
+    fn run_merge_survives_map_failures_and_stragglers(scenario) {
+        let (wf, blocks) = run_fanout(scenario, |seed| FaultPlan {
+            map_fail_p: 0.6,
+            reduce_fail_p: 0.0,
+            straggler_p: 0.4,
+            straggler_slowdown: 6.0,
+            speculation: true,
+            ..FaultPlan::new(seed)
+        });
+        (committed_signature(&wf), blocks)
+    }
+}
+
+/// Like [`run`], but over the shuffle-heavy [`FanoutMap`] workflow: a
+/// combined fan-out count followed by a regrouping cycle, 7 then 2
+/// reducers so partitions see many runs each.
+fn run_fanout(
+    scenario: &Scenario,
+    plan_of: impl Fn(u64) -> FaultPlan,
+) -> (WorkflowMetrics, Vec<Vec<u8>>) {
+    let dfs = SimDfs::new();
+    let mut rng = StdRng::seed_from_u64(0xFA57);
+    let mut w = DatasetWriter::new(48);
+    for _ in 0..300 {
+        let len = rng.gen_range(1usize..=5);
+        let word: Vec<u8> = (0..len).map(|_| b'a' + rng.gen_range(0u8..4)).collect();
+        w.push(&word);
+    }
+    dfs.put("in", w.finish());
+    let jobs = vec![
+        JobBuilder::new("fanout")
+            .input("in")
+            .mapper(Arc::new(FnMapFactory(|| FanoutMap)))
+            .combiner(Arc::new(FnReduceFactory(|| Sum { to_output: false })))
+            .reducer(Arc::new(FnReduceFactory(|| Sum { to_output: true })))
+            .output("counts")
+            .num_reducers(7)
+            .build(),
+        JobBuilder::new("regroup")
+            .input("counts")
+            .mapper(Arc::new(FnMapFactory(|| TokenMap)))
+            .reducer(Arc::new(FnReduceFactory(|| Sum { to_output: true })))
+            .output("out")
+            .num_reducers(2)
+            .build(),
+    ];
+    let mut engine = Engine::with_workers(dfs.clone(), scenario.workers);
+    engine.faults = scenario.fault_seed.map(plan_of);
+    let wf = engine.run_workflow(&jobs);
+    let blocks: Vec<Vec<u8>> = dfs
+        .get("out")
+        .expect("workflow output")
+        .blocks
+        .iter()
+        .map(|b| b.as_ref().to_vec())
+        .collect();
+    (wf, blocks)
 }
 
 /// Faulted runs must report the chaos they absorbed — retries and/or

@@ -20,7 +20,7 @@ use std::sync::Arc;
 struct TokenMap;
 impl MapTask for TokenMap {
     fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
-        out.emit(record.to_vec(), 1u32.to_le_bytes().to_vec());
+        out.emit(record, &1u32.to_le_bytes());
     }
 }
 
@@ -29,7 +29,7 @@ struct FilterMap;
 impl MapTask for FilterMap {
     fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
         if record.len() >= 2 {
-            out.write(record.to_vec());
+            out.write(record);
         }
     }
 }
@@ -52,9 +52,9 @@ impl ReduceTask for Sum {
             let mut rec = key.to_vec();
             rec.push(0);
             rec.extend_from_slice(&total.to_le_bytes());
-            out.write(rec);
+            out.write(&rec);
         } else {
-            out.emit(key.to_vec(), total.to_le_bytes().to_vec());
+            out.emit(key, &total.to_le_bytes());
         }
     }
 }

@@ -130,7 +130,7 @@ proptest! {
 struct WcMap;
 impl MapTask for WcMap {
     fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
-        out.emit(record.to_vec(), vec![1]);
+        out.emit(record, &[1]);
     }
 }
 
@@ -140,7 +140,7 @@ impl ReduceTask for WcReduce {
         let mut rec = key.to_vec();
         rec.push(b'=');
         rec.extend_from_slice(values.len().to_string().as_bytes());
-        out.write(rec);
+        out.write(&rec);
     }
 }
 

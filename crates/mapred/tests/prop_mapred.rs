@@ -80,7 +80,7 @@ proptest! {
 struct WcMap;
 impl MapTask for WcMap {
     fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
-        out.emit(record.to_vec(), vec![1u8, 0, 0, 0]);
+        out.emit(record, &[1u8, 0, 0, 0]);
     }
 }
 
@@ -101,9 +101,9 @@ impl ReduceTask for SumTask {
             let mut rec = key.to_vec();
             rec.push(0);
             rec.extend_from_slice(&total.to_le_bytes());
-            out.write(rec);
+            out.write(&rec);
         } else {
-            out.emit(key.to_vec(), total.to_le_bytes().to_vec());
+            out.emit(key, &total.to_le_bytes());
         }
     }
 }

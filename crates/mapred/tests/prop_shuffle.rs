@@ -1,0 +1,282 @@
+//! Property test for the arena-backed shuffle data path: random jobs run
+//! through the real [`Engine`] must produce byte-identical `Dataset` output
+//! and identical data-flow metrics to a reference implementation that keeps
+//! the pre-rewrite semantics — per-record `(Vec<u8>, Vec<u8>)` pairs,
+//! reduce-side concatenation of task outputs in task order, and one stable
+//! sort per partition.
+
+use rapida_testkit::prelude::*;
+
+use rapida_mapred::codec::BlockBuilder;
+use rapida_mapred::job::ReduceTaskFactory;
+use rapida_mapred::{
+    shuffle_partition, DatasetWriter, Engine, FnMapFactory, FnReduceFactory, InputSrc, Job,
+    JobBuilder, MapOutput, MapTask, ReduceOutput, ReduceTask, SimDfs,
+};
+use std::sync::Arc;
+
+/// Mapper used by both engines: writes records through (map-only output)
+/// and emits one `(byte % 5, 1u32)` count pair per record byte, so runs
+/// carry plenty of equal keys across tasks.
+struct ByteCountMap;
+impl MapTask for ByteCountMap {
+    fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
+        if !record.is_empty() {
+            out.write(record);
+        }
+        for &b in record {
+            out.emit(&[b % 5], &1u32.to_le_bytes());
+        }
+    }
+}
+
+/// Sums u32 counts; writes `key \0 sum` as a reducer, re-emits as combiner.
+struct Sum {
+    to_output: bool,
+}
+impl ReduceTask for Sum {
+    fn reduce(&mut self, key: &[u8], values: &[&[u8]], out: &mut ReduceOutput) {
+        let total: u32 = values
+            .iter()
+            .map(|v| {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(v);
+                u32::from_le_bytes(b)
+            })
+            .sum();
+        if self.to_output {
+            let mut rec = key.to_vec();
+            rec.push(0);
+            rec.extend_from_slice(&total.to_le_bytes());
+            out.write(&rec);
+        } else {
+            out.emit(key, &total.to_le_bytes());
+        }
+    }
+}
+
+fn build_job(combiner: bool, map_only: bool, reducers: usize) -> Job {
+    let mut b = JobBuilder::new("prop-shuffle")
+        .input("in")
+        .mapper(Arc::new(FnMapFactory(|| ByteCountMap)))
+        .output("out")
+        .num_reducers(reducers);
+    if !map_only {
+        b = b.reducer(Arc::new(FnReduceFactory(|| Sum { to_output: true })));
+        if combiner {
+            b = b.combiner(Arc::new(FnReduceFactory(|| Sum { to_output: false })));
+        }
+    }
+    b.build()
+}
+
+/// Signature of everything the run committed: output block bytes plus the
+/// data-flow counters the cost model consumes.
+#[derive(Debug, PartialEq, Eq)]
+struct RunSig {
+    blocks: Vec<Vec<u8>>,
+    records: usize,
+    block_records: Vec<usize>,
+    map_tasks: usize,
+    input_records: u64,
+    input_bytes: u64,
+    map_output_records: u64,
+    map_output_bytes: u64,
+    shuffle_records: u64,
+    shuffle_bytes: u64,
+    reduce_tasks: usize,
+    output_records: u64,
+    output_bytes: u64,
+}
+
+/// Group runs of equal keys in a key-sorted pair list (the old engine's
+/// `run_key_groups`, kept verbatim in the reference).
+fn pair_key_groups<F: FnMut(&[u8], &[&[u8]])>(kvs: &[(Vec<u8>, Vec<u8>)], mut f: F) {
+    let mut i = 0;
+    let mut values: Vec<&[u8]> = Vec::new();
+    while i < kvs.len() {
+        let key = &kvs[i].0;
+        values.clear();
+        let mut j = i;
+        while j < kvs.len() && &kvs[j].0 == key {
+            values.push(&kvs[j].1);
+            j += 1;
+        }
+        f(key, &values);
+        i = j;
+    }
+}
+
+/// The pre-rewrite engine, single-threaded: materialized pairs, reduce-side
+/// stable sort per partition, task-ordered concatenation.
+fn reference_run(job: &Job, records: &[Vec<u8>], split: usize) -> RunSig {
+    let mut w = DatasetWriter::new(split);
+    for r in records {
+        w.push(r);
+    }
+    let input = w.finish();
+    let input_bytes = input.total_bytes() as u64;
+    let input_records = input.records as u64;
+
+    // Map phase, in task (= split) order.
+    let mut task_pairs: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::new();
+    let mut task_records: Vec<Vec<Vec<u8>>> = Vec::new();
+    let mut map_output_records = 0u64;
+    let mut map_output_bytes = 0u64;
+    for block in &input.blocks {
+        let mut task = job.mapper.create();
+        let mut out = MapOutput::default();
+        for rec in rapida_mapred::codec::RecordIter::new(block) {
+            task.map(InputSrc { dataset: 0 }, rec, &mut out);
+        }
+        task.cleanup(&mut out);
+        let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = out
+            .kvs
+            .iter()
+            .map(|kv| (kv.key.to_vec(), kv.value.to_vec()))
+            .collect();
+        map_output_records += pairs.len() as u64;
+        map_output_bytes += pairs.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum::<u64>();
+        if let (Some(comb), false) = (&job.combiner, job.is_map_only()) {
+            if !pairs.is_empty() {
+                pairs.sort_by(|a, b| a.0.cmp(&b.0)); // stable, key-only: old contract
+                let mut ctask = ReduceTaskFactory::create(comb.as_ref());
+                let mut cout = ReduceOutput::default();
+                pair_key_groups(&pairs, |key, values| {
+                    ctask.reduce(key, values, &mut cout);
+                });
+                ctask.cleanup(&mut cout);
+                pairs = cout
+                    .kvs
+                    .iter()
+                    .map(|kv| (kv.key.to_vec(), kv.value.to_vec()))
+                    .collect();
+            }
+        }
+        task_pairs.push(pairs);
+        task_records.push(out.records.iter().map(|r| r.to_vec()).collect());
+    }
+
+    let mut blocks: Vec<Vec<u8>> = Vec::new();
+    let mut block_records: Vec<usize> = Vec::new();
+    let mut shuffle_records = 0u64;
+    let mut shuffle_bytes = 0u64;
+    let mut reduce_tasks = 0usize;
+    if job.is_map_only() {
+        for recs in &task_records {
+            if recs.is_empty() {
+                continue;
+            }
+            let mut bb = BlockBuilder::new();
+            for r in recs {
+                bb.push(r);
+            }
+            block_records.push(bb.records());
+            blocks.push(bb.finish());
+        }
+    } else {
+        let num_partitions = job.num_reducers.max(1);
+        let mut shuffled: Vec<Vec<(Vec<u8>, Vec<u8>)>> =
+            (0..num_partitions).map(|_| Vec::new()).collect();
+        for pairs in task_pairs {
+            for (k, v) in pairs {
+                let p = shuffle_partition(&k, num_partitions);
+                shuffled[p].push((k, v));
+            }
+        }
+        for p in &mut shuffled {
+            p.sort_by(|a, b| a.0.cmp(&b.0)); // stable, key-only: old contract
+        }
+        shuffle_records = shuffled.iter().map(|p| p.len() as u64).sum();
+        shuffle_bytes = shuffled
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|(k, v)| (k.len() + v.len()) as u64)
+            .sum();
+        reduce_tasks = shuffled.iter().filter(|p| !p.is_empty()).count();
+        let reducer = job.reducer.as_ref().unwrap();
+        for kvs in &shuffled {
+            if kvs.is_empty() {
+                continue;
+            }
+            let mut task = ReduceTaskFactory::create(reducer.as_ref());
+            let mut out = ReduceOutput::default();
+            pair_key_groups(kvs, |key, values| {
+                task.reduce(key, values, &mut out);
+            });
+            task.cleanup(&mut out);
+            if !out.records.is_empty() {
+                let mut bb = BlockBuilder::new();
+                for r in out.records.iter() {
+                    bb.push(r);
+                }
+                block_records.push(bb.records());
+                blocks.push(bb.finish());
+            }
+        }
+    }
+
+    let records = block_records.iter().sum();
+    let output_bytes = blocks.iter().map(|b| b.len() as u64).sum();
+    RunSig {
+        records,
+        block_records,
+        map_tasks: input.blocks.len(),
+        input_records,
+        input_bytes,
+        map_output_records,
+        map_output_bytes,
+        shuffle_records,
+        shuffle_bytes,
+        reduce_tasks,
+        output_records: records as u64,
+        output_bytes,
+        blocks,
+    }
+}
+
+/// The real engine under test.
+fn engine_run(job: &Job, records: &[Vec<u8>], split: usize, workers: usize) -> RunSig {
+    let dfs = SimDfs::new();
+    let mut w = DatasetWriter::new(split);
+    for r in records {
+        w.push(r);
+    }
+    dfs.put("in", w.finish());
+    let engine = Engine::with_workers(dfs.clone(), workers);
+    let m = engine.run_job(job);
+    let out = dfs.get("out").unwrap();
+    RunSig {
+        blocks: out.blocks.iter().map(|b| b.as_ref().to_vec()).collect(),
+        records: out.records,
+        block_records: out.block_records.clone(),
+        map_tasks: m.map_tasks,
+        input_records: m.input_records,
+        input_bytes: m.input_bytes,
+        map_output_records: m.map_output_records,
+        map_output_bytes: m.map_output_bytes,
+        shuffle_records: m.shuffle_records,
+        shuffle_bytes: m.shuffle_bytes,
+        reduce_tasks: m.reduce_tasks,
+        output_records: m.output_records,
+        output_bytes: m.output_bytes,
+    }
+}
+
+proptest! {
+    #[test]
+    fn arena_shuffle_matches_pair_sort_reference(
+        records in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..10), 0..120),
+        split in 1usize..96,
+        reducers in 1usize..6,
+        combiner in any::<bool>(),
+        map_only in any::<bool>(),
+        workers in 1usize..9,
+    ) {
+        let job = build_job(combiner, map_only, reducers);
+        let expect = reference_run(&job, &records, split);
+        let got = engine_run(&job, &records, split, workers);
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -102,7 +102,7 @@ fn emit_tagged(out: &mut MapOutput, key_val: u64, side: Side, tg: &AnnTg) {
     let mut val = Vec::new();
     val.push(side.byte());
     tg.encode(&mut val);
-    out.emit(key, val);
+    out.emit(&key, &val);
 }
 
 impl MapTask for TgJoinMapper {
@@ -177,7 +177,7 @@ impl ReduceTask for AlphaJoinReducer {
             for r in &right {
                 let joined = l.merge(r);
                 if any_alpha_partial(&self.conds, &joined) {
-                    out.write(joined.encoded());
+                    out.write(&joined.encoded());
                 }
             }
         }
@@ -250,7 +250,7 @@ impl AggJoinMapper {
                     for p in &single {
                         p.encode(&mut vb);
                     }
-                    out.emit(kb, vb);
+                    out.emit(&kb, &vb);
                 }
             });
         }
@@ -292,7 +292,7 @@ impl MapTask for AggJoinMapper {
             for p in &partials {
                 p.encode(&mut vb);
             }
-            out.emit(key, vb);
+            out.emit(&key, &vb);
         }
     }
 }
@@ -350,7 +350,7 @@ impl ReduceTask for AggJoinReducer {
         };
         let mut buf = Vec::new();
         rec.encode(&mut buf);
-        out.write(buf);
+        out.write(&buf);
     }
 }
 

@@ -94,7 +94,10 @@ impl AnnTg {
     pub fn merge(&self, other: &AnnTg) -> AnnTg {
         let mut groups = self.groups.clone();
         groups.extend(other.groups.iter().cloned());
-        groups.sort_by_key(|(s, _)| *s);
+        // sort_unstable is safe on this join-product hot path: the star
+        // sets are disjoint, so star indices are unique and stability
+        // cannot affect the result.
+        groups.sort_unstable_by_key(|(s, _)| *s);
         AnnTg { groups }
     }
 

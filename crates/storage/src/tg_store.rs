@@ -98,7 +98,10 @@ impl TgStore {
                 bytes,
             });
         }
-        classes.sort_by(|a, b| a.dataset.cmp(&b.dataset));
+        // Canonical class order on the commit path. sort_unstable is safe:
+        // dataset names are unique (one per property-set equivalence
+        // class), so no equal elements exist for stability to order.
+        classes.sort_unstable_by(|a, b| a.dataset.cmp(&b.dataset));
         TgStore { dict, classes }
     }
 

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Full benchmark report: run the shuffle microbench, the NTGA operator
+# microbenches, and the Fig. 8 query benches with real measurement settings,
+# writing one BENCH_<group>.json per group into the repo root (override the
+# destination with RAPIDA_BENCH_DIR).
+#
+# BENCH_mapred.json is the shuffle data path's recorded baseline: it holds
+# the legacy pair-sort shuffle and the arena run-merge shuffle over the same
+# 1M-record workload, and the committed copy must show the arena path at
+# least 2x faster (checked below).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Cargo runs bench binaries with cwd = the *package* directory, so a relative
+# RAPIDA_BENCH_DIR would land under crates/bench/ — force it absolute.
+DEST="${RAPIDA_BENCH_DIR:-$(pwd)}"
+case "$DEST" in /*) ;; *) DEST="$(pwd)/$DEST" ;; esac
+mkdir -p "$DEST"
+export RAPIDA_BENCH_DIR="$DEST"
+
+echo "==> shuffle data-path bench (writes BENCH_mapred.json)"
+cargo bench --offline -p rapida-bench --bench shuffle
+
+echo "==> operator microbenches"
+cargo bench --offline -p rapida-bench --bench operators
+
+echo "==> Fig. 8 query benches"
+cargo bench --offline -p rapida-bench --bench fig8a_bsbm
+cargo bench --offline -p rapida-bench --bench fig8b_bsbm
+cargo bench --offline -p rapida-bench --bench fig8c_chem
+
+echo "==> checking BENCH_mapred.json"
+python3 - "$DEST/BENCH_mapred.json" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    report = json.load(f)
+by_id = {b["id"]: b for b in report["benchmarks"]}
+legacy = next(v for k, v in by_id.items() if k.startswith("shuffle_legacy_pairs/"))
+arena = next(v for k, v in by_id.items() if k.startswith("shuffle_arena_merge/"))
+ratio = legacy["median_ns"] / arena["median_ns"]
+print(f"  legacy median: {legacy['median_ns'] / 1e6:.1f} ms")
+print(f"  arena  median: {arena['median_ns'] / 1e6:.1f} ms")
+print(f"  speedup: {ratio:.2f}x")
+if not report.get("smoke") and ratio < 2.0:
+    sys.exit(f"FAIL: arena shuffle speedup {ratio:.2f}x is below the 2x floor")
+EOF
+
+echo "==> bench report OK ($DEST)"

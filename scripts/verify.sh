@@ -20,7 +20,28 @@ echo "==> chaos smoke (4 fault seeds x worker counts)"
 RAPIDA_CHAOS_SEEDS=4 cargo test -q --offline -p rapida-mapred --test chaos
 
 echo "==> bench smoke (1 iteration per benchmark)"
-RAPIDA_BENCH_SMOKE=1 RAPIDA_BENCH_DIR=target/bench-smoke \
+# Absolute path: bench binaries run with cwd = crates/bench, where a
+# relative RAPIDA_BENCH_DIR would silently land.
+RAPIDA_BENCH_SMOKE=1 RAPIDA_BENCH_DIR="$(pwd)/target/bench-smoke" \
     cargo bench --offline -p rapida-bench
+
+echo "==> bench report smoke (scripts/bench_report.sh)"
+RAPIDA_BENCH_SMOKE=1 RAPIDA_BENCH_DIR="$(pwd)/target/bench-smoke" \
+    scripts/bench_report.sh
+
+echo "==> BENCH_mapred.json present and well-formed"
+python3 - target/bench-smoke/BENCH_mapred.json <<'EOF'
+import json, sys
+try:
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"FAIL: BENCH_mapred.json missing or malformed: {e}")
+ids = [b["id"] for b in report["benchmarks"]]
+for prefix in ("shuffle_legacy_pairs/", "shuffle_arena_merge/"):
+    if not any(i.startswith(prefix) for i in ids):
+        sys.exit(f"FAIL: BENCH_mapred.json lacks a {prefix}* benchmark")
+print(f"  ok: {ids}")
+EOF
 
 echo "==> verify OK"
