@@ -1,0 +1,56 @@
+//! End-to-end Fig. 8 query benchmark: the zero-copy view operator path
+//! (`views`) against the pre-refactor owned-decode path (`legacy_owned`),
+//! MG1–MG4 on RAPIDAnalytics. Both paths produce byte-identical results
+//! (asserted by the engine-agreement and chaos suites); this group records
+//! the wall-clock gap in `BENCH_query.json`.
+//!
+//! Measured on the Fig. 8(b) BSBM-2M workbench — large enough that
+//! per-record operator cost dominates plan construction — with a
+//! single-worker MR engine so the ratio reflects operator cost, not
+//! scheduler jitter. The two variants are sampled *interleaved*
+//! (`bench_pair`) so machine-load drift cancels out of the ratio.
+
+mod common;
+
+use rapida_bench::Workbench;
+use rapida_core::engines::RapidAnalytics;
+use rapida_datagen::query;
+use rapida_mapred::Engine;
+use rapida_testkit::bench::{smoke_mode, BenchmarkId, Criterion};
+use rapida_testkit::{criterion_group, criterion_main};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut wb = if smoke_mode() {
+        Workbench::bsbm_tiny()
+    } else {
+        Workbench::bsbm_2m()
+    };
+    wb.mr = Engine::with_workers(wb.cat.dfs.clone(), 1);
+
+    let views = RapidAnalytics::default();
+    let legacy = RapidAnalytics {
+        legacy_owned: true,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("query");
+    group
+        .sample_size(16)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(8));
+    for id in ["MG1", "MG2", "MG3", "MG4"] {
+        let q = query(id);
+        group.bench_pair(
+            BenchmarkId::new("views", id),
+            BenchmarkId::new("legacy_owned", id),
+            &q,
+            |q| wb.run(&views, q).expect("query runs"),
+            |q| wb.run(&legacy, q).expect("query runs"),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

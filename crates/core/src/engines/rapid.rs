@@ -26,12 +26,16 @@ const NUM_REDUCERS: usize = 8;
 pub struct RapidPlus {
     /// Map-side hash aggregation in Agg-Join (Algorithm 3 ablation knob).
     pub map_side_combine: bool,
+    /// Run operators on the owned-decode path instead of the borrowed
+    /// triplegroup views (benchmark baseline; byte-identical output).
+    pub legacy_owned: bool,
 }
 
 impl Default for RapidPlus {
     fn default() -> Self {
         RapidPlus {
             map_side_combine: true,
+            legacy_owned: false,
         }
     }
 }
@@ -48,6 +52,9 @@ pub struct RapidAnalytics {
     /// Parallel evaluation of independent aggregations in one cycle
     /// (Fig. 6(b)); off = one Agg-Join cycle per block (Fig. 6(a)).
     pub parallel_agg: bool,
+    /// Run operators on the owned-decode path instead of the borrowed
+    /// triplegroup views (benchmark baseline; byte-identical output).
+    pub legacy_owned: bool,
 }
 
 impl Default for RapidAnalytics {
@@ -56,6 +63,7 @@ impl Default for RapidAnalytics {
             map_side_combine: true,
             alpha_pruning: true,
             parallel_agg: true,
+            legacy_owned: false,
         }
     }
 }
@@ -82,6 +90,7 @@ impl QueryEngine for RapidPlus {
                 prefilters,
                 edges,
                 conds: Arc::new(Vec::new()),
+                legacy_owned: self.legacy_owned,
             };
             let (mut join_jobs, joined) = planner.build_join_jobs()?;
             jobs.append(&mut join_jobs);
@@ -96,6 +105,7 @@ impl QueryEngine for RapidPlus {
                 joined,
                 &planner,
                 self.map_side_combine,
+                self.legacy_owned,
                 &out,
             ));
             block_datasets.push(out);
@@ -124,6 +134,7 @@ impl QueryEngine for RapidAnalytics {
                 // Otherwise evaluate like RAPID+.
                 let fallback = RapidPlus {
                     map_side_combine: self.map_side_combine,
+                    legacy_owned: self.legacy_owned,
                 };
                 let mut plan = fallback.plan(aq, cat)?;
                 plan.engine = "RAPIDAnalytics";
@@ -155,6 +166,7 @@ impl QueryEngine for RapidAnalytics {
             prefilters,
             edges,
             conds: Arc::new(conds),
+            legacy_owned: self.legacy_owned,
         };
         let (mut jobs, joined) = planner.build_join_jobs()?;
 
@@ -183,6 +195,7 @@ impl QueryEngine for RapidAnalytics {
                 joined.clone(),
                 &planner,
                 self.map_side_combine,
+                self.legacy_owned,
                 &out,
             ));
             block_datasets = vec![out; aq.blocks.len()];
@@ -198,6 +211,7 @@ impl QueryEngine for RapidAnalytics {
                     joined.clone(),
                     &planner,
                     self.map_side_combine,
+                    self.legacy_owned,
                     &out,
                 ));
                 block_datasets.push(out);
@@ -255,6 +269,7 @@ impl RapidAnalytics {
             numeric: cat.numeric.clone(),
             raw_filters,
             map_side_combine: self.map_side_combine,
+            legacy_owned: self.legacy_owned,
         });
         let out = format!("{pid}_aggs");
         let mut builder = JobBuilder::new("RAPIDAnalytics:shared-scan-agg-join");
@@ -294,6 +309,7 @@ pub(crate) struct TgJoinPlanner<'a> {
     pub(crate) prefilters: Vec<Option<TgTransform>>,
     pub(crate) edges: Vec<CompiledEdge>,
     pub(crate) conds: Arc<Vec<AlphaCond>>,
+    pub(crate) legacy_owned: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -372,8 +388,16 @@ impl TgJoinPlanner<'_> {
                         self.route(edge.r_star, Side::Right, edge.r_key),
                     ],
                     ann_routes: vec![],
+                    legacy_owned: self.legacy_owned,
                 });
-                join_job(&format!("{}:tg-join{}", self.prefix, cycle), inputs, cfg, &self.conds, &out)
+                join_job(
+                    &format!("{}:tg-join{}", self.prefix, cycle),
+                    inputs,
+                    cfg,
+                    &self.conds,
+                    self.legacy_owned,
+                    &out,
+                )
             } else {
                 // One side is the intermediate, the other a raw star.
                 let (new_star, new_key, old_key) =
@@ -393,8 +417,16 @@ impl TgJoinPlanner<'_> {
                         side: Side::Left,
                         key: old_key,
                     }],
+                    legacy_owned: self.legacy_owned,
                 });
-                join_job(&format!("{}:tg-join{}", self.prefix, cycle), inputs, cfg, &self.conds, &out)
+                join_job(
+                    &format!("{}:tg-join{}", self.prefix, cycle),
+                    inputs,
+                    cfg,
+                    &self.conds,
+                    self.legacy_owned,
+                    &out,
+                )
             };
             jobs.push(job);
             prev = Some(out);
@@ -413,6 +445,7 @@ fn join_job(
     inputs: Vec<String>,
     cfg: Arc<TgJoinMapConfig>,
     conds: &Arc<Vec<AlphaCond>>,
+    legacy_owned: bool,
     out: &str,
 ) -> Job {
     let mut b = JobBuilder::new(name);
@@ -425,7 +458,11 @@ fn join_job(
         move || TgJoinMapper::new(c.clone())
     })))
     .reducer(Arc::new(FnReduceFactory(move || {
-        AlphaJoinReducer::new(conds.clone())
+        if legacy_owned {
+            AlphaJoinReducer::legacy(conds.clone())
+        } else {
+            AlphaJoinReducer::new(conds.clone())
+        }
     })))
     .output(out)
     .num_reducers(NUM_REDUCERS)
@@ -439,6 +476,7 @@ pub(crate) fn agg_join_job(
     joined: Option<String>,
     planner: &TgJoinPlanner<'_>,
     map_side_combine: bool,
+    legacy_owned: bool,
     out: &str,
 ) -> Job {
     let (inputs, raw_filters) = match joined {
@@ -453,6 +491,7 @@ pub(crate) fn agg_join_job(
         numeric: cat.numeric.clone(),
         raw_filters,
         map_side_combine,
+        legacy_owned,
     });
     let mut b = JobBuilder::new(name);
     for i in inputs {

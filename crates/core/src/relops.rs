@@ -2,12 +2,12 @@
 //! reduce-side multi-way (outer) joins, map-side broadcast joins, group-by
 //! aggregation with map-side partial aggregation, and distinct projection.
 
-use crate::rows::{decode_row, row_bytes, RVal};
+use crate::rows::{decode_row, decode_row_into, encode_cell, encode_row, row_bytes, RVal};
 use rapida_mapred::codec::{read_varint, write_varint};
 use rapida_mapred::{
     InputSrc, MapOutput, MapTask, MapTaskFactory, ReduceOutput, ReduceTask, SimDfs,
 };
-use rapida_ntga::{AggOp, AggRec, NumericSnapshot, PartialAgg};
+use rapida_ntga::{AggOp, AggRec, AggTable, NumericSnapshot, PartialAgg};
 use rapida_rdf::{FxHashMap, FxHashSet};
 use rapida_sparql::ast::CmpOp;
 use rapida_storage::decode_segment;
@@ -119,20 +119,27 @@ impl ScanKind {
         }
     }
 
-    /// Decode one record into zero or more rows.
-    fn scan(&self, rec: &[u8], mut sink: impl FnMut(Vec<RVal>)) {
+    /// Decode one record into zero or more rows. `row` is a reused scratch
+    /// buffer: each row is built in place and handed to the sink as a
+    /// borrowed slice, so a segment scan performs no per-row allocation.
+    fn scan(&self, rec: &[u8], row: &mut Vec<RVal>, mut sink: impl FnMut(&[RVal])) {
         match self {
             ScanKind::VpFull => {
                 if let Some(pairs) = decode_segment(rec) {
                     for (s, o) in pairs {
-                        sink(vec![RVal::Id(s), RVal::Id(o)]);
+                        row.clear();
+                        row.push(RVal::Id(s));
+                        row.push(RVal::Id(o));
+                        sink(row);
                     }
                 }
             }
             ScanKind::VpSubjectOnly => {
                 if let Some(pairs) = decode_segment(rec) {
                     for (s, _) in pairs {
-                        sink(vec![RVal::Id(s)]);
+                        row.clear();
+                        row.push(RVal::Id(s));
+                        sink(row);
                     }
                 }
             }
@@ -140,13 +147,15 @@ impl ScanKind {
                 if let Some(pairs) = decode_segment(rec) {
                     for (s, o) in pairs {
                         if o == *oid {
-                            sink(vec![RVal::Id(s)]);
+                            row.clear();
+                            row.push(RVal::Id(s));
+                            sink(row);
                         }
                     }
                 }
             }
             ScanKind::Rows(_) => {
-                if let Some(row) = decode_row(rec) {
+                if decode_row_into(rec, row) {
                     sink(row);
                 }
             }
@@ -216,41 +225,56 @@ pub fn segment_skippable(rec: &[u8], scan: &ScanKind, preds: &[PredOnCol]) -> bo
     })
 }
 
-/// Map task of a reduce-side join: scan, filter, tag, emit by key.
+/// Map task of a reduce-side join: scan, filter, tag, emit by key. Scratch
+/// buffers persist across records (cleared, never reallocated).
 pub struct JoinMapTask {
     cfg: Arc<JoinCycleCfg>,
+    row_buf: Vec<RVal>,
+    key_buf: Vec<u8>,
+    val_buf: Vec<u8>,
 }
 
 impl JoinMapTask {
     /// Create from shared config.
     pub fn new(cfg: Arc<JoinCycleCfg>) -> Self {
-        JoinMapTask { cfg }
+        JoinMapTask {
+            cfg,
+            row_buf: Vec::new(),
+            key_buf: Vec::new(),
+            val_buf: Vec::new(),
+        }
     }
 }
 
 impl MapTask for JoinMapTask {
     fn map(&mut self, src: InputSrc, record: &[u8], out: &mut MapOutput) {
-        let Some(input) = self.cfg.inputs.get(src.dataset) else {
+        let JoinMapTask {
+            cfg,
+            row_buf,
+            key_buf,
+            val_buf,
+        } = self;
+        let Some(input) = cfg.inputs.get(src.dataset) else {
             return;
         };
         if segment_skippable(record, &input.scan, &input.scan_preds) {
             return;
         }
-        let numeric = &self.cfg.numeric;
-        let lexical = &self.cfg.lexical;
-        input.scan.scan(record, |row| {
-            if !input.scan_preds.iter().all(|p| p.eval(&row, numeric, lexical)) {
+        let numeric = &cfg.numeric;
+        let lexical = &cfg.lexical;
+        input.scan.scan(record, row_buf, |row| {
+            if !input.scan_preds.iter().all(|p| p.eval(row, numeric, lexical)) {
                 return;
             }
             let RVal::Id(key) = row[input.key_col] else {
                 return; // Null join keys never match.
             };
-            let mut kb = Vec::with_capacity(10);
-            write_varint(&mut kb, key);
-            let mut vb = Vec::with_capacity(row.len() * 4 + 2);
-            write_varint(&mut vb, src.dataset as u64);
-            crate::rows::encode_row(&row, &mut vb);
-            out.emit(&kb, &vb);
+            key_buf.clear();
+            write_varint(key_buf, key);
+            val_buf.clear();
+            write_varint(val_buf, src.dataset as u64);
+            encode_row(row, val_buf);
+            out.emit(key_buf, val_buf);
         });
     }
 }
@@ -418,20 +442,21 @@ impl MapJoinFactory {
         self.cache
             .get_or_init(|| {
                 let mut tables = Vec::with_capacity(self.cfg.smalls.len());
+                let mut row_buf = Vec::new();
                 for small in &self.cfg.smalls {
                     let mut map: FxHashMap<u64, Vec<Vec<RVal>>> = FxHashMap::default();
                     if let Some(ds) = self.dfs.get(&small.dataset) {
                         for rec in ds.iter_records() {
-                            small.scan.scan(rec, |row| {
+                            small.scan.scan(rec, &mut row_buf, |row| {
                                 if !small
                                     .scan_preds
                                     .iter()
-                                    .all(|p| p.eval(&row, &self.cfg.numeric, &self.cfg.lexical))
+                                    .all(|p| p.eval(row, &self.cfg.numeric, &self.cfg.lexical))
                                 {
                                     return;
                                 }
                                 if let RVal::Id(k) = row[small.key_col] {
-                                    map.entry(k).or_default().push(row);
+                                    map.entry(k).or_default().push(row.to_vec());
                                 }
                             });
                         }
@@ -449,18 +474,25 @@ impl MapTaskFactory for MapJoinFactory {
         Box::new(MapJoinTask {
             cfg: self.cfg.clone(),
             tables: self.tables(),
+            row_buf: Vec::new(),
+            acc_buf: Vec::new(),
+            out_buf: Vec::new(),
         })
     }
 }
 
-/// Map task of a broadcast join.
+/// Map task of a broadcast join. The accumulated row, the scan row and the
+/// output encoding all live in reusable per-task scratch buffers.
 pub struct MapJoinTask {
     cfg: Arc<MapJoinCfg>,
     tables: Arc<SmallTables>,
+    row_buf: Vec<RVal>,
+    acc_buf: Vec<RVal>,
+    out_buf: Vec<u8>,
 }
 
 impl MapJoinTask {
-    fn probe(&self, i: usize, acc: &mut Vec<RVal>, out: &mut MapOutput) {
+    fn probe(&self, i: usize, acc: &mut Vec<RVal>, out_buf: &mut Vec<u8>, out: &mut MapOutput) {
         if i == self.cfg.smalls.len() {
             for (a, b) in &self.cfg.eq_checks {
                 if let (RVal::Id(x), RVal::Id(y)) = (acc[*a], acc[*b]) {
@@ -477,8 +509,14 @@ impl MapJoinTask {
             {
                 return;
             }
-            let row: Vec<RVal> = self.cfg.output_cols.iter().map(|&c| acc[c]).collect();
-            out.write(&row_bytes(&row));
+            // Project + encode straight into the output scratch (same bytes
+            // as `row_bytes` of the projected row).
+            out_buf.clear();
+            write_varint(out_buf, self.cfg.output_cols.len() as u64);
+            for &c in &self.cfg.output_cols {
+                encode_cell(acc[c], out_buf);
+            }
+            out.write(out_buf);
             return;
         }
         let small = &self.cfg.smalls[i];
@@ -490,7 +528,7 @@ impl MapJoinTask {
                 for r in rows {
                     let base = acc.len();
                     acc.extend_from_slice(r);
-                    self.probe(i + 1, acc, out);
+                    self.probe(i + 1, acc, out_buf, out);
                     acc.truncate(base);
                 }
             }
@@ -498,7 +536,7 @@ impl MapJoinTask {
                 if small.optional {
                     let base = acc.len();
                     acc.extend(std::iter::repeat_n(RVal::Null, width));
-                    self.probe(i + 1, acc, out);
+                    self.probe(i + 1, acc, out_buf, out);
                     acc.truncate(base);
                 }
                 // Required side with no match: row is dropped.
@@ -509,22 +547,31 @@ impl MapJoinTask {
 
 impl MapTask for MapJoinTask {
     fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
-        let cfg = self.cfg.clone();
-        if segment_skippable(record, &cfg.stream.scan, &cfg.stream.scan_preds) {
+        if segment_skippable(record, &self.cfg.stream.scan, &self.cfg.stream.scan_preds) {
             return;
         }
-        cfg.stream.scan.scan(record, |row| {
+        // `probe` needs `&self`, so the scratch buffers are taken out for
+        // the duration of the scan and put back after.
+        let mut row_buf = std::mem::take(&mut self.row_buf);
+        let mut acc = std::mem::take(&mut self.acc_buf);
+        let mut out_buf = std::mem::take(&mut self.out_buf);
+        let cfg = self.cfg.clone();
+        cfg.stream.scan.scan(record, &mut row_buf, |row| {
             if !cfg
                 .stream
                 .scan_preds
                 .iter()
-                .all(|p| p.eval(&row, &cfg.numeric, &cfg.lexical))
+                .all(|p| p.eval(row, &cfg.numeric, &cfg.lexical))
             {
                 return;
             }
-            let mut acc = row;
-            self.probe(0, &mut acc, out);
+            acc.clear();
+            acc.extend_from_slice(row);
+            self.probe(0, &mut acc, &mut out_buf, out);
         });
+        self.row_buf = row_buf;
+        self.acc_buf = acc;
+        self.out_buf = out_buf;
     }
 }
 
@@ -551,10 +598,18 @@ pub struct GroupAggCfg {
     pub map_side_combine: bool,
 }
 
-/// Map task: partial aggregation keyed by the group values.
+/// Map task: partial aggregation keyed by the group values. Combining runs
+/// on the flat open-addressing [`AggTable`] (no per-group boxed state, no
+/// per-record key allocation), drained in deterministic sorted key order
+/// in [`MapTask::cleanup`].
 pub struct GroupAggMapTask {
     cfg: Arc<GroupAggCfg>,
-    acc: FxHashMap<Vec<u8>, Vec<PartialAgg>>,
+    table: AggTable,
+    row_buf: Vec<RVal>,
+    key_ids: Vec<u64>,
+    key_buf: Vec<u8>,
+    val_buf: Vec<u8>,
+    partials: Vec<PartialAgg>,
 }
 
 impl GroupAggMapTask {
@@ -562,21 +617,27 @@ impl GroupAggMapTask {
     pub fn new(cfg: Arc<GroupAggCfg>) -> Self {
         GroupAggMapTask {
             cfg,
-            acc: FxHashMap::default(),
+            table: AggTable::default(),
+            row_buf: Vec::new(),
+            key_ids: Vec::new(),
+            key_buf: Vec::new(),
+            val_buf: Vec::new(),
+            partials: Vec::new(),
         }
     }
 }
 
-fn group_key_bytes(row: &[RVal], cols: &[usize]) -> Option<Vec<u8>> {
-    let mut kb = Vec::with_capacity(cols.len() * 4 + 1);
-    write_varint(&mut kb, cols.len() as u64);
+/// Extract the group key ids into a reused buffer. `false` = a group
+/// column is unbound or non-id, dropping the row.
+fn group_key_ids(row: &[RVal], cols: &[usize], out: &mut Vec<u64>) -> bool {
+    out.clear();
     for &c in cols {
         match row[c] {
-            RVal::Id(id) => write_varint(&mut kb, id),
-            _ => return None, // Null group keys drop the row.
+            RVal::Id(id) => out.push(id),
+            _ => return false, // Null group keys drop the row.
         }
     }
-    Some(kb)
+    true
 }
 
 fn fold_row(row: &[RVal], cfg: &GroupAggCfg, partials: &mut [PartialAgg]) {
@@ -594,47 +655,70 @@ fn fold_row(row: &[RVal], cfg: &GroupAggCfg, partials: &mut [PartialAgg]) {
 
 impl MapTask for GroupAggMapTask {
     fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
-        let cfg = self.cfg.clone();
+        let GroupAggMapTask {
+            cfg,
+            table,
+            row_buf,
+            key_ids,
+            key_buf,
+            val_buf,
+            partials,
+        } = self;
         if segment_skippable(record, &cfg.scan, &cfg.scan_preds) {
             return;
         }
-        let acc = &mut self.acc;
-        cfg.scan.scan(record, |row| {
+        cfg.scan.scan(record, row_buf, |row| {
             if !cfg
                 .scan_preds
                 .iter()
-                .all(|p| p.eval(&row, &cfg.numeric, &cfg.lexical))
+                .all(|p| p.eval(row, &cfg.numeric, &cfg.lexical))
             {
                 return;
             }
-            let Some(kb) = group_key_bytes(&row, &cfg.group_cols) else {
+            if !group_key_ids(row, &cfg.group_cols, key_ids) {
                 return;
-            };
+            }
             if cfg.map_side_combine {
-                let partials = acc
-                    .entry(kb)
-                    .or_insert_with(|| vec![PartialAgg::default(); cfg.aggs.len()]);
-                fold_row(&row, &cfg, partials);
+                let slots = table.slots_mut(cfg.group_cols.len() as u64, key_ids, cfg.aggs.len());
+                fold_row(row, cfg, slots);
             } else {
-                let mut partials = vec![PartialAgg::default(); cfg.aggs.len()];
-                fold_row(&row, &cfg, &mut partials);
-                let mut vb = Vec::new();
-                for p in &partials {
-                    p.encode(&mut vb);
+                key_buf.clear();
+                write_varint(key_buf, cfg.group_cols.len() as u64);
+                for &k in key_ids.iter() {
+                    write_varint(key_buf, k);
                 }
-                out.emit(&kb, &vb);
+                partials.clear();
+                partials.resize(cfg.aggs.len(), PartialAgg::default());
+                fold_row(row, cfg, partials);
+                val_buf.clear();
+                for p in partials.iter() {
+                    p.encode(val_buf);
+                }
+                out.emit(key_buf, val_buf);
             }
         });
     }
 
     fn cleanup(&mut self, out: &mut MapOutput) {
-        for (kb, partials) in self.acc.drain() {
-            let mut vb = Vec::new();
-            for p in &partials {
-                p.encode(&mut vb);
+        let GroupAggMapTask {
+            table,
+            key_buf,
+            val_buf,
+            ..
+        } = self;
+        // The table tag is the key width, so the re-encoded key bytes are
+        // identical to the non-combined emit format.
+        table.drain_sorted(|full_key, partials| {
+            key_buf.clear();
+            for &k in full_key {
+                write_varint(key_buf, k);
             }
-            out.emit(&kb, &vb);
-        }
+            val_buf.clear();
+            for p in partials {
+                p.encode(val_buf);
+            }
+            out.emit(key_buf, val_buf);
+        });
     }
 }
 
@@ -697,10 +781,14 @@ pub struct DistinctCfg {
     pub required_cols: Vec<usize>,
 }
 
-/// Map task: validate, project, map-side dedup, emit row as key.
+/// Map task: validate, project, map-side dedup, emit row as key. The
+/// projected key is encoded into a reused scratch buffer; only first-seen
+/// keys are copied into the dedup set.
 pub struct DistinctMapTask {
     cfg: Arc<DistinctCfg>,
     seen: FxHashSet<Vec<u8>>,
+    row_buf: Vec<RVal>,
+    key_buf: Vec<u8>,
 }
 
 impl DistinctMapTask {
@@ -709,22 +797,30 @@ impl DistinctMapTask {
         DistinctMapTask {
             cfg,
             seen: FxHashSet::default(),
+            row_buf: Vec::new(),
+            key_buf: Vec::new(),
         }
     }
 }
 
 impl MapTask for DistinctMapTask {
     fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
-        let Some(row) = decode_row(record) else {
+        if !decode_row_into(record, &mut self.row_buf) {
             return;
-        };
+        }
+        let row = &self.row_buf;
         if self.cfg.required_cols.iter().any(|&c| row[c].is_null()) {
             return;
         }
-        let projected: Vec<RVal> = self.cfg.project_cols.iter().map(|&c| row[c]).collect();
-        let kb = row_bytes(&projected);
-        if self.seen.insert(kb.clone()) {
-            out.emit(&kb, &[]);
+        let kb = &mut self.key_buf;
+        kb.clear();
+        write_varint(kb, self.cfg.project_cols.len() as u64);
+        for &c in &self.cfg.project_cols {
+            encode_cell(row[c], kb);
+        }
+        if !self.seen.contains(kb.as_slice()) {
+            self.seen.insert(kb.clone());
+            out.emit(kb, &[]);
         }
     }
 }

@@ -33,35 +33,61 @@ impl RVal {
 pub fn encode_row(row: &[RVal], out: &mut Vec<u8>) {
     write_varint(out, row.len() as u64);
     for v in row {
-        match v {
-            RVal::Null => out.push(0),
-            RVal::Id(i) => {
-                out.push(1);
-                write_varint(out, *i);
-            }
-            RVal::Num(n) => {
-                out.push(2);
-                write_f64(out, *n);
-            }
+        encode_cell(*v, out);
+    }
+}
+
+/// Encode one row cell (the per-cell body of [`encode_row`]). Exposed so
+/// operators can project + encode without materializing the output row.
+pub fn encode_cell(v: RVal, out: &mut Vec<u8>) {
+    match v {
+        RVal::Null => out.push(0),
+        RVal::Id(i) => {
+            out.push(1);
+            write_varint(out, i);
+        }
+        RVal::Num(n) => {
+            out.push(2);
+            write_f64(out, n);
         }
     }
 }
 
 /// Decode a row record.
-pub fn decode_row(mut rec: &[u8]) -> Option<Vec<RVal>> {
-    let n = read_varint(&mut rec)? as usize;
-    let mut out = Vec::with_capacity(n.min(64));
+pub fn decode_row(rec: &[u8]) -> Option<Vec<RVal>> {
+    let mut out = Vec::new();
+    decode_row_into(rec, &mut out).then_some(out)
+}
+
+/// Decode a row record into a reused buffer (cleared first). Returns
+/// `false` on malformed input, leaving `out` in an unspecified cleared
+/// state. The scratch-row form of [`decode_row`] for per-record hot paths.
+pub fn decode_row_into(mut rec: &[u8], out: &mut Vec<RVal>) -> bool {
+    out.clear();
+    let Some(n) = read_varint(&mut rec) else {
+        return false;
+    };
+    out.reserve((n as usize).min(64));
     for _ in 0..n {
-        let (tag, rest) = rec.split_first()?;
+        let Some((tag, rest)) = rec.split_first() else {
+            return false;
+        };
         rec = rest;
-        out.push(match tag {
+        let v = match tag {
             0 => RVal::Null,
-            1 => RVal::Id(read_varint(&mut rec)?),
-            2 => RVal::Num(read_f64(&mut rec)?),
-            _ => return None,
-        });
+            1 => match read_varint(&mut rec) {
+                Some(i) => RVal::Id(i),
+                None => return false,
+            },
+            2 => match read_f64(&mut rec) {
+                Some(f) => RVal::Num(f),
+                None => return false,
+            },
+            _ => return false,
+        };
+        out.push(v);
     }
-    Some(out)
+    true
 }
 
 /// Encode a row into a fresh buffer.

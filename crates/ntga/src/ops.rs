@@ -3,7 +3,8 @@
 //! agree with these (tested in the workspace integration suite).
 
 use crate::spec::{AggJoinSpec, AggOp, AlphaCond, NumericSnapshot, PartialAgg, StarSpec};
-use crate::triplegroup::{AnnTg, TripleGroup};
+use crate::triplegroup::{AnnTg, AnnTgRef, TgRef, TripleGroup};
+use rapida_mapred::codec::write_varint;
 use rapida_rdf::FxHashMap;
 
 /// σ^γopt — the **optional group filter** (Def 3.3).
@@ -29,6 +30,75 @@ pub fn opt_group_filter(tg: &TripleGroup, spec: &StarSpec) -> Option<TripleGroup
         }
     }
     Some(TripleGroup::new(tg.subject, triples))
+}
+
+/// [`opt_group_filter`] over a borrowed view, encoding the projected group
+/// directly into `out` (appended; the caller clears). Returns `false`
+/// without touching `out` when a primary requirement fails.
+///
+/// Byte-identical to `opt_group_filter(...).encode(...)`: the view's pairs
+/// are stored sorted, so the kept subsequence is sorted too and the direct
+/// varint encoding equals the owned round trip.
+pub fn opt_group_filter_into(tg: &TgRef<'_>, spec: &StarSpec, out: &mut Vec<u8>) -> bool {
+    if spec.primary.len() > 64 {
+        // The bitmask below tops out at 64 primary requirements; fall back
+        // to one scan per requirement (unreachable on real specs).
+        for req in &spec.primary {
+            if !req.matches_ref(tg) {
+                return false;
+            }
+        }
+        encode_filtered(tg, spec, usize::MAX, out);
+        return true;
+    }
+    // One fused pass: track which primary requirements are satisfied and
+    // how many pairs the projection keeps.
+    let mut matched: u64 = 0;
+    let mut kept: usize = 0;
+    for (p, o) in tg.pairs() {
+        let mut keep = false;
+        for (i, req) in spec.primary.iter().enumerate() {
+            if req.prop == p && req.object.is_none_or(|ro| ro == o) {
+                matched |= 1 << i;
+                keep = true;
+            }
+        }
+        kept += usize::from(
+            keep || spec
+                .secondary
+                .iter()
+                .any(|req| req.prop == p && req.object.is_none_or(|ro| ro == o)),
+        );
+    }
+    if matched.count_ones() as usize != spec.primary.len() {
+        return false;
+    }
+    if kept == tg.len() {
+        // Projection keeps every pair: the canonical codec makes the
+        // record's raw span exactly the filtered encoding.
+        out.extend_from_slice(tg.raw_bytes());
+    } else {
+        encode_filtered(tg, spec, kept, out);
+    }
+    true
+}
+
+/// Encode the σ^γopt projection of `tg`, re-counting kept pairs unless the
+/// caller already knows the count.
+fn encode_filtered(tg: &TgRef<'_>, spec: &StarSpec, kept: usize, out: &mut Vec<u8>) {
+    let kept = if kept == usize::MAX {
+        tg.pairs().filter(|&(p, o)| spec.keeps(p, o)).count()
+    } else {
+        kept
+    };
+    write_varint(out, tg.subject());
+    write_varint(out, kept as u64);
+    for (p, o) in tg.pairs() {
+        if spec.keeps(p, o) {
+            write_varint(out, p);
+            write_varint(out, o);
+        }
+    }
 }
 
 /// χ — the **n-split** operator (Def 3.4).
@@ -171,6 +241,83 @@ fn enumerate(
     for &v in &lists[i] {
         assignment[i] = v;
         enumerate(lists, i + 1, assignment, f);
+    }
+}
+
+/// Reusable scratch for [`accumulate_view`]: slot values flattened into one
+/// arena (per-slot spans in `bounds`), the current assignment, and the
+/// current group key. Cleared, never reallocated, between records.
+#[derive(Debug, Default)]
+pub struct AccumScratch {
+    values: Vec<u64>,
+    bounds: Vec<(u32, u32)>,
+    assignment: Vec<u64>,
+    key: Vec<u64>,
+}
+
+/// [`accumulate`] over a borrowed view: identical enumeration order and
+/// fold sequence, but slot values stream into `scratch` (one flat arena)
+/// and the group key is rebuilt in place per assignment — zero allocations
+/// per record once the scratch is warm.
+pub fn accumulate_view(
+    tg: &AnnTgRef<'_>,
+    spec: &AggJoinSpec,
+    numeric: &NumericSnapshot,
+    scratch: &mut AccumScratch,
+    fold: &mut FoldFn<'_>,
+) {
+    let AccumScratch {
+        values,
+        bounds,
+        assignment,
+        key,
+    } = scratch;
+    values.clear();
+    bounds.clear();
+    for r in &spec.slots {
+        let start = values.len() as u32;
+        r.for_each_value_ref(tg, |v| values.push(v));
+        let end = values.len() as u32;
+        // Same inner-join semantics as the owned path: an empty slot means
+        // the pattern does not match and the group contributes nothing.
+        if start == end {
+            return;
+        }
+        bounds.push((start, end));
+    }
+    assignment.clear();
+    assignment.resize(spec.slots.len(), 0);
+    enumerate_flat(values, bounds, 0, assignment, &mut |assignment| {
+        key.clear();
+        key.extend(spec.group_slots.iter().map(|&i| assignment[i]));
+        for (i, agg) in spec.aggs.iter().enumerate() {
+            match agg.arg {
+                None => fold(key, i, None), // COUNT(*): every assignment counts
+                Some(slot) => {
+                    let v = assignment[slot];
+                    let num = numeric.get(v as usize).copied().flatten();
+                    fold(key, i, num);
+                }
+            }
+        }
+    });
+}
+
+fn enumerate_flat(
+    values: &[u64],
+    bounds: &[(u32, u32)],
+    i: usize,
+    assignment: &mut Vec<u64>,
+    f: &mut dyn FnMut(&[u64]),
+) {
+    if i == bounds.len() {
+        f(assignment);
+        return;
+    }
+    let (s, e) = bounds[i];
+    for j in s..e {
+        assignment[i] = values[j as usize];
+        enumerate_flat(values, bounds, i + 1, assignment, f);
     }
 }
 
@@ -508,5 +655,85 @@ mod tests {
         p.add(Some(6.0));
         let out = finalize_groups(vec![(vec![1], vec![p])], &[AggOp::Avg]);
         assert_eq!(out[0].1[0], Some(5.0));
+    }
+
+    #[test]
+    fn opt_group_filter_into_matches_owned() {
+        let spec = fig4_spec();
+        let cases = [
+            tg(101, &[(PRODUCT, 11), (PRICE, 21), (VALID_TO, 41), (99, 5)]),
+            tg(102, &[(PRODUCT, 12), (PRICE, 22)]),
+            tg(103, &[(PRODUCT, 13), (VALID_FROM, 33)]),
+        ];
+        for g in &cases {
+            let mut rec = Vec::new();
+            g.encode(&mut rec);
+            let v = TgRef::parse(&rec).unwrap();
+            let mut got = Vec::new();
+            let kept = opt_group_filter_into(&v, &spec, &mut got);
+            match opt_group_filter(g, &spec) {
+                None => {
+                    assert!(!kept);
+                    assert!(got.is_empty(), "rejected group must not touch out");
+                }
+                Some(owned) => {
+                    assert!(kept);
+                    let mut want = Vec::new();
+                    owned.encode(&mut want);
+                    assert_eq!(got, want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_view_matches_owned() {
+        const PF: u64 = 10;
+        const PC: u64 = 11;
+        const CN: u64 = 12;
+        let mut numeric = vec![None; 100];
+        numeric[30] = Some(30.0);
+        numeric[20] = Some(20.0);
+        let numeric: NumericSnapshot = Arc::new(numeric);
+        let spec = AggJoinSpec {
+            id: 0,
+            slots: vec![
+                VarRef::ObjectOf { star: 0, prop: PF },
+                VarRef::ObjectOf { star: 1, prop: CN },
+                VarRef::ObjectOf { star: 0, prop: PC },
+            ],
+            group_slots: vec![0, 1],
+            aggs: vec![
+                AggSpec { op: AggOp::Sum, arg: Some(2) },
+                AggSpec { op: AggOp::Count, arg: None },
+            ],
+            alpha: AlphaCond::default(),
+        };
+        let details = [
+            AnnTg {
+                groups: vec![
+                    (0, tg(3, &[(PF, 61), (PF, 62), (PC, 20), (PC, 30)])),
+                    (1, tg(8, &[(CN, 70), (CN, 71)])),
+                ],
+            },
+            // Missing pf: slot 0 empty, contributes nothing on both paths.
+            AnnTg {
+                groups: vec![(0, tg(4, &[(PC, 20)])), (1, tg(8, &[(CN, 70)]))],
+            },
+        ];
+        let mut scratch = AccumScratch::default();
+        for d in &details {
+            let mut owned_folds: Vec<(Vec<u64>, usize, Option<f64>)> = Vec::new();
+            accumulate(d, &spec, &numeric, &mut |k, i, v| {
+                owned_folds.push((k.to_vec(), i, v));
+            });
+            let rec = d.encoded();
+            let view = AnnTgRef::parse(&rec).unwrap();
+            let mut view_folds: Vec<(Vec<u64>, usize, Option<f64>)> = Vec::new();
+            accumulate_view(&view, &spec, &numeric, &mut scratch, &mut |k, i, v| {
+                view_folds.push((k.to_vec(), i, v));
+            });
+            assert_eq!(view_folds, owned_folds, "fold sequences must be identical");
+        }
     }
 }

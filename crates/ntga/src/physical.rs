@@ -7,13 +7,14 @@
 //! * [`AggJoinMapper`] + [`AggJoinReducer`] — `TG_AgJ` with map-side hash
 //!   aggregation (`multiAggMap`, Algorithm 3; `Job_k` of Algorithm 1).
 
-use crate::ops::{accumulate, opt_group_filter};
+use crate::hashagg::AggTable;
+use crate::ops::{accumulate, accumulate_view, opt_group_filter, opt_group_filter_into, AccumScratch};
 use crate::spec::{
-    any_alpha_partial, AggJoinSpec, AggRec, AlphaCond, JoinKey, NumericSnapshot, PartialAgg,
-    StarSpec,
+    any_alpha_partial, any_alpha_partial_merged, AggJoinSpec, AlphaCond, JoinKey,
+    NumericSnapshot, PartialAgg, StarSpec,
 };
-use crate::triplegroup::{AnnTg, TripleGroup};
-use rapida_mapred::codec::{read_varint, write_varint};
+use crate::triplegroup::{AnnTg, AnnTgRef, TgRef, TripleGroup};
+use rapida_mapred::codec::{read_varint, write_f64, write_varint};
 use rapida_mapred::{InputSrc, MapOutput, MapTask, ReduceOutput, ReduceTask};
 use rapida_rdf::FxHashMap;
 use std::sync::Arc;
@@ -82,31 +83,37 @@ pub struct TgJoinMapConfig {
     pub star_routes: Vec<StarRoute>,
     /// Routes for annotated intermediate inputs.
     pub ann_routes: Vec<AnnRoute>,
+    /// Run the pre-view owned-decode path (`TripleGroup::decode` + fresh
+    /// `Vec` per emit). Kept in-tree as the benchmark baseline and as a
+    /// byte-identity oracle for the view path.
+    pub legacy_owned: bool,
 }
 
 /// Map phase of `Job_i`: `TG_OptGrpFilter` + tagging for `TG_AlphaJoin`.
+///
+/// The default path parses records as [`TgRef`]/[`AnnTgRef`] views and
+/// encodes each emit directly into two per-task scratch buffers (cleared,
+/// never reallocated). The `legacy_owned` config flag selects the original
+/// owned-decode implementation.
 pub struct TgJoinMapper {
     config: Arc<TgJoinMapConfig>,
+    key_buf: Vec<u8>,
+    val_buf: Vec<u8>,
 }
 
 impl TgJoinMapper {
     /// Create from shared config.
     pub fn new(config: Arc<TgJoinMapConfig>) -> Self {
-        TgJoinMapper { config }
+        TgJoinMapper {
+            config,
+            key_buf: Vec::new(),
+            val_buf: Vec::new(),
+        }
     }
-}
 
-fn emit_tagged(out: &mut MapOutput, key_val: u64, side: Side, tg: &AnnTg) {
-    let mut key = Vec::with_capacity(10);
-    write_varint(&mut key, key_val);
-    let mut val = Vec::new();
-    val.push(side.byte());
-    tg.encode(&mut val);
-    out.emit(&key, &val);
-}
-
-impl MapTask for TgJoinMapper {
-    fn map(&mut self, src: InputSrc, record: &[u8], out: &mut MapOutput) {
+    /// The pre-view implementation, verbatim: owned decode per record,
+    /// fresh key/value `Vec`s per emit.
+    fn map_legacy(&mut self, src: InputSrc, record: &[u8], out: &mut MapOutput) {
         if self.config.raw_inputs.contains(&src.dataset) {
             let Some(tg) = TripleGroup::decode(record) else {
                 return;
@@ -141,22 +148,159 @@ impl MapTask for TgJoinMapper {
     }
 }
 
+fn emit_tagged(out: &mut MapOutput, key_val: u64, side: Side, tg: &AnnTg) {
+    let mut key = Vec::with_capacity(10);
+    write_varint(&mut key, key_val);
+    let mut val = Vec::new();
+    val.push(side.byte());
+    tg.encode(&mut val);
+    out.emit(&key, &val);
+}
+
+impl MapTask for TgJoinMapper {
+    fn map(&mut self, src: InputSrc, record: &[u8], out: &mut MapOutput) {
+        if self.config.legacy_owned {
+            self.map_legacy(src, record, out);
+            return;
+        }
+        let TgJoinMapper {
+            config,
+            key_buf,
+            val_buf,
+        } = self;
+        if config.raw_inputs.contains(&src.dataset) {
+            let Some(tg) = TgRef::parse_framed(record) else {
+                return;
+            };
+            // Prefilter transforms need an owned group; decode lazily, once,
+            // only when some route actually has one.
+            let mut owned: Option<TripleGroup> = None;
+            for route in &config.star_routes {
+                // Value layout (identical to the owned path): side byte +
+                // AnnTg::single(star, filtered) = 1, star, tg.
+                val_buf.clear();
+                val_buf.push(route.side.byte());
+                write_varint(val_buf, 1);
+                write_varint(val_buf, u64::from(route.spec.star));
+                let tg_start = val_buf.len();
+                match &route.prefilter {
+                    Some(f) => {
+                        let base = owned.get_or_insert_with(|| tg.to_owned());
+                        let Some(v) = f(base.clone()) else { continue };
+                        let Some(filtered) = opt_group_filter(&v, &route.spec) else {
+                            continue;
+                        };
+                        filtered.encode(val_buf);
+                        // Key off the filtered group just encoded in place.
+                        let Some(ftg) = TgRef::parse_framed(&val_buf[tg_start..]) else {
+                            continue;
+                        };
+                        match route.key {
+                            JoinKey::Subject { star } if star == route.spec.star => {
+                                key_buf.clear();
+                                write_varint(key_buf, ftg.subject());
+                                out.emit(key_buf, val_buf);
+                            }
+                            JoinKey::ObjectOf { star, prop } if star == route.spec.star => {
+                                for o in ftg.objects_of(prop) {
+                                    key_buf.clear();
+                                    write_varint(key_buf, o);
+                                    out.emit(key_buf, val_buf);
+                                }
+                            }
+                            // Key references a star this route doesn't
+                            // produce: nothing to emit (extract() semantics).
+                            _ => {}
+                        }
+                    }
+                    None => {
+                        if !opt_group_filter_into(&tg, &route.spec, val_buf) {
+                            continue;
+                        }
+                        // Key straight off the source view: the filtered
+                        // group's subject is `tg`'s, and its `prop` objects
+                        // are exactly the kept `(prop, o)` pairs — no
+                        // re-parse of the encoded bytes needed.
+                        match route.key {
+                            JoinKey::Subject { star } if star == route.spec.star => {
+                                key_buf.clear();
+                                write_varint(key_buf, tg.subject());
+                                out.emit(key_buf, val_buf);
+                            }
+                            JoinKey::ObjectOf { star, prop } if star == route.spec.star => {
+                                for (p, o) in tg.pairs() {
+                                    if p == prop && route.spec.keeps(p, o) {
+                                        key_buf.clear();
+                                        write_varint(key_buf, o);
+                                        out.emit(key_buf, val_buf);
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        } else {
+            let Some(ann) = AnnTgRef::parse_framed(record) else {
+                return;
+            };
+            for route in &config.ann_routes {
+                if route.input != src.dataset {
+                    continue;
+                }
+                val_buf.clear();
+                val_buf.push(route.side.byte());
+                ann.encode_into(val_buf);
+                route.key.extract_ref(&ann, |k| {
+                    key_buf.clear();
+                    write_varint(key_buf, k);
+                    out.emit(key_buf, val_buf);
+                });
+            }
+        }
+    }
+}
+
 /// Reduce phase of `Job_i`: `TG_AlphaJoin` (Algorithm 2) — joins the left
 /// and right equivalence classes of each key, materializing only
 /// combinations accepted by at least one α-condition.
+///
+/// The default path parses each value as an [`AnnTgRef`] view, evaluates
+/// α over the *logical* merge, and writes accepted products by
+/// interleaving raw component spans into one reused scratch buffer.
 pub struct AlphaJoinReducer {
     conds: Arc<Vec<AlphaCond>>,
+    legacy_owned: bool,
+    out_buf: Vec<u8>,
+    left_idx: Vec<u32>,
+    right_idx: Vec<u32>,
 }
 
 impl AlphaJoinReducer {
     /// Create from the shared α-condition list (empty = accept all).
     pub fn new(conds: Arc<Vec<AlphaCond>>) -> Self {
-        AlphaJoinReducer { conds }
+        AlphaJoinReducer {
+            conds,
+            legacy_owned: false,
+            out_buf: Vec::new(),
+            left_idx: Vec::new(),
+            right_idx: Vec::new(),
+        }
     }
-}
 
-impl ReduceTask for AlphaJoinReducer {
-    fn reduce(&mut self, _key: &[u8], values: &[&[u8]], out: &mut ReduceOutput) {
+    /// The pre-view owned-decode variant (benchmark baseline).
+    pub fn legacy(conds: Arc<Vec<AlphaCond>>) -> Self {
+        AlphaJoinReducer {
+            conds,
+            legacy_owned: true,
+            out_buf: Vec::new(),
+            left_idx: Vec::new(),
+            right_idx: Vec::new(),
+        }
+    }
+
+    fn reduce_legacy(&mut self, values: &[&[u8]], out: &mut ReduceOutput) {
         let mut left: Vec<AnnTg> = Vec::new();
         let mut right: Vec<AnnTg> = Vec::new();
         for v in values {
@@ -184,6 +328,54 @@ impl ReduceTask for AlphaJoinReducer {
     }
 }
 
+impl ReduceTask for AlphaJoinReducer {
+    fn reduce(&mut self, _key: &[u8], values: &[&[u8]], out: &mut ReduceOutput) {
+        if self.legacy_owned {
+            self.reduce_legacy(values, out);
+            return;
+        }
+        // Split by side byte first, deferring the (cheap, but non-free)
+        // view parse until a key is known to have both sides: one-sided
+        // keys — the common case under selective star filters — cost two
+        // index pushes and nothing else. The index lists and emit buffer
+        // are long-lived scratch; views borrow from `values` per pair.
+        let AlphaJoinReducer {
+            conds,
+            out_buf,
+            left_idx,
+            right_idx,
+            ..
+        } = self;
+        left_idx.clear();
+        right_idx.clear();
+        for (i, v) in values.iter().enumerate() {
+            match v.first() {
+                Some(side) if *side == Side::Left.byte() => left_idx.push(i as u32),
+                Some(_) => right_idx.push(i as u32),
+                None => {}
+            }
+        }
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return;
+        }
+        for &li in left_idx.iter() {
+            let Some(l) = AnnTgRef::parse_framed(&values[li as usize][1..]) else {
+                continue;
+            };
+            for &ri in right_idx.iter() {
+                let Some(r) = AnnTgRef::parse_framed(&values[ri as usize][1..]) else {
+                    continue;
+                };
+                if any_alpha_partial_merged(conds, &l, &r) {
+                    out_buf.clear();
+                    l.merge_into(&r, out_buf);
+                    out.write(out_buf);
+                }
+            }
+        }
+    }
+}
+
 /// Configuration for the Agg-Join map phase.
 #[derive(Clone, Default)]
 pub struct AggJoinConfig {
@@ -201,13 +393,74 @@ pub struct AggJoinConfig {
     /// Map-side hash aggregation (`multiAggMap`). Disabling it emits one
     /// record per assignment — the ablation knob for Algorithm 3.
     pub map_side_combine: bool,
+    /// Run the pre-view owned-decode path (`AnnTg::decode` + boxed
+    /// `FxHashMap<Vec<u8>, Vec<PartialAgg>>` combine state). Benchmark
+    /// baseline and byte-identity oracle for the view path.
+    pub legacy_owned: bool,
 }
 
 /// Map phase of `Job_k` (Algorithm 3): per-mapper hash aggregation keyed by
 /// `id#grp`, flushed in `cleanup`.
+///
+/// The default path consumes [`AnnTgRef`] views and combines into the flat
+/// open-addressing [`AggTable`] keyed by `(spec id, group key)` term ids —
+/// no per-group key or state boxing. `cleanup` flushes in sorted key order,
+/// which keeps map-output bytes (and therefore the whole downstream
+/// byte-identity chain) independent of hash iteration order.
 pub struct AggJoinMapper {
     config: Arc<AggJoinConfig>,
     multi_agg_map: FxHashMap<Vec<u8>, Vec<PartialAgg>>,
+    table: AggTable,
+    scratch: AccumScratch,
+    key_buf: Vec<u8>,
+    val_buf: Vec<u8>,
+    ann_buf: Vec<u8>,
+}
+
+/// The view-path record processor, as a free function over the mapper's
+/// destructured fields so the fold closure can mutate the table while the
+/// spec list stays borrowed from the config.
+#[allow(clippy::too_many_arguments)]
+fn process_view(
+    config: &AggJoinConfig,
+    ann: &AnnTgRef<'_>,
+    table: &mut AggTable,
+    scratch: &mut AccumScratch,
+    key_buf: &mut Vec<u8>,
+    val_buf: &mut Vec<u8>,
+    out: &mut MapOutput,
+) {
+    let combine = config.map_side_combine;
+    for spec in &config.specs {
+        if !spec.alpha.satisfied_full_ref(ann) {
+            continue;
+        }
+        let nagg = spec.aggs.len();
+        accumulate_view(ann, spec, &config.numeric, scratch, &mut |key, idx, value| {
+            if combine {
+                table.slots_mut(u64::from(spec.id), key, nagg)[idx].add(value);
+            } else {
+                key_buf.clear();
+                write_varint(key_buf, u64::from(spec.id));
+                write_varint(key_buf, key.len() as u64);
+                for k in key {
+                    write_varint(key_buf, *k);
+                }
+                val_buf.clear();
+                let empty = PartialAgg::default();
+                for i in 0..nagg {
+                    if i == idx {
+                        let mut p = PartialAgg::default();
+                        p.add(value);
+                        p.encode(val_buf);
+                    } else {
+                        empty.encode(val_buf);
+                    }
+                }
+                out.emit(key_buf, val_buf);
+            }
+        });
+    }
 }
 
 impl AggJoinMapper {
@@ -216,6 +469,11 @@ impl AggJoinMapper {
         AggJoinMapper {
             config,
             multi_agg_map: FxHashMap::default(),
+            table: AggTable::default(),
+            scratch: AccumScratch::default(),
+            key_buf: Vec::new(),
+            val_buf: Vec::new(),
+            ann_buf: Vec::new(),
         }
     }
 
@@ -255,10 +513,11 @@ impl AggJoinMapper {
             });
         }
     }
-}
 
-impl MapTask for AggJoinMapper {
-    fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
+    /// The pre-view map implementation, verbatim (including its per-record
+    /// `raw_filters` clone — part of the owned-path allocation profile the
+    /// benchmark baselines).
+    fn map_legacy(&mut self, record: &[u8], out: &mut MapOutput) {
         if self.config.raw_filters.is_empty() {
             let Some(ann) = AnnTg::decode(record) else {
                 return;
@@ -284,34 +543,130 @@ impl MapTask for AggJoinMapper {
             }
         }
     }
+}
+
+impl MapTask for AggJoinMapper {
+    fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
+        if self.config.legacy_owned {
+            self.map_legacy(record, out);
+            return;
+        }
+        let AggJoinMapper {
+            config,
+            table,
+            scratch,
+            key_buf,
+            val_buf,
+            ann_buf,
+            multi_agg_map: _,
+        } = self;
+        if config.raw_filters.is_empty() {
+            let Some(ann) = AnnTgRef::parse_framed(record) else {
+                return;
+            };
+            process_view(config, &ann, table, scratch, key_buf, val_buf, out);
+            return;
+        }
+        let Some(tg) = TgRef::parse_framed(record) else {
+            return;
+        };
+        let mut owned: Option<TripleGroup> = None;
+        for (filter, transform) in &config.raw_filters {
+            // Single-star annotated layout: 1, star, filtered tg.
+            ann_buf.clear();
+            write_varint(ann_buf, 1);
+            write_varint(ann_buf, u64::from(filter.star));
+            match transform {
+                Some(t) => {
+                    let base = owned.get_or_insert_with(|| tg.to_owned());
+                    let Some(v) = t(base.clone()) else { continue };
+                    let Some(filtered) = opt_group_filter(&v, filter) else {
+                        continue;
+                    };
+                    filtered.encode(ann_buf);
+                }
+                None => {
+                    if !opt_group_filter_into(&tg, filter, ann_buf) {
+                        continue;
+                    }
+                }
+            }
+            let Some(ann) = AnnTgRef::parse_framed(ann_buf) else {
+                continue;
+            };
+            process_view(config, &ann, table, scratch, key_buf, val_buf, out);
+        }
+    }
 
     fn cleanup(&mut self, out: &mut MapOutput) {
         // Algorithm 3, Map.clean: emit the pre-aggregated entries.
-        for (key, partials) in self.multi_agg_map.drain() {
-            let mut vb = Vec::new();
-            for p in &partials {
-                p.encode(&mut vb);
+        if self.config.legacy_owned {
+            for (key, partials) in self.multi_agg_map.drain() {
+                let mut vb = Vec::new();
+                for p in &partials {
+                    p.encode(&mut vb);
+                }
+                out.emit(&key, &vb);
             }
-            out.emit(&key, &vb);
+            return;
         }
+        let AggJoinMapper {
+            table,
+            key_buf,
+            val_buf,
+            ..
+        } = self;
+        table.drain_sorted(|full_key, partials| {
+            // full_key[0] is the table tag = the spec id; re-encode the
+            // same `id, nk, keys…` shuffle key the owned path produced.
+            let (tag, key) = full_key
+                .split_first()
+                .expect("AggTable keys always carry the tag");
+            key_buf.clear();
+            write_varint(key_buf, *tag);
+            write_varint(key_buf, key.len() as u64);
+            for k in key {
+                write_varint(key_buf, *k);
+            }
+            val_buf.clear();
+            for p in partials {
+                p.encode(val_buf);
+            }
+            out.emit(key_buf, val_buf);
+        });
     }
 }
 
 /// Reduce phase of `Job_k`: merges pre-aggregated triplegroups of each
-/// `id#grp` key and emits one [`AggRec`] per group.
+/// `id#grp` key and emits one [`crate::spec::AggRec`] per group, encoded
+/// directly into a reused scratch buffer.
 pub struct AggJoinReducer {
     config: Arc<AggJoinConfig>,
+    group_key: Vec<u64>,
+    merged: Vec<PartialAgg>,
+    buf: Vec<u8>,
 }
 
 impl AggJoinReducer {
     /// Create from shared config (for spec/op lookup by id).
     pub fn new(config: Arc<AggJoinConfig>) -> Self {
-        AggJoinReducer { config }
+        AggJoinReducer {
+            config,
+            group_key: Vec::new(),
+            merged: Vec::new(),
+            buf: Vec::new(),
+        }
     }
 }
 
 impl ReduceTask for AggJoinReducer {
     fn reduce(&mut self, key: &[u8], values: &[&[u8]], out: &mut ReduceOutput) {
+        let AggJoinReducer {
+            config,
+            group_key,
+            merged,
+            buf,
+        } = self;
         let mut kb = key;
         let Some(id) = read_varint(&mut kb) else {
             return;
@@ -319,17 +674,18 @@ impl ReduceTask for AggJoinReducer {
         let Some(nk) = read_varint(&mut kb) else {
             return;
         };
-        let mut group_key = Vec::with_capacity(nk as usize);
+        group_key.clear();
         for _ in 0..nk {
             match read_varint(&mut kb) {
                 Some(k) => group_key.push(k),
                 None => return,
             }
         }
-        let Some(spec) = self.config.specs.iter().find(|s| u64::from(s.id) == id) else {
+        let Some(spec) = config.specs.iter().find(|s| u64::from(s.id) == id) else {
             return;
         };
-        let mut merged = vec![PartialAgg::default(); spec.aggs.len()];
+        merged.clear();
+        merged.resize(spec.aggs.len(), PartialAgg::default());
         for v in values {
             let mut vb = *v;
             for m in merged.iter_mut() {
@@ -339,25 +695,31 @@ impl ReduceTask for AggJoinReducer {
                 }
             }
         }
-        let rec = AggRec {
-            id: spec.id,
-            key: group_key,
-            values: merged
-                .iter()
-                .zip(spec.aggs.iter())
-                .map(|(p, a)| p.finalize(a.op))
-                .collect(),
-        };
-        let mut buf = Vec::new();
-        rec.encode(&mut buf);
-        out.write(&buf);
+        // Direct `AggRec::encode` layout, without the owned intermediate.
+        buf.clear();
+        write_varint(buf, u64::from(spec.id));
+        write_varint(buf, group_key.len() as u64);
+        for k in group_key.iter() {
+            write_varint(buf, *k);
+        }
+        write_varint(buf, spec.aggs.len() as u64);
+        for (p, a) in merged.iter().zip(spec.aggs.iter()) {
+            match p.finalize(a.op) {
+                Some(x) => {
+                    buf.push(1);
+                    write_f64(buf, x);
+                }
+                None => buf.push(0),
+            }
+        }
+        out.write(buf);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{AggOp, AggSpec, AlphaTerm, PropReq, VarRef};
+    use crate::spec::{AggOp, AggRec, AggSpec, AlphaTerm, PropReq, VarRef};
     use rapida_mapred::{
         DatasetWriter, Engine, FnMapFactory, FnReduceFactory, JobBuilder, SimDfs,
     };
@@ -377,6 +739,10 @@ mod tests {
     /// End-to-end MR run of filter + α-join for an AQ1-like 2-star composite:
     /// products (ty PT18, optional pf) ⋈ offers (pr, pc).
     fn run_composite_join(dfs: &SimDfs) -> Vec<AnnTg> {
+        run_composite_join_as(dfs, false, "joined")
+    }
+
+    fn run_composite_join_as(dfs: &SimDfs, legacy: bool, out_name: &str) -> Vec<AnnTg> {
         // Products: 10 has pf, 11 lacks pf, 12 is wrong type.
         let mut w = DatasetWriter::new(64);
         w.push(&tg_record(10, &[(TY, PT18), (PF, 71)]));
@@ -415,6 +781,7 @@ mod tests {
                 },
             ],
             ann_routes: vec![],
+            legacy_owned: legacy,
         });
         let conds: Arc<Vec<AlphaCond>> = Arc::new(vec![]);
         let job = JobBuilder::new("mr1")
@@ -426,13 +793,19 @@ mod tests {
             })))
             .reducer(Arc::new(FnReduceFactory({
                 let c = conds.clone();
-                move || AlphaJoinReducer::new(c.clone())
+                move || {
+                    if legacy {
+                        AlphaJoinReducer::legacy(c.clone())
+                    } else {
+                        AlphaJoinReducer::new(c.clone())
+                    }
+                }
             })))
-            .output("joined")
+            .output(out_name)
             .num_reducers(2)
             .build();
         Engine::with_workers(dfs.clone(), 4).run_job(&job);
-        dfs.get("joined")
+        dfs.get(out_name)
             .unwrap()
             .iter_records()
             .map(|r| AnnTg::decode(r).unwrap())
@@ -490,6 +863,7 @@ mod tests {
                 },
             ],
             ann_routes: vec![],
+            legacy_owned: false,
         });
         let conds = Arc::new(vec![AlphaCond {
             terms: vec![AlphaTerm {
@@ -568,6 +942,7 @@ mod tests {
             numeric: Arc::new(numeric),
             raw_filters: vec![],
             map_side_combine: true,
+            legacy_owned: false,
         });
         let job = JobBuilder::new("agj")
             .input("joined")
@@ -636,6 +1011,7 @@ mod tests {
                     None,
                 )],
                 map_side_combine: combine,
+                legacy_owned: false,
             })
         };
         let run = |combine: bool, out: &str| {
@@ -671,5 +1047,111 @@ mod tests {
             with.shuffle_records,
             without.shuffle_records
         );
+    }
+
+    fn raw_records(dfs: &SimDfs, name: &str) -> Vec<Vec<u8>> {
+        dfs.get(name)
+            .unwrap()
+            .iter_records()
+            .map(|r| r.to_vec())
+            .collect()
+    }
+
+    /// The view pipeline must be byte-identical to the owned-decode path —
+    /// same records, same bytes, same order — through filter + α-join.
+    #[test]
+    fn view_join_byte_identical_to_legacy() {
+        let dfs = SimDfs::new();
+        run_composite_join_as(&dfs, false, "joined_view");
+        run_composite_join_as(&dfs, true, "joined_legacy");
+        assert_eq!(
+            raw_records(&dfs, "joined_view"),
+            raw_records(&dfs, "joined_legacy")
+        );
+    }
+
+    /// Same identity for the Agg-Join: the sorted-drain hash table and the
+    /// legacy `FxHashMap` combine state must produce identical final bytes,
+    /// with and without map-side combining, including the raw-filter
+    /// (shared single-star scan) map path.
+    #[test]
+    fn view_agg_join_byte_identical_to_legacy() {
+        let dfs = SimDfs::new();
+        let mut w = DatasetWriter::new(128);
+        for i in 0..50 {
+            w.push(&tg_record(i, &[(PF, 60 + i % 3), (PC, 30 + (i % 2) * 10)]));
+        }
+        dfs.put("tgs", w.finish());
+        let mut numeric = vec![None; 100];
+        numeric[30] = Some(30.0);
+        numeric[40] = Some(40.0);
+        let numeric = Arc::new(numeric);
+
+        let mk_config = |combine: bool, legacy: bool| {
+            Arc::new(AggJoinConfig {
+                specs: vec![AggJoinSpec {
+                    id: 0,
+                    slots: vec![
+                        VarRef::ObjectOf { star: 0, prop: PF },
+                        VarRef::ObjectOf { star: 0, prop: PC },
+                    ],
+                    group_slots: vec![0],
+                    aggs: vec![
+                        AggSpec {
+                            op: AggOp::Avg,
+                            arg: Some(1),
+                        },
+                        AggSpec {
+                            op: AggOp::Count,
+                            arg: None,
+                        },
+                    ],
+                    alpha: AlphaCond::default(),
+                }],
+                numeric: numeric.clone(),
+                raw_filters: vec![(
+                    StarSpec {
+                        star: 0,
+                        primary: vec![PropReq::any(PF), PropReq::any(PC)],
+                        secondary: vec![],
+                    },
+                    None,
+                )],
+                map_side_combine: combine,
+                legacy_owned: legacy,
+            })
+        };
+        let run = |combine: bool, legacy: bool, out: &str| {
+            let config = mk_config(combine, legacy);
+            let job = JobBuilder::new("agj")
+                .input("tgs")
+                .mapper(Arc::new(FnMapFactory({
+                    let c = config.clone();
+                    move || AggJoinMapper::new(c.clone())
+                })))
+                .reducer(Arc::new(FnReduceFactory({
+                    let c = config.clone();
+                    move || AggJoinReducer::new(c.clone())
+                })))
+                .output(out)
+                .num_reducers(2)
+                .build();
+            Engine::with_workers(dfs.clone(), 4).run_job(&job);
+        };
+        for combine in [true, false] {
+            let (a, b) = if combine {
+                ("agg_view_c", "agg_legacy_c")
+            } else {
+                ("agg_view_n", "agg_legacy_n")
+            };
+            run(combine, false, a);
+            run(combine, true, b);
+            assert_eq!(
+                raw_records(&dfs, a),
+                raw_records(&dfs, b),
+                "combine={combine}"
+            );
+            assert!(!raw_records(&dfs, a).is_empty());
+        }
     }
 }

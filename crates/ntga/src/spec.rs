@@ -5,7 +5,7 @@
 //! into MR tasks without touching the dictionary; numeric literal values
 //! arrive via a read-only snapshot.
 
-use crate::triplegroup::{AnnTg, TripleGroup};
+use crate::triplegroup::{AnnTg, AnnTgRef, TgRef, TripleGroup};
 use rapida_mapred::codec::{read_f64, read_varint, write_f64, write_varint};
 use std::sync::Arc;
 
@@ -35,6 +35,14 @@ impl PropReq {
 
     /// Does the triplegroup satisfy this requirement?
     pub fn matches(&self, tg: &TripleGroup) -> bool {
+        match self.object {
+            Some(o) => tg.has_triple(self.prop, o),
+            None => tg.has_prop(self.prop),
+        }
+    }
+
+    /// [`PropReq::matches`] over a borrowed view.
+    pub fn matches_ref(&self, tg: &TgRef<'_>) -> bool {
         match self.object {
             Some(o) => tg.has_triple(self.prop, o),
             None => tg.has_prop(self.prop),
@@ -70,6 +78,14 @@ impl StarSpec {
     pub fn primary_props(&self) -> Vec<u64> {
         self.primary.iter().map(|r| r.prop).collect()
     }
+
+    /// Does the σ^γopt projection keep pair `(p, o)`?
+    pub fn keeps(&self, p: u64, o: u64) -> bool {
+        self.primary
+            .iter()
+            .chain(self.secondary.iter())
+            .any(|req| req.prop == p && req.object.is_none_or(|ro| ro == o))
+    }
 }
 
 /// How an annotated triplegroup is keyed for a join (the map-phase tag of
@@ -102,6 +118,25 @@ impl JoinKey {
                 .star(*star)
                 .map(|g| g.objects_of(*prop).collect())
                 .unwrap_or_default(),
+        }
+    }
+
+    /// [`JoinKey::extract`] over a borrowed view, streaming key values into
+    /// `sink` instead of allocating a `Vec`.
+    pub fn extract_ref(&self, tg: &AnnTgRef<'_>, mut sink: impl FnMut(u64)) {
+        match self {
+            JoinKey::Subject { star } => {
+                if let Some(g) = tg.star(*star) {
+                    sink(g.subject());
+                }
+            }
+            JoinKey::ObjectOf { star, prop } => {
+                if let Some(g) = tg.star(*star) {
+                    for o in g.objects_of(*prop) {
+                        sink(o);
+                    }
+                }
+            }
         }
     }
 }
@@ -145,11 +180,37 @@ impl AlphaCond {
             Some(g) => g.has_prop(t.prop) == t.required,
         })
     }
+
+    /// [`AlphaCond::satisfied_full`] over a borrowed view.
+    pub fn satisfied_full_ref(&self, tg: &AnnTgRef<'_>) -> bool {
+        self.terms.iter().all(|t| match tg.star(t.star) {
+            None => false,
+            Some(g) => g.has_prop(t.prop) == t.required,
+        })
+    }
+
+    /// [`AlphaCond::satisfied_partial`] over the *logical merge* of two
+    /// views with disjoint star sets — evaluates the join product without
+    /// materializing it.
+    pub fn satisfied_partial_merged(&self, l: &AnnTgRef<'_>, r: &AnnTgRef<'_>) -> bool {
+        self.terms
+            .iter()
+            .all(|t| match l.star(t.star).or_else(|| r.star(t.star)) {
+                None => true,
+                Some(g) => g.has_prop(t.prop) == t.required,
+            })
+    }
 }
 
 /// Does any condition in the list accept `tg` (partial semantics)?
 pub fn any_alpha_partial(conds: &[AlphaCond], tg: &AnnTg) -> bool {
     conds.is_empty() || conds.iter().any(|c| c.satisfied_partial(tg))
+}
+
+/// [`any_alpha_partial`] over the logical merge of two views (disjoint star
+/// sets) — the α-join validity check without materializing the product.
+pub fn any_alpha_partial_merged(conds: &[AlphaCond], l: &AnnTgRef<'_>, r: &AnnTgRef<'_>) -> bool {
+    conds.is_empty() || conds.iter().any(|c| c.satisfied_partial_merged(l, r))
 }
 
 /// A variable reference resolved against a (composite) star layout.
@@ -180,6 +241,25 @@ impl VarRef {
                 .star(*star)
                 .map(|g| g.objects_of(*prop).collect())
                 .unwrap_or_default(),
+        }
+    }
+
+    /// [`VarRef::values`] over a borrowed view, streaming each value into
+    /// `sink` instead of allocating a `Vec`.
+    pub fn for_each_value_ref(&self, tg: &AnnTgRef<'_>, mut sink: impl FnMut(u64)) {
+        match self {
+            VarRef::Subject { star } => {
+                if let Some(g) = tg.star(*star) {
+                    sink(g.subject());
+                }
+            }
+            VarRef::ObjectOf { star, prop } => {
+                if let Some(g) = tg.star(*star) {
+                    for o in g.objects_of(*prop) {
+                        sink(o);
+                    }
+                }
+            }
         }
     }
 }

@@ -4,6 +4,13 @@
 //! ("annotated triplegroup") is the join product of triplegroups matching
 //! the star subpatterns of a (composite) graph pattern, each component
 //! tagged with its star index.
+//!
+//! [`TgRef`] and [`AnnTgRef`] are the borrowed counterparts: views over an
+//! encoded record that parse the header eagerly (one validating scan, no
+//! owned `Vec`) and iterate pairs/components lazily over the raw bytes.
+//! Because the record codec is canonical (minimal-LEB128 varints, pairs
+//! stored sorted), a view's raw byte span *is* its re-encoding — operators
+//! can copy component spans instead of decode→encode round trips.
 
 use rapida_mapred::codec::{read_varint, write_varint};
 use std::collections::BTreeSet;
@@ -84,9 +91,11 @@ impl AnnTg {
             .map(|(_, tg)| tg)
     }
 
-    /// Star indexes present in this group.
-    pub fn stars(&self) -> Vec<u8> {
-        self.groups.iter().map(|(s, _)| *s).collect()
+    /// Star indexes present in this group, in sorted order. Returned as an
+    /// iterator — this sits on the join hot path, where an owned `Vec<u8>`
+    /// per call was pure allocation tax.
+    pub fn stars(&self) -> impl Iterator<Item = u8> + '_ {
+        self.groups.iter().map(|(s, _)| *s)
     }
 
     /// Merge two annotated triplegroups (join product). Star sets must be
@@ -137,6 +146,286 @@ impl AnnTg {
     }
 }
 
+/// A borrowed triplegroup view over a canonical record
+/// (`subject, n, (p, o) * n` varints). Parsing scans the pairs once to
+/// validate and find the span; all accessors then iterate the raw bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct TgRef<'a> {
+    subject: u64,
+    len: usize,
+    /// The `(p, o)` varint region.
+    pairs: &'a [u8],
+    /// The full canonical encoding (header + pairs).
+    raw: &'a [u8],
+}
+
+impl<'a> TgRef<'a> {
+    /// Parse a view from the front of `rec`, advancing past the group.
+    /// Used for nested parsing inside [`AnnTgRef`].
+    pub fn parse_prefix(rec: &mut &'a [u8]) -> Option<TgRef<'a>> {
+        let start = *rec;
+        let subject = read_varint(rec)?;
+        let len = read_varint(rec)? as usize;
+        let body = *rec;
+        for _ in 0..len {
+            read_varint(rec)?;
+            read_varint(rec)?;
+        }
+        let pairs_len = body.len() - rec.len();
+        let raw_len = start.len() - rec.len();
+        Some(TgRef {
+            subject,
+            len,
+            pairs: &body[..pairs_len],
+            raw: &start[..raw_len],
+        })
+    }
+
+    /// Parse a whole record. Trailing bytes are ignored, matching
+    /// [`TripleGroup::decode`].
+    pub fn parse(mut rec: &'a [u8]) -> Option<TgRef<'a>> {
+        Self::parse_prefix(&mut rec)
+    }
+
+    /// Parse a span known to frame exactly one canonical record (a
+    /// `RecordIter` record, a shuffle value, a just-encoded buffer): reads
+    /// the header and trusts the framing for the pair region instead of
+    /// walking it — the hot-path constructor. On corrupt input the
+    /// accessors yield whatever the bytes decode to (always bounded by the
+    /// span) instead of failing the parse; use [`Self::parse`] when the
+    /// span may carry trailing bytes or come from outside the engine.
+    pub fn parse_framed(rec: &'a [u8]) -> Option<TgRef<'a>> {
+        let mut cur = rec;
+        let subject = read_varint(&mut cur)?;
+        let len = read_varint(&mut cur)? as usize;
+        Some(TgRef {
+            subject,
+            len,
+            pairs: cur,
+            raw: rec,
+        })
+    }
+
+    /// Subject term id.
+    pub fn subject(&self) -> u64 {
+        self.subject
+    }
+
+    /// Number of `(property, object)` pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the group empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The full canonical encoding of this group (re-encoding = copying
+    /// this span).
+    pub fn raw_bytes(&self) -> &'a [u8] {
+        self.raw
+    }
+
+    /// Iterate the `(property, object)` pairs in stored (sorted) order.
+    pub fn pairs(&self) -> PairIter<'a> {
+        PairIter { rest: self.pairs }
+    }
+
+    /// Does the group contain any triple with property `p`?
+    pub fn has_prop(&self, p: u64) -> bool {
+        self.pairs().any(|(q, _)| q == p)
+    }
+
+    /// Does the group contain the exact triple `(p, o)`?
+    pub fn has_triple(&self, p: u64, o: u64) -> bool {
+        self.pairs().any(|(q, v)| q == p && v == o)
+    }
+
+    /// All objects of property `p`, in stored order.
+    pub fn objects_of(&self, p: u64) -> impl Iterator<Item = u64> + 'a {
+        self.pairs().filter(move |(q, _)| *q == p).map(|(_, o)| o)
+    }
+
+    /// Append the canonical encoding to `out` (byte-identical to
+    /// [`TripleGroup::encode`] of the decoded group).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.raw);
+    }
+
+    /// Materialize an owned [`TripleGroup`].
+    pub fn to_owned(&self) -> TripleGroup {
+        TripleGroup {
+            subject: self.subject,
+            triples: self.pairs().collect(),
+        }
+    }
+}
+
+/// Iterator over the raw pair bytes of a [`TgRef`].
+#[derive(Debug, Clone, Copy)]
+pub struct PairIter<'a> {
+    rest: &'a [u8],
+}
+
+impl Iterator for PairIter<'_> {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        // The span was validated at parse time; a decode failure here can
+        // only mean corruption, which ends the iteration.
+        let p = read_varint(&mut self.rest)?;
+        let o = read_varint(&mut self.rest)?;
+        Some((p, o))
+    }
+}
+
+/// A borrowed annotated-triplegroup view over a canonical record
+/// (`n, (star, tg) * n`). Parsing validates the whole structure in one
+/// scan; component groups are iterated lazily as [`TgRef`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnTgRef<'a> {
+    len: usize,
+    /// The `(star, tg)` region.
+    body: &'a [u8],
+    /// The full canonical encoding.
+    raw: &'a [u8],
+}
+
+impl<'a> AnnTgRef<'a> {
+    /// Parse a whole record. Trailing bytes are ignored, matching
+    /// [`AnnTg::decode`].
+    pub fn parse(rec: &'a [u8]) -> Option<AnnTgRef<'a>> {
+        let mut cur = rec;
+        let len = read_varint(&mut cur)? as usize;
+        let body = cur;
+        for _ in 0..len {
+            read_varint(&mut cur)?;
+            TgRef::parse_prefix(&mut cur)?;
+        }
+        let body_len = body.len() - cur.len();
+        let raw_len = rec.len() - cur.len();
+        Some(AnnTgRef {
+            len,
+            body: &body[..body_len],
+            raw: &rec[..raw_len],
+        })
+    }
+
+    /// Parse a span known to frame exactly one canonical annotated record
+    /// (a `RecordIter` record or a shuffle value tail): reads the group
+    /// count and trusts the framing for the component region instead of
+    /// walking every component — the hot-path constructor. On corrupt
+    /// input the group iterator stops early (reads stay bounded by the
+    /// span) instead of failing the parse; use [`Self::parse`] when the
+    /// span may carry trailing bytes or come from outside the engine.
+    pub fn parse_framed(rec: &'a [u8]) -> Option<AnnTgRef<'a>> {
+        let mut cur = rec;
+        let len = read_varint(&mut cur)? as usize;
+        Some(AnnTgRef {
+            len,
+            body: cur,
+            raw: rec,
+        })
+    }
+
+    /// Number of component groups.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the view empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The full canonical encoding (re-encoding = copying this span).
+    pub fn raw_bytes(&self) -> &'a [u8] {
+        self.raw
+    }
+
+    /// Iterate `(star, component view)` pairs in stored (star-sorted) order.
+    pub fn groups(&self) -> AnnGroupIter<'a> {
+        AnnGroupIter { rest: self.body }
+    }
+
+    /// The component view for star `star`, if present.
+    pub fn star(&self, star: u8) -> Option<TgRef<'a>> {
+        self.groups().find(|(s, _)| *s == star).map(|(_, g)| g)
+    }
+
+    /// Star indexes present, in sorted order.
+    pub fn stars(&self) -> impl Iterator<Item = u8> + 'a {
+        self.groups().map(|(s, _)| s)
+    }
+
+    /// Append the canonical encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.raw);
+    }
+
+    /// Encode the join product of two views directly into `out` without
+    /// materializing either side: component spans are interleaved by star
+    /// index. Star sets must be disjoint (the α-join contract). The result
+    /// is byte-identical to `self.to_owned().merge(&other.to_owned())`
+    /// re-encoded.
+    pub fn merge_into(&self, other: &AnnTgRef<'_>, out: &mut Vec<u8>) {
+        write_varint(out, (self.len + other.len) as u64);
+        let mut l = self.groups();
+        let mut r = other.groups();
+        let (mut lc, mut rc) = (l.next(), r.next());
+        loop {
+            match (lc, rc) {
+                (Some((ls, lg)), Some((rs, _))) if ls <= rs => {
+                    write_varint(out, u64::from(ls));
+                    out.extend_from_slice(lg.raw_bytes());
+                    lc = l.next();
+                }
+                (_, Some((rs, rg))) => {
+                    write_varint(out, u64::from(rs));
+                    out.extend_from_slice(rg.raw_bytes());
+                    rc = r.next();
+                }
+                (Some((ls, lg)), None) => {
+                    write_varint(out, u64::from(ls));
+                    out.extend_from_slice(lg.raw_bytes());
+                    lc = l.next();
+                }
+                (None, None) => break,
+            }
+        }
+    }
+
+    /// Materialize an owned [`AnnTg`].
+    pub fn to_owned(&self) -> AnnTg {
+        AnnTg {
+            groups: self.groups().map(|(s, g)| (s, g.to_owned())).collect(),
+        }
+    }
+}
+
+/// Iterator over the component groups of an [`AnnTgRef`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnnGroupIter<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for AnnGroupIter<'a> {
+    type Item = (u8, TgRef<'a>);
+
+    fn next(&mut self) -> Option<(u8, TgRef<'a>)> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        let star = read_varint(&mut self.rest)? as u8;
+        let tg = TgRef::parse_prefix(&mut self.rest)?;
+        Some((star, tg))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,7 +459,7 @@ mod tests {
         let a = AnnTg::single(2, tg(1, &[(5, 6)]));
         let b = AnnTg::single(0, tg(2, &[(7, 8)]));
         let m = a.merge(&b);
-        assert_eq!(m.stars(), vec![0, 2]);
+        assert_eq!(m.stars().collect::<Vec<_>>(), vec![0, 2]);
         assert_eq!(m.star(0).unwrap().subject, 2);
         assert_eq!(m.star(2).unwrap().subject, 1);
         assert!(m.star(1).is_none());
@@ -186,5 +475,77 @@ mod tests {
             ],
         };
         assert_eq!(AnnTg::decode(&m.encoded()), Some(m));
+    }
+
+    #[test]
+    fn tgref_agrees_with_owned_decode() {
+        let g = tg(300, &[(1, 2), (1, 9), (3, 4), (7, 0)]);
+        let mut buf = Vec::new();
+        g.encode(&mut buf);
+        let v = TgRef::parse(&buf).unwrap();
+        assert_eq!(v.subject(), g.subject);
+        assert_eq!(v.len(), g.triples.len());
+        assert_eq!(v.pairs().collect::<Vec<_>>(), g.triples);
+        assert!(v.has_prop(3) && !v.has_prop(4));
+        assert!(v.has_triple(1, 9) && !v.has_triple(1, 3));
+        assert_eq!(v.objects_of(1).collect::<Vec<_>>(), vec![2, 9]);
+        assert_eq!(v.to_owned(), g);
+        // Raw span is the canonical re-encoding.
+        let mut re = Vec::new();
+        v.encode_into(&mut re);
+        assert_eq!(re, buf);
+    }
+
+    #[test]
+    fn tgref_ignores_trailing_bytes() {
+        let g = tg(5, &[(6, 7)]);
+        let mut buf = Vec::new();
+        g.encode(&mut buf);
+        let clean_len = buf.len();
+        buf.extend_from_slice(&[0xFF, 0xFF]);
+        let v = TgRef::parse(&buf).unwrap();
+        assert_eq!(v.raw_bytes().len(), clean_len);
+        assert_eq!(v.to_owned(), g);
+        // Truncated records fail to parse.
+        assert!(TgRef::parse(&buf[..clean_len - 1]).is_none());
+    }
+
+    #[test]
+    fn anntgref_agrees_with_owned_decode() {
+        let m = AnnTg {
+            groups: vec![
+                (0, tg(1, &[(10, 100), (11, 110)])),
+                (1, tg(2, &[(20, 200)])),
+                (2, tg(3, &[])),
+            ],
+        };
+        let buf = m.encoded();
+        let v = AnnTgRef::parse(&buf).unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.stars().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(v.star(1).unwrap().subject(), 2);
+        assert!(v.star(3).is_none());
+        assert_eq!(v.to_owned(), m);
+        let mut re = Vec::new();
+        v.encode_into(&mut re);
+        assert_eq!(re, buf);
+    }
+
+    #[test]
+    fn merge_into_matches_owned_merge() {
+        let a = AnnTg {
+            groups: vec![(0, tg(1, &[(5, 6)])), (3, tg(4, &[(9, 9)]))],
+        };
+        let b = AnnTg {
+            groups: vec![(1, tg(2, &[(7, 8), (7, 9)])), (2, tg(3, &[]))],
+        };
+        let (ab, bb) = (a.encoded(), b.encoded());
+        let (va, vb) = (AnnTgRef::parse(&ab).unwrap(), AnnTgRef::parse(&bb).unwrap());
+        let mut out = Vec::new();
+        va.merge_into(&vb, &mut out);
+        assert_eq!(out, a.merge(&b).encoded());
+        out.clear();
+        vb.merge_into(&va, &mut out);
+        assert_eq!(out, b.merge(&a).encoded());
     }
 }

@@ -1,0 +1,101 @@
+//! Property tests for the borrowed triplegroup views ([`TgRef`],
+//! [`AnnTgRef`]): because the codecs are canonical (one byte string per
+//! logical group), a view parsed from an encoded record must re-encode
+//! byte-identically, agree field-by-field with the owned decode, and merge
+//! exactly like the owned join product.
+
+use rapida_ntga::{AnnTg, AnnTgRef, TgRef, TripleGroup};
+use rapida_testkit::prelude::*;
+
+fn arb_tg() -> impl Strategy<Value = TripleGroup> {
+    (
+        any::<u32>(),
+        proptest::collection::vec((1u64..8, 0u64..12), 0..10),
+    )
+        .prop_map(|(s, pairs)| TripleGroup::new(u64::from(s), pairs))
+}
+
+/// Annotated triplegroups with sorted, unique star indices (the codec
+/// invariant maintained by `AnnTg::single` / `merge`).
+fn arb_ann() -> impl Strategy<Value = AnnTg> {
+    proptest::collection::vec((0u8..5, arb_tg()), 1..4).prop_map(|mut groups| {
+        groups.sort_by_key(|(s, _)| *s);
+        groups.dedup_by_key(|(s, _)| *s);
+        AnnTg { groups }
+    })
+}
+
+proptest! {
+    /// encode -> `TgRef::parse` -> `encode_into` is the identity on bytes,
+    /// and every view accessor agrees with the owned group.
+    #[test]
+    fn tg_view_roundtrip(tg in arb_tg()) {
+        let mut rec = Vec::new();
+        tg.encode(&mut rec);
+        let v = TgRef::parse(&rec).expect("canonical record parses");
+
+        let mut back = Vec::new();
+        v.encode_into(&mut back);
+        prop_assert_eq!(&back, &rec, "re-encode must be byte-identical");
+        prop_assert_eq!(v.raw_bytes(), &rec[..], "view span is the record");
+
+        prop_assert_eq!(v.subject(), tg.subject);
+        prop_assert_eq!(v.len(), tg.triples.len());
+        let pairs: Vec<(u64, u64)> = v.pairs().collect();
+        prop_assert_eq!(&pairs, &tg.triples);
+        prop_assert_eq!(v.to_owned(), tg.clone());
+        for p in 0u64..8 {
+            prop_assert_eq!(v.has_prop(p), tg.has_prop(p));
+            let vo: Vec<u64> = v.objects_of(p).collect();
+            let to: Vec<u64> = tg.objects_of(p).collect();
+            prop_assert_eq!(vo, to);
+        }
+    }
+
+    /// Same laws for annotated groups: byte-identical re-encode, star
+    /// lookup agreement, and owned-decode agreement.
+    #[test]
+    fn ann_view_roundtrip(ann in arb_ann()) {
+        let rec = ann.encoded();
+        let v = AnnTgRef::parse(&rec).expect("canonical record parses");
+
+        let mut back = Vec::new();
+        v.encode_into(&mut back);
+        prop_assert_eq!(&back, &rec, "re-encode must be byte-identical");
+
+        prop_assert_eq!(v.len(), ann.groups.len());
+        let stars: Vec<u8> = v.stars().collect();
+        let owned_stars: Vec<u8> = ann.stars().collect();
+        prop_assert_eq!(stars, owned_stars);
+        for (s, tg) in &ann.groups {
+            let comp = v.star(*s).expect("star present in view");
+            prop_assert_eq!(comp.to_owned(), tg.clone());
+        }
+        prop_assert!(v.star(200).is_none(), "absent star yields None");
+        prop_assert_eq!(v.to_owned(), ann.clone());
+        prop_assert_eq!(AnnTg::decode(&rec), Some(ann.clone()));
+    }
+
+    /// `merge_into` over views produces exactly the bytes of the owned
+    /// `AnnTg::merge` product (the α-join materialization path).
+    #[test]
+    fn ann_view_merge_matches_owned(l in arb_ann(), r in arb_ann()) {
+        // Make the star sets disjoint (the merge precondition): shift the
+        // right side's indices above the left's maximum.
+        let shift = l.groups.iter().map(|(s, _)| *s).max().unwrap_or(0) + 1;
+        let r = AnnTg {
+            groups: r
+                .groups
+                .iter()
+                .map(|(s, tg)| (s + shift, tg.clone()))
+                .collect(),
+        };
+        let (lrec, rrec) = (l.encoded(), r.encoded());
+        let lv = AnnTgRef::parse(&lrec).expect("left parses");
+        let rv = AnnTgRef::parse(&rrec).expect("right parses");
+
+        let mut got = Vec::new();
+        lv.merge_into(&rv, &mut got);
+        prop_assert_eq!(got, l.merge(&r).encoded());
+    }
+}

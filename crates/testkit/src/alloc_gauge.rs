@@ -1,0 +1,74 @@
+//! A counting global allocator for allocation-budget tests.
+//!
+//! Install [`CountingAlloc`] as the `#[global_allocator]` of a test binary,
+//! then bracket the code under measurement with [`reset`] / [`counters`]:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: rapida_testkit::alloc_gauge::CountingAlloc =
+//!     rapida_testkit::alloc_gauge::CountingAlloc::new();
+//!
+//! rapida_testkit::alloc_gauge::reset();
+//! run_hot_path();
+//! let (allocs, bytes) = rapida_testkit::alloc_gauge::counters();
+//! ```
+//!
+//! Counters are global and relaxed-atomic: measurements are only meaningful
+//! when the bracketed section runs single-threaded (the typical shape is a
+//! single `#[test]` driving an operator loop directly). Reallocation counts
+//! as one allocation; deallocation is not tracked — the gauge measures
+//! allocator traffic, not live bytes.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator counting every allocation.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Const constructor for `#[global_allocator]` statics.
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        CountingAlloc::new()
+    }
+}
+
+// SAFETY: delegates every operation to `System`; the counter updates have
+// no allocator-visible side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Zero the global counters.
+pub fn reset() {
+    ALLOCS.store(0, Ordering::Relaxed);
+    BYTES.store(0, Ordering::Relaxed);
+}
+
+/// Read the global counters: `(allocation count, bytes requested)` since
+/// the last [`reset`].
+pub fn counters() -> (u64, u64) {
+    (ALLOCS.load(Ordering::Relaxed), BYTES.load(Ordering::Relaxed))
+}

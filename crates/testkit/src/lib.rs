@@ -17,12 +17,15 @@
 //! * [`chaos`] — a deterministic chaos-test harness (`chaos!`) sweeping
 //!   fault seeds × worker counts and asserting output equivalence against
 //!   the fault-free golden run (width via `RAPIDA_CHAOS_SEEDS`).
+//! * [`alloc_gauge`] — a counting global allocator for allocation-budget
+//!   tests (install as `#[global_allocator]` in a test binary).
 //!
 //! Determinism is a correctness requirement here: the paper's claims are
 //! about relative plan cost (MR cycles, shuffle bytes), and the test suite
 //! must reproduce them bit-for-bit across runs. Every random draw in the
 //! workspace flows through [`rng`], seeded explicitly.
 
+pub mod alloc_gauge;
 pub mod bench;
 pub mod chaos;
 pub mod prop;

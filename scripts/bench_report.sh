@@ -1,15 +1,30 @@
 #!/usr/bin/env bash
-# Full benchmark report: run the shuffle microbench, the NTGA operator
-# microbenches, and the Fig. 8 query benches with real measurement settings,
-# writing one BENCH_<group>.json per group into the repo root (override the
-# destination with RAPIDA_BENCH_DIR).
+# Benchmark report runner. Usage:
 #
-# BENCH_mapred.json is the shuffle data path's recorded baseline: it holds
-# the legacy pair-sort shuffle and the arena run-merge shuffle over the same
-# 1M-record workload, and the committed copy must show the arena path at
-# least 2x faster (checked below).
+#   scripts/bench_report.sh [mapred|query|all]
+#
+# Runs the requested bench group(s) with real measurement settings and
+# validates the resulting BENCH_<group>.json in the repo root (override the
+# destination with RAPIDA_BENCH_DIR). Default: all groups.
+#
+# Recorded baselines and their floors (checked below, skipped in smoke mode):
+#
+#   BENCH_mapred.json — legacy pair-sort shuffle vs arena run-merge shuffle
+#     over the same 1M-record workload; the arena path must be >= 2x faster.
+#   BENCH_query.json  — Fig. 8 MG queries on RAPIDAnalytics, zero-copy view
+#     operators vs the owned-decode path; the view path must be >= 1.3x
+#     faster at the median across queries.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+GROUP="${1:-all}"
+case "$GROUP" in
+    mapred|query|all) ;;
+    *)
+        echo "usage: $0 [mapred|query|all]" >&2
+        exit 2
+        ;;
+esac
 
 # Cargo runs bench binaries with cwd = the *package* directory, so a relative
 # RAPIDA_BENCH_DIR would land under crates/bench/ — force it absolute.
@@ -18,27 +33,41 @@ case "$DEST" in /*) ;; *) DEST="$(pwd)/$DEST" ;; esac
 mkdir -p "$DEST"
 export RAPIDA_BENCH_DIR="$DEST"
 
-echo "==> shuffle data-path bench (writes BENCH_mapred.json)"
-cargo bench --offline -p rapida-bench --bench shuffle
+run_mapred() {
+    echo "==> shuffle data-path bench (writes BENCH_mapred.json)"
+    cargo bench --offline -p rapida-bench --bench shuffle
 
-echo "==> operator microbenches"
-cargo bench --offline -p rapida-bench --bench operators
+    echo "==> operator microbenches"
+    cargo bench --offline -p rapida-bench --bench operators
 
-echo "==> Fig. 8 query benches"
-cargo bench --offline -p rapida-bench --bench fig8a_bsbm
-cargo bench --offline -p rapida-bench --bench fig8b_bsbm
-cargo bench --offline -p rapida-bench --bench fig8c_chem
+    echo "==> Fig. 8 engine-comparison benches"
+    cargo bench --offline -p rapida-bench --bench fig8a_bsbm
+    cargo bench --offline -p rapida-bench --bench fig8b_bsbm
+    cargo bench --offline -p rapida-bench --bench fig8c_chem
+}
 
-echo "==> checking BENCH_mapred.json"
-python3 - "$DEST/BENCH_mapred.json" <<'EOF'
+run_query() {
+    echo "==> Fig. 8 view-vs-owned query bench (writes BENCH_query.json)"
+    cargo bench --offline -p rapida-bench --bench query
+}
+
+check_mapred() {
+    echo "==> checking BENCH_mapred.json"
+    python3 - "$DEST/BENCH_mapred.json" <<'EOF'
 import json, sys
 
 path = sys.argv[1]
-with open(path) as f:
-    report = json.load(f)
+try:
+    with open(path) as f:
+        report = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"FAIL: {path} missing or malformed: {e}")
 by_id = {b["id"]: b for b in report["benchmarks"]}
-legacy = next(v for k, v in by_id.items() if k.startswith("shuffle_legacy_pairs/"))
-arena = next(v for k, v in by_id.items() if k.startswith("shuffle_arena_merge/"))
+try:
+    legacy = next(v for k, v in by_id.items() if k.startswith("shuffle_legacy_pairs/"))
+    arena = next(v for k, v in by_id.items() if k.startswith("shuffle_arena_merge/"))
+except StopIteration:
+    sys.exit(f"FAIL: {path} lacks shuffle_legacy_pairs/* or shuffle_arena_merge/*")
 ratio = legacy["median_ns"] / arena["median_ns"]
 print(f"  legacy median: {legacy['median_ns'] / 1e6:.1f} ms")
 print(f"  arena  median: {arena['median_ns'] / 1e6:.1f} ms")
@@ -46,5 +75,57 @@ print(f"  speedup: {ratio:.2f}x")
 if not report.get("smoke") and ratio < 2.0:
     sys.exit(f"FAIL: arena shuffle speedup {ratio:.2f}x is below the 2x floor")
 EOF
+}
+
+check_query() {
+    echo "==> checking BENCH_query.json"
+    python3 - "$DEST/BENCH_query.json" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        report = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"FAIL: {path} missing or malformed: {e}")
+by_id = {b["id"]: b for b in report["benchmarks"]}
+ratios = []
+for bid, views in sorted(by_id.items()):
+    if not bid.startswith("views/"):
+        continue
+    qid = bid.split("/", 1)[1]
+    legacy = by_id.get(f"legacy_owned/{qid}")
+    if legacy is None:
+        sys.exit(f"FAIL: {path} has {bid} but no legacy_owned/{qid}")
+    ratio = legacy["median_ns"] / views["median_ns"]
+    ratios.append(ratio)
+    print(
+        f"  {qid}: views {views['median_ns'] / 1e6:.2f} ms"
+        f"  legacy {legacy['median_ns'] / 1e6:.2f} ms"
+        f"  speedup {ratio:.2f}x"
+    )
+if not ratios:
+    sys.exit(f"FAIL: {path} has no views/* benchmarks")
+ratios.sort()
+mid = len(ratios) // 2
+median = ratios[mid] if len(ratios) % 2 else (ratios[mid - 1] + ratios[mid]) / 2
+print(f"  median speedup: {median:.2f}x")
+if not report.get("smoke") and median < 1.3:
+    sys.exit(f"FAIL: view-path median speedup {median:.2f}x is below the 1.3x floor")
+EOF
+}
+
+if [ "$GROUP" = "mapred" ] || [ "$GROUP" = "all" ]; then
+    run_mapred
+fi
+if [ "$GROUP" = "query" ] || [ "$GROUP" = "all" ]; then
+    run_query
+fi
+if [ "$GROUP" = "mapred" ] || [ "$GROUP" = "all" ]; then
+    check_mapred
+fi
+if [ "$GROUP" = "query" ] || [ "$GROUP" = "all" ]; then
+    check_query
+fi
 
 echo "==> bench report OK ($DEST)"

@@ -25,9 +25,9 @@ echo "==> bench smoke (1 iteration per benchmark)"
 RAPIDA_BENCH_SMOKE=1 RAPIDA_BENCH_DIR="$(pwd)/target/bench-smoke" \
     cargo bench --offline -p rapida-bench
 
-echo "==> bench report smoke (scripts/bench_report.sh)"
+echo "==> bench report smoke (scripts/bench_report.sh all)"
 RAPIDA_BENCH_SMOKE=1 RAPIDA_BENCH_DIR="$(pwd)/target/bench-smoke" \
-    scripts/bench_report.sh
+    scripts/bench_report.sh all
 
 echo "==> BENCH_mapred.json present and well-formed"
 python3 - target/bench-smoke/BENCH_mapred.json <<'EOF'
@@ -41,6 +41,21 @@ ids = [b["id"] for b in report["benchmarks"]]
 for prefix in ("shuffle_legacy_pairs/", "shuffle_arena_merge/"):
     if not any(i.startswith(prefix) for i in ids):
         sys.exit(f"FAIL: BENCH_mapred.json lacks a {prefix}* benchmark")
+print(f"  ok: {ids}")
+EOF
+
+echo "==> BENCH_query.json present and well-formed"
+python3 - target/bench-smoke/BENCH_query.json <<'EOF'
+import json, sys
+try:
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"FAIL: BENCH_query.json missing or malformed: {e}")
+ids = [b["id"] for b in report["benchmarks"]]
+for prefix in ("views/", "legacy_owned/"):
+    if not any(i.startswith(prefix) for i in ids):
+        sys.exit(f"FAIL: BENCH_query.json lacks a {prefix}* benchmark")
 print(f"  ok: {ids}")
 EOF
 

@@ -160,3 +160,45 @@ fn chem_mg6_survives_chaos() {
     let cat = DataCatalog::load(&generate_chem(&ChemConfig::tiny()));
     chaos_matrix(&cat, &["MG6"]);
 }
+
+/// The zero-copy view operators under chaos: a Fig. 8 query run on the
+/// view path must (a) produce the exact bytes of the `legacy_owned`
+/// owned-decode path, and (b) recover byte-identically from every fault
+/// scenario in the sweep. Together these pin the view rewrite's output
+/// across both the fault-free and the fault-recovery code paths.
+#[test]
+fn view_operators_survive_chaos_byte_identically() {
+    let cat = DataCatalog::load(&generate_bsbm(&BsbmConfig::tiny()));
+    let q = query("MG2");
+    let aq = extract(&parse_query(&q.sparql).unwrap()).unwrap();
+    let views = RapidAnalytics::default();
+    let legacy = RapidAnalytics {
+        legacy_owned: true,
+        ..Default::default()
+    };
+
+    let cfg = grid();
+    let scenarios = cfg.scenarios();
+    let (golden, _) = run_one(&cat, &aq, &views, &scenarios[0]);
+    let (golden_legacy, _) = run_one(&cat, &aq, &legacy, &scenarios[0]);
+    assert_eq!(
+        golden, golden_legacy,
+        "view path diverged from the owned-decode baseline"
+    );
+
+    let mut injected = 0u64;
+    for s in &scenarios[1..] {
+        let (got, wf) = run_one(&cat, &aq, &views, s);
+        assert_eq!(
+            got,
+            golden,
+            "view path [{}] diverged from the fault-free golden run",
+            s.label()
+        );
+        injected += wf.total_retried_attempts() + wf.total_speculative_attempts();
+    }
+    assert!(
+        injected > 0,
+        "chaotic sweep injected nothing across the faulted scenarios"
+    );
+}
