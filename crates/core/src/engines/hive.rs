@@ -15,7 +15,7 @@ use crate::relops::{
     GroupAggReduceTask, JoinCycleCfg, JoinInputCfg, JoinMapTask, JoinReduceTask, MapJoinCfg,
     MapJoinFactory, MapJoinSmall, PredOnCol, ScanKind,
 };
-use rapida_mapred::{FnMapFactory, FnReduceFactory, Job, JobBuilder};
+use rapida_mapred::{FnMapFactory, FnReduceFactory, Job, JobBuilder, KeyLocal};
 use rapida_ntga::AggOp;
 use rapida_rdf::FxHashMap;
 use rapida_sparql::analysis::{PropKey, StarDecomposition};
@@ -387,10 +387,10 @@ impl<'a> RelPlanner<'a> {
                 let c = cfg.clone();
                 move || JoinMapTask::new(c.clone())
             })))
-            .reducer(Arc::new(FnReduceFactory({
+            .reducer(Arc::new(KeyLocal(FnReduceFactory({
                 let c = cfg.clone();
                 move || JoinReduceTask::new(c.clone())
-            })))
+            }))))
             .output(out_name.clone())
             .num_reducers(NUM_REDUCERS)
             .build()
@@ -455,10 +455,10 @@ impl<'a> RelPlanner<'a> {
                 let c = cfg.clone();
                 move || GroupAggMapTask::new(c.clone())
             })))
-            .reducer(Arc::new(FnReduceFactory({
+            .reducer(Arc::new(KeyLocal(FnReduceFactory({
                 let c = cfg.clone();
                 move || GroupAggReduceTask::new(c.clone())
-            })))
+            }))))
             .output(out.clone())
             .num_reducers(NUM_REDUCERS)
             .build();
@@ -827,7 +827,7 @@ impl<'a> RelPlanner<'a> {
                     let c = dcfg.clone();
                     move || DistinctMapTask::new(c.clone())
                 })))
-                .reducer(Arc::new(FnReduceFactory(|| DistinctReduceTask)))
+                .reducer(Arc::new(KeyLocal(FnReduceFactory(|| DistinctReduceTask))))
                 .output(extract_out.clone())
                 .num_reducers(NUM_REDUCERS)
                 .build();

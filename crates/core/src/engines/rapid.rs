@@ -9,7 +9,7 @@ use crate::composite::{build_composite, CompositeOutcome, CompositePattern, Edge
 use crate::filters::{compile_block_filters, StarFilter, ValuePred};
 use crate::plan::{agg_op_of, finish_plan, next_plan_id, PlanError, QueryEngine, QueryPlan};
 use crate::relops::IdPred;
-use rapida_mapred::{FnMapFactory, FnReduceFactory, Job, JobBuilder};
+use rapida_mapred::{FnMapFactory, FnReduceFactory, Job, JobBuilder, KeyLocal};
 use rapida_ntga::{
     AggJoinConfig, AggJoinMapper, AggJoinReducer, AggJoinSpec, AggSpec, AlphaCond,
     AlphaJoinReducer, AlphaTerm, AnnRoute, JoinKey, PropReq, Side, StarRoute, StarSpec,
@@ -281,10 +281,10 @@ impl RapidAnalytics {
                 let c = cfg.clone();
                 move || AggJoinMapper::new(c.clone())
             })))
-            .reducer(Arc::new(FnReduceFactory({
+            .reducer(Arc::new(KeyLocal(FnReduceFactory({
                 let c = cfg.clone();
                 move || AggJoinReducer::new(c.clone())
-            })))
+            }))))
             .output(out.clone())
             .num_reducers(NUM_REDUCERS)
             .build();
@@ -457,13 +457,13 @@ fn join_job(
         let c = cfg.clone();
         move || TgJoinMapper::new(c.clone())
     })))
-    .reducer(Arc::new(FnReduceFactory(move || {
+    .reducer(Arc::new(KeyLocal(FnReduceFactory(move || {
         if legacy_owned {
             AlphaJoinReducer::legacy(conds.clone())
         } else {
             AlphaJoinReducer::new(conds.clone())
         }
-    })))
+    }))))
     .output(out)
     .num_reducers(NUM_REDUCERS)
     .build()
@@ -501,10 +501,10 @@ pub(crate) fn agg_join_job(
         let c = cfg.clone();
         move || AggJoinMapper::new(c.clone())
     })))
-    .reducer(Arc::new(FnReduceFactory({
+    .reducer(Arc::new(KeyLocal(FnReduceFactory({
         let c = cfg.clone();
         move || AggJoinReducer::new(c.clone())
-    })))
+    }))))
     .output(out)
     .num_reducers(NUM_REDUCERS)
     .build()

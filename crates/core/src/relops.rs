@@ -285,6 +285,12 @@ pub struct JoinReduceTask {
 }
 
 impl JoinReduceTask {
+    /// Key-local (see `rapida_mapred::ReduceTaskFactory::key_local`): each
+    /// key's join product is computed from that key's buckets alone and
+    /// `cleanup` emits nothing, so factories may wrap this task in
+    /// `rapida_mapred::KeyLocal` for shard-parallel reduce.
+    pub const KEY_LOCAL: bool = true;
+
     /// Create from shared config.
     pub fn new(cfg: Arc<JoinCycleCfg>) -> Self {
         JoinReduceTask { cfg }
@@ -728,6 +734,10 @@ pub struct GroupAggReduceTask {
 }
 
 impl GroupAggReduceTask {
+    /// Key-local: one [`AggRec`] per key group, derived from that group's
+    /// partials alone; no `cleanup` emissions.
+    pub const KEY_LOCAL: bool = true;
+
     /// Create from shared config.
     pub fn new(cfg: Arc<GroupAggCfg>) -> Self {
         GroupAggReduceTask { cfg }
@@ -828,6 +838,11 @@ impl MapTask for DistinctMapTask {
 /// Reduce task of the distinct cycle: one output row per key.
 pub struct DistinctReduceTask;
 
+impl DistinctReduceTask {
+    /// Key-local: the output is the key itself, nothing else.
+    pub const KEY_LOCAL: bool = true;
+}
+
 impl ReduceTask for DistinctReduceTask {
     fn reduce(&mut self, key: &[u8], _values: &[&[u8]], out: &mut ReduceOutput) {
         out.write(key);
@@ -912,7 +927,7 @@ mod tests {
             })))
             .output("out")
             .build();
-        Engine::with_workers(dfs.clone(), 4).run_job(&job);
+        Engine::pinned(dfs.clone()).run_job(&job);
         let mut rows = read_rows(&dfs, "out");
         rows.sort_by_key(|r| (r[0].id(), r[2].id()));
         assert_eq!(
@@ -970,7 +985,7 @@ mod tests {
             })))
             .output("out")
             .build();
-        Engine::with_workers(dfs.clone(), 4).run_job(&job);
+        Engine::pinned(dfs.clone()).run_job(&job);
         let mut rows = read_rows(&dfs, "out");
         rows.sort_by_key(|r| r[0].id());
         assert_eq!(
@@ -1023,7 +1038,7 @@ mod tests {
             .mapper(Arc::new(MapJoinFactory::new(cfg, dfs.clone())))
             .output("out")
             .build();
-        let m = Engine::with_workers(dfs.clone(), 4).run_job(&job);
+        let m = Engine::pinned(dfs.clone()).run_job(&job);
         assert!(m.map_only);
         let rows = read_rows(&dfs, "out");
         assert_eq!(rows, vec![vec![RVal::Id(1), RVal::Id(5), RVal::Id(50)]]);
@@ -1065,7 +1080,7 @@ mod tests {
             })))
             .output("out")
             .build();
-        Engine::with_workers(dfs.clone(), 4).run_job(&job);
+        Engine::pinned(dfs.clone()).run_job(&job);
         let mut recs: Vec<AggRec> = dfs
             .get("out")
             .unwrap()
@@ -1104,7 +1119,7 @@ mod tests {
             .reducer(Arc::new(FnReduceFactory(|| DistinctReduceTask)))
             .output("out")
             .build();
-        Engine::with_workers(dfs.clone(), 4).run_job(&job);
+        Engine::pinned(dfs.clone()).run_job(&job);
         let rows = read_rows(&dfs, "out");
         assert_eq!(rows, vec![vec![RVal::Id(1), RVal::Id(10)]]);
     }
@@ -1175,7 +1190,7 @@ mod tests {
             .mapper(Arc::new(MapJoinFactory::new(cfg, dfs.clone())))
             .output("out")
             .build();
-        Engine::with_workers(dfs.clone(), 4).run_job(&job);
+        Engine::pinned(dfs.clone()).run_job(&job);
         let rows = read_rows(&dfs, "out");
         assert_eq!(rows, vec![vec![RVal::Id(2)]]);
     }

@@ -288,7 +288,7 @@ mod tests {
     fn rollup_agrees_with_separate_groupings() {
         let g = sample_graph();
         let cat = DataCatalog::load(&g);
-        let mr = Engine::with_workers(cat.dfs.clone(), 4);
+        let mr = Engine::pinned(cat.dfs.clone());
         let q = GroupingSetsQuery {
             block: block(),
             sets: rollup_sets(&[Var::new("f"), Var::new("c")]),
@@ -360,7 +360,7 @@ mod tests {
     fn cube_row_counts() {
         let g = sample_graph();
         let cat = DataCatalog::load(&g);
-        let mr = Engine::with_workers(cat.dfs.clone(), 4);
+        let mr = Engine::pinned(cat.dfs.clone());
         let q = GroupingSetsQuery {
             block: block(),
             sets: cube_sets(&[Var::new("f"), Var::new("c")]),

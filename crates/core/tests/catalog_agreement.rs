@@ -24,7 +24,7 @@ fn graph_for(w: Workload) -> Graph {
 fn run_workload(w: Workload) {
     let g = graph_for(w);
     let cat = DataCatalog::load(&g);
-    let mr = Engine::with_workers(cat.dfs.clone(), 4);
+    let mr = Engine::pinned(cat.dfs.clone());
     let engines: Vec<Box<dyn QueryEngine>> = vec![
         Box::new(HiveNaive::default()),
         Box::new(HiveMqo::default()),

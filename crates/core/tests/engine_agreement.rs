@@ -56,7 +56,7 @@ fn check_all_engines(g: &Graph, sparql: &str) {
     let expected = evaluate(&query, g).canonicalized(&g.dict);
     let aq = extract(&query).expect("analytical IR extracts");
     let cat = DataCatalog::load(g);
-    let mr = Engine::with_workers(cat.dfs.clone(), 4);
+    let mr = Engine::pinned(cat.dfs.clone());
     let engines: Vec<Box<dyn QueryEngine>> = vec![
         Box::new(HiveNaive::default()),
         Box::new(HiveMqo::default()),
@@ -342,7 +342,7 @@ fn alpha_pruning_reduces_join_output() {
     let expected = evaluate(&query, &g).canonicalized(&g.dict);
     let aq = extract(&query).unwrap();
     let cat = DataCatalog::load(&g);
-    let mr = Engine::with_workers(cat.dfs.clone(), 4);
+    let mr = Engine::pinned(cat.dfs.clone());
 
     let mut join_outputs = Vec::new();
     for pruning in [true, false] {

@@ -46,7 +46,7 @@ fn three_grouping_blocks() {
     let aq = extract(&query).unwrap();
     assert_eq!(aq.blocks.len(), 3);
     let cat = DataCatalog::load(&g);
-    let mr = Engine::with_workers(cat.dfs.clone(), 4);
+    let mr = Engine::pinned(cat.dfs.clone());
     let engines: Vec<Box<dyn QueryEngine>> = vec![
         Box::new(HiveNaive::default()),
         Box::new(HiveMqo::default()),
@@ -110,7 +110,7 @@ fn corrupt_records_are_skipped() {
         );
     }
 
-    let mr = Engine::with_workers(cat.dfs.clone(), 4);
+    let mr = Engine::pinned(cat.dfs.clone());
     let engines: Vec<Box<dyn QueryEngine>> = vec![
         Box::new(HiveNaive::default()),
         Box::new(RapidPlus::default()),
@@ -159,7 +159,7 @@ fn cleanup_removes_intermediates_only() {
     let query = parse_query(q).unwrap();
     let aq = extract(&query).unwrap();
     let cat = DataCatalog::load(&g);
-    let mr = Engine::with_workers(cat.dfs.clone(), 4);
+    let mr = Engine::pinned(cat.dfs.clone());
     let base_names = cat.dfs.names();
     let plan = RapidAnalytics::default().plan(&aq, &cat).unwrap();
     let (rel, _) = plan.execute(&mr, &aq, &cat.dict);
@@ -197,7 +197,7 @@ fn shared_scan_reads_less_input() {
     let query = parse_query(q).unwrap();
     let aq = extract(&query).unwrap();
     let cat = DataCatalog::load(&g);
-    let mr = Engine::with_workers(cat.dfs.clone(), 4);
+    let mr = Engine::pinned(cat.dfs.clone());
 
     // Single-star patterns: the Agg-Join cycle scans raw triplegroups.
     let ra_plan = RapidAnalytics::default().plan(&aq, &cat).unwrap();
@@ -240,7 +240,7 @@ fn non_overlapping_single_star_blocks_share_one_cycle() {
         rapida_core::CompositeOutcome::NotOverlapping(_)
     ));
     let cat = DataCatalog::load(&g);
-    let mr = Engine::with_workers(cat.dfs.clone(), 4);
+    let mr = Engine::pinned(cat.dfs.clone());
 
     let ra = RapidAnalytics::default().plan(&aq, &cat).unwrap();
     let rp = RapidPlus::default().plan(&aq, &cat).unwrap();
@@ -275,7 +275,7 @@ fn execution_is_deterministic() {
     let query = parse_query(q).unwrap();
     let aq = extract(&query).unwrap();
     let cat = DataCatalog::load(&g);
-    let mr = Engine::with_workers(cat.dfs.clone(), 4);
+    let mr = Engine::pinned(cat.dfs.clone());
     let mut results = Vec::new();
     for _ in 0..3 {
         let plan = RapidAnalytics::default().plan(&aq, &cat).unwrap();

@@ -38,7 +38,7 @@ const G1_SHAPE: &str = "PREFIX ex: <http://x/>
 fn map_join_threshold_controls_cycle_kinds() {
     let g = shop_graph();
     let cat = DataCatalog::load(&g);
-    let mr = Engine::with_workers(cat.dfs.clone(), 4);
+    let mr = Engine::pinned(cat.dfs.clone());
     let query = parse_query(G1_SHAPE).unwrap();
     let aq = extract(&query).unwrap();
     let expected = evaluate(&query, &g).canonicalized(&g.dict);
@@ -79,7 +79,7 @@ fn final_join_on_two_shared_keys() {
     assert!(!expected.is_empty());
     let aq = extract(&query).unwrap();
     let cat = DataCatalog::load(&g);
-    let mr = Engine::with_workers(cat.dfs.clone(), 4);
+    let mr = Engine::pinned(cat.dfs.clone());
     let plan = RapidAnalytics::default().plan(&aq, &cat).unwrap();
     let (rel, _) = plan.execute(&mr, &aq, &cat.dict);
     assert_eq!(rel.canonicalized(&g.dict), expected);
@@ -138,7 +138,7 @@ fn absent_property_scans_empty() {
     let query = parse_query(q).unwrap();
     let aq = extract(&query).unwrap();
     let cat = DataCatalog::load(&g);
-    let mr = Engine::with_workers(cat.dfs.clone(), 4);
+    let mr = Engine::pinned(cat.dfs.clone());
     for engine in [
         Box::new(HiveNaive::default()) as Box<dyn QueryEngine>,
         Box::new(RapidAnalytics::default()),

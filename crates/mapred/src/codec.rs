@@ -246,6 +246,15 @@ impl KvBuffer {
         (0..self.len()).map(|i| self.kv(i))
     }
 
+    /// Append every pair of `other` (copies its arena and rebases its
+    /// offset table) — bulk concatenation for shard-ordered reassembly.
+    pub fn append(&mut self, other: &KvBuffer) {
+        let base = self.data.len() as u64;
+        self.data.extend_from_slice(&other.data);
+        self.ents
+            .extend(other.ents.iter().map(|e| KvEnt { off: e.off + base, ..*e }));
+    }
+
     /// Sort the offset table by `(key bytes, insertion order)` without
     /// touching the payload arena. `sort_unstable` is safe here even though
     /// the shuffle's determinism contract needs equal keys kept in emit
@@ -260,6 +269,73 @@ impl KvBuffer {
                 .then(a.cmp(&b))
         });
         self.ents = order.iter().map(|&i| self.ents[i as usize]).collect();
+    }
+
+    /// [`Self::sort_unstable`] with up to `threads` sorting threads: the
+    /// order permutation is cut into contiguous chunks, each chunk sorted on
+    /// its own scoped thread, then the chunks are k-way merged. The
+    /// comparison key `(key bytes, insertion index)` is a total order, so
+    /// the sorted sequence is unique — the result is bit-identical to the
+    /// serial sort at every thread count.
+    pub fn sort_unstable_with(&mut self, threads: usize) {
+        // Below this, thread spawn + merge overhead outweighs the sort.
+        const PAR_SORT_MIN: usize = 1 << 14;
+        let n = self.ents.len();
+        if threads <= 1 || n < PAR_SORT_MIN {
+            self.sort_unstable();
+            return;
+        }
+        let threads = threads.min(8).min(n);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let chunk = n.div_ceil(threads);
+        {
+            let this: &KvBuffer = self;
+            std::thread::scope(|scope| {
+                for part in order.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        part.sort_unstable_by(|&a, &b| {
+                            this.key(a as usize)
+                                .cmp(this.key(b as usize))
+                                .then(a.cmp(&b))
+                        });
+                    });
+                }
+            });
+        }
+        // K-way merge by repeated head selection: k is tiny (≤ 8), so the
+        // linear scan per output element beats heap bookkeeping.
+        let mut heads: Vec<(usize, usize)> = order
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, c)| (ci * chunk, ci * chunk + c.len()))
+            .collect();
+        let mut merged: Vec<u32> = Vec::with_capacity(n);
+        loop {
+            let mut best: Option<u32> = None;
+            let mut best_chunk = 0usize;
+            for (ci, &(pos, end)) in heads.iter().enumerate() {
+                if pos >= end {
+                    continue;
+                }
+                let cand = order[pos];
+                let wins = match best {
+                    None => true,
+                    Some(b) => self
+                        .key(cand as usize)
+                        .cmp(self.key(b as usize))
+                        .then(cand.cmp(&b))
+                        .is_lt(),
+                };
+                if wins {
+                    best = Some(cand);
+                    best_chunk = ci;
+                }
+            }
+            let Some(idx) = best else { break };
+            heads[best_chunk].0 += 1;
+            merged.push(idx);
+        }
+        self.ents = merged.iter().map(|&i| self.ents[i as usize]).collect();
     }
 }
 
@@ -305,6 +381,14 @@ impl RecBuffer {
     pub fn get(&self, i: usize) -> &[u8] {
         let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
         &self.data[start..self.ends[i] as usize]
+    }
+
+    /// Append every record of `other` (copies its arena and rebases its
+    /// end-offset table) — bulk concatenation for shard-ordered reassembly.
+    pub fn append(&mut self, other: &RecBuffer) {
+        let base = self.data.len() as u64;
+        self.data.extend_from_slice(&other.data);
+        self.ends.extend(other.ends.iter().map(|e| e + base));
     }
 
     /// Iterate records in insertion order.
@@ -444,6 +528,66 @@ mod tests {
                 (&b"b"[..], &b"3"[..]),
             ]
         );
+    }
+
+    #[test]
+    fn kvbuffer_append_rebases_offsets() {
+        let mut a = KvBuffer::new();
+        a.push(b"k1", b"v1");
+        let mut b = KvBuffer::new();
+        b.push(b"k2", b"v22");
+        b.push(b"k3", b"");
+        a.append(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.kv(0), KvRef { key: b"k1", value: b"v1" });
+        assert_eq!(a.kv(1), KvRef { key: b"k2", value: b"v22" });
+        assert_eq!(a.kv(2), KvRef { key: b"k3", value: b"" });
+    }
+
+    #[test]
+    fn parallel_sort_matches_serial_sort() {
+        // Keys with heavy duplication so the (key, idx) tie-break matters.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut a = KvBuffer::new();
+        for i in 0..40_000u64 {
+            let key = (next() % 512).to_string().into_bytes();
+            a.push(&key, &i.to_le_bytes());
+        }
+        let b = a.clone();
+        a.sort_unstable();
+        for threads in [1, 2, 3, 8] {
+            let mut c = b.clone();
+            c.sort_unstable_with(threads);
+            let want: Vec<(Vec<u8>, Vec<u8>)> =
+                a.iter().map(|kv| (kv.key.to_vec(), kv.value.to_vec())).collect();
+            let got: Vec<(Vec<u8>, Vec<u8>)> =
+                c.iter().map(|kv| (kv.key.to_vec(), kv.value.to_vec())).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+        // Small buffers take the serial path and still sort correctly.
+        let mut small = KvBuffer::new();
+        small.push(b"b", b"1");
+        small.push(b"a", b"2");
+        small.sort_unstable_with(4);
+        assert_eq!(small.key(0), b"a");
+    }
+
+    #[test]
+    fn recbuffer_append_rebases_ends() {
+        let mut a = RecBuffer::new();
+        a.push(b"one");
+        let mut b = RecBuffer::new();
+        b.push(b"");
+        b.push(b"three");
+        a.append(&b);
+        let got: Vec<&[u8]> = a.iter().collect();
+        assert_eq!(got, vec![&b"one"[..], &b""[..], &b"three"[..]]);
     }
 
     #[test]

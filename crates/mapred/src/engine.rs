@@ -1,7 +1,7 @@
-//! The MapReduce execution engine: parallel map over splits, arena-backed
-//! map-side sorted runs, a loser-tree run-merge shuffle, parallel streaming
-//! reduce — a faithful in-process model of the Hadoop execution cycle, with
-//! real serialization at every boundary.
+//! The MapReduce execution engine: work-stealing parallel map over splits,
+//! arena-backed map-side sorted runs, a loser-tree run-merge shuffle,
+//! shard-parallel streaming reduce — a faithful in-process model of the
+//! Hadoop execution cycle, with real serialization at every boundary.
 //!
 //! Data path (see DESIGN.md "Zero-copy shuffle data path"): map tasks emit
 //! into one contiguous [`KvBuffer`] arena per task; the arena's offset table
@@ -11,15 +11,24 @@
 //! with a loser tree — each run read sequentially, front to back — and
 //! streams key groups straight into the reducer. No materialized `Vec` of
 //! pairs, no reduce-side re-sort, no per-record heap allocation.
+//!
+//! Parallel structure (see DESIGN.md §2e): both phases run through the
+//! work-stealing [`pool`]. Map tasks are pool tasks; a reduce partition is
+//! *flattened* into pool units — one per doomed/superseded fault attempt
+//! (run serially over the partition's merged prefix, so the waste ledger is
+//! worker-count-independent) plus the committed merge, which is cut into
+//! key-range shards ([`crate::merge::plan_shards`]) whenever the reducer
+//! declares itself key-local. Shard outputs concatenate in range order into
+//! the exact byte stream of the serial merge.
 
 use crate::bytes::Bytes;
 use crate::codec::{BlockBuilder, KvBuffer, RecordIter};
 use crate::dfs::{Dataset, SimDfs};
 use crate::fault::{FaultPlan, Outcome, TaskKind};
 use crate::job::{InputSrc, Job, MapOutput, ReduceOutput};
-use crate::merge::{merge_key_groups, Run};
+use crate::merge::{merge_key_groups, plan_shards, Run};
 use crate::metrics::{JobMetrics, WorkflowMetrics};
-use std::sync::Mutex;
+use crate::pool;
 use std::time::Instant;
 
 /// FNV-1a over a byte string; the shuffle partitioner.
@@ -95,6 +104,36 @@ fn reduce_output_size(out: &ReduceOutput) -> u64 {
     out.kvs.payload_bytes() + out.records.payload_bytes()
 }
 
+/// How many key-range shards to cut one committed reduce merge into: about
+/// two pool units per worker spread across the non-empty partitions, capped
+/// so no shard shrinks below a useful grain. Only key-local reducers may be
+/// sharded at all; everything else merges serially on one unit. The choice
+/// never affects output bytes or the simulated cost — only how evenly the
+/// pool can balance the merge.
+fn shard_count(workers: usize, key_local: bool, partitions: usize, part_records: usize) -> usize {
+    const MIN_SHARD_RECORDS: usize = 2048;
+    if !key_local || workers <= 1 || part_records < 2 * MIN_SHARD_RECORDS {
+        return 1;
+    }
+    (workers * 2)
+        .div_ceil(partitions.max(1))
+        .min(part_records / MIN_SHARD_RECORDS)
+        .min(workers * 4)
+        .max(1)
+}
+
+/// One flattened reduce-phase pool unit (see module docs).
+enum UnitKind {
+    /// A fault-doomed attempt: run the serial merge up to `limit` pairs,
+    /// count the waste, keep nothing.
+    Doomed { limit: usize },
+    /// A straggler attempt superseded by its speculative duplicate: full
+    /// serial merge, output discarded as waste.
+    WastedFull,
+    /// A committed merge over (a key-range shard of) the partition.
+    Committed,
+}
+
 impl Engine {
     /// Create an engine with sensible defaults (all cores, 256 KiB splits —
     /// scaled down with the datasets, as HDFS's 128 MB is to 175M triples).
@@ -116,6 +155,15 @@ impl Engine {
             workers: workers.max(1),
             ..Engine::new(dfs)
         }
+    }
+
+    /// The test-pinned engine: [`rapida_testkit::PINNED_WORKERS`] workers,
+    /// so metrics never depend on the host machine's parallelism and every
+    /// test suite inherits worker-count changes from one place. (The
+    /// constant lives in `testkit` — this crate already depends on it for
+    /// the fault plan's RNG, so the helper resides here rather than there.)
+    pub fn pinned(dfs: SimDfs) -> Self {
+        Engine::with_workers(dfs, rapida_testkit::PINNED_WORKERS)
     }
 
     /// Attach a fault-injection plan (builder style).
@@ -178,97 +226,93 @@ impl Engine {
             raw_kv_bytes: u64,
         }
 
-        let splits_queue = Mutex::new(splits.into_iter().enumerate().collect::<Vec<_>>());
-        let results: Mutex<Vec<(usize, MapResult)>> = Mutex::new(Vec::new());
-        let fault_stats: Mutex<FaultStats> = Mutex::new(FaultStats::default());
         let workers = self.workers.max(1);
+        // With fewer splits than workers, idle workers lend themselves to
+        // the per-task sort: the offset-table sort runs chunked across
+        // `sort_threads` scoped threads, bit-identical to the serial sort
+        // (the comparison key is a total order).
+        let sort_threads = if splits.is_empty() {
+            1
+        } else {
+            (workers / splits.len()).max(1)
+        };
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let next = splits_queue.lock().unwrap().pop();
-                    let Some((idx, (di, block, block_recs))) = next else {
-                        break;
-                    };
-                    let mut local = FaultStats::default();
-                    let mut out =
-                        self.run_map_task(job, idx, di, &block, block_recs, &mut local);
+        // Map phase through the work-stealing pool: one task per split.
+        // Results come back in task index order — the canonical order
+        // downstream block layout and equal-key value order depend on —
+        // regardless of worker count, steal interleaving, or faults.
+        let (map_outs, map_pool) =
+            pool::run_tasks(workers, splits, |idx, (di, block, block_recs)| {
+                let mut local = FaultStats::default();
+                let mut out = self.run_map_task(job, idx, di, &block, block_recs, &mut local);
 
-                    let raw_kv_records = out.kvs.len() as u64;
-                    let raw_kv_bytes = out.kvs.payload_bytes();
+                let raw_kv_records = out.kvs.len() as u64;
+                let raw_kv_bytes = out.kvs.payload_bytes();
 
-                    let mut kvs = std::mem::take(&mut out.kvs);
-                    let mut parts: Vec<KvBuffer> = Vec::new();
-                    if !job.is_map_only() {
-                        // Map-side sort: one offset-table sort per task,
-                        // by (key, emit order). The payload arena never
-                        // moves.
-                        kvs.sort_unstable();
-                        // Map-side combiner: stream the sorted run's key
-                        // groups through the combiner and sort its output
-                        // the same way — Hadoop's combiner contract.
-                        if let Some(comb) = &job.combiner {
-                            if !kvs.is_empty() {
-                                let mut ctask = comb.create();
-                                let mut cout = ReduceOutput::default();
-                                merge_key_groups(
-                                    &[Run::sorted(&kvs)],
-                                    None,
-                                    |key, values| {
-                                        ctask.reduce(key, values, &mut cout);
-                                    },
-                                );
-                                ctask.cleanup(&mut cout);
-                                kvs = cout.kvs;
-                                kvs.sort_unstable();
-                            }
-                        }
-                        // Spill: copy each partition's pairs — scanning in
-                        // sorted order, so every spill stays key-sorted
-                        // with equal keys in emit order — into a compact
-                        // per-partition arena. The reduce-side merge then
-                        // reads each run front to back, sequentially. An
-                        // exact-size counting pass first, so the spill
-                        // arenas never reallocate.
-                        let mut pidx: Vec<u32> = Vec::with_capacity(kvs.len());
-                        let mut counts = vec![(0usize, 0u64); num_partitions];
-                        for i in 0..kvs.len() {
-                            let p = shuffle_partition(kvs.key(i), num_partitions);
-                            pidx.push(p as u32);
-                            counts[p].0 += 1;
-                            counts[p].1 += kvs.pair_bytes(i);
-                        }
-                        parts = counts
-                            .iter()
-                            .map(|&(n, bytes)| KvBuffer::with_capacity(n, bytes as usize))
-                            .collect();
-                        for i in 0..kvs.len() {
-                            parts[pidx[i] as usize].push(kvs.key(i), kvs.value(i));
+                let mut kvs = std::mem::take(&mut out.kvs);
+                let mut parts: Vec<KvBuffer> = Vec::new();
+                if !job.is_map_only() {
+                    // Map-side sort: one offset-table sort per task,
+                    // by (key, emit order). The payload arena never
+                    // moves.
+                    kvs.sort_unstable_with(sort_threads);
+                    // Map-side combiner: stream the sorted run's key
+                    // groups through the combiner and sort its output
+                    // the same way — Hadoop's combiner contract.
+                    if let Some(comb) = &job.combiner {
+                        if !kvs.is_empty() {
+                            let mut ctask = comb.create();
+                            let mut cout = ReduceOutput::default();
+                            merge_key_groups(&[Run::sorted(&kvs)], None, |key, values| {
+                                ctask.reduce(key, values, &mut cout);
+                            });
+                            ctask.cleanup(&mut cout);
+                            kvs = cout.kvs;
+                            kvs.sort_unstable_with(sort_threads);
                         }
                     }
-                    results.lock().unwrap().push((
-                        idx,
-                        MapResult {
-                            parts,
-                            records: std::mem::take(&mut out.records),
-                            raw_kv_records,
-                            raw_kv_bytes,
-                        },
-                    ));
-                    fault_stats.lock().unwrap().merge(local);
-                });
-            }
-        });
-
-        // Canonical task order: results arrive in thread-completion order,
-        // which is racy — sort by map-task index so downstream block layout
-        // and equal-key value order are identical on every run, at any
-        // worker count, with or without injected faults. sort_unstable is
-        // safe here: task indices are unique, so no equal elements exist
-        // for stability to distinguish.
-        let mut indexed = results.into_inner().expect("map phase panicked");
-        indexed.sort_unstable_by_key(|(idx, _)| *idx);
-        let map_results: Vec<MapResult> = indexed.into_iter().map(|(_, r)| r).collect();
+                    // Spill: copy each partition's pairs — scanning in
+                    // sorted order, so every spill stays key-sorted
+                    // with equal keys in emit order — into a compact
+                    // per-partition arena. The reduce-side merge then
+                    // reads each run front to back, sequentially. An
+                    // exact-size counting pass first, so the spill
+                    // arenas never reallocate.
+                    let mut pidx: Vec<u32> = Vec::with_capacity(kvs.len());
+                    let mut counts = vec![(0usize, 0u64); num_partitions];
+                    for i in 0..kvs.len() {
+                        let p = shuffle_partition(kvs.key(i), num_partitions);
+                        pidx.push(p as u32);
+                        counts[p].0 += 1;
+                        counts[p].1 += kvs.pair_bytes(i);
+                    }
+                    parts = counts
+                        .iter()
+                        .map(|&(n, bytes)| KvBuffer::with_capacity(n, bytes as usize))
+                        .collect();
+                    for i in 0..kvs.len() {
+                        parts[pidx[i] as usize].push(kvs.key(i), kvs.value(i));
+                    }
+                }
+                (
+                    MapResult {
+                        parts,
+                        records: std::mem::take(&mut out.records),
+                        raw_kv_records,
+                        raw_kv_bytes,
+                    },
+                    local,
+                )
+            });
+        let mut stats = FaultStats::default();
+        let mut map_results: Vec<MapResult> = Vec::with_capacity(map_outs.len());
+        for (r, local) in map_outs {
+            stats.merge(local);
+            map_results.push(r);
+        }
+        metrics.map_busy_max_ns = map_pool.makespan_ns();
+        metrics.map_busy_total_ns = map_pool.total_busy_ns();
+        metrics.steals = map_pool.steals;
         for r in &map_results {
             metrics.map_output_records += r.raw_kv_records;
             metrics.map_output_bytes += r.raw_kv_bytes;
@@ -316,57 +360,148 @@ impl Engine {
             }
             metrics.reduce_tasks = part_runs.iter().filter(|rs| !rs.is_empty()).count();
 
-            // Reduce phase, parallel over partitions. Tasks are identified
-            // by their partition index — stable across worker counts and
-            // fault scenarios, so fault decisions and output order are too.
+            // Reduce phase: flatten every partition into pool units. Fault
+            // decisions are a *pure* function of (job, partition, retry), so
+            // the attempt script — and with it the whole waste/backoff
+            // ledger except measured wasted output bytes — is computed here,
+            // serially, before any unit runs. Doomed and superseded attempts
+            // always merge the full partition on one unit (their kill points
+            // are defined against the serial merge); only the committed
+            // merge is cut into key-range shards, and only when the reducer
+            // declares itself key-local.
             let reducer = job.reducer.as_ref().expect("checked map_only");
-            let part_queue = Mutex::new(
-                part_runs
-                    .into_iter()
-                    .zip(part_records)
-                    .enumerate()
-                    .filter(|(_, (runs, _))| !runs.is_empty())
-                    .collect::<Vec<_>>(),
-            );
-            let blocks_out: Mutex<Vec<(usize, usize, Vec<u8>)>> = Mutex::new(Vec::new());
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let part = part_queue.lock().unwrap().pop();
-                        let Some((p_idx, (runs, total))) = part else { break };
-                        let mut local = FaultStats::default();
-                        let out = self.run_reduce_task(
-                            job,
-                            reducer.as_ref(),
-                            p_idx,
-                            &runs,
-                            total,
-                            &mut local,
-                        );
-                        if !out.records.is_empty() {
-                            let mut bb = BlockBuilder::new();
-                            for rec in out.records.iter() {
-                                bb.push(rec);
+            let key_local = reducer.key_local();
+            let nonempty = metrics.reduce_tasks;
+            let mut units: Vec<(usize, Vec<Run<'_>>, UnitKind)> = Vec::new();
+            let mut committed_units = 0usize;
+            for (p_idx, (runs, total)) in part_runs
+                .iter()
+                .zip(part_records)
+                .enumerate()
+                .filter(|(_, (runs, _))| !runs.is_empty())
+            {
+                if let Some(plan) = &self.faults {
+                    let mut retries = 0usize;
+                    loop {
+                        let outcome =
+                            plan.decide(&job.name, TaskKind::Reduce, p_idx, retries);
+                        stats.reduce_attempts += 1;
+                        match outcome {
+                            Outcome::Fail {
+                                fraction,
+                                node_loss,
+                            } => {
+                                // The attempt dies `limit` pairs into its
+                                // merged input; merge_key_groups' limit
+                                // stops mid-group exactly where the old
+                                // materialized slice did. No cleanup runs.
+                                let limit =
+                                    ((fraction * total as f64) as usize).min(total);
+                                stats.failed += 1;
+                                if node_loss {
+                                    stats.node_loss += 1;
+                                }
+                                stats.wasted_input_records += limit as u64;
+                                stats.backoff_s += plan.backoff_s(retries);
+                                units.push((p_idx, runs.clone(), UnitKind::Doomed { limit }));
+                                retries += 1;
                             }
-                            let n = bb.records();
-                            blocks_out.lock().unwrap().push((p_idx, n, bb.finish()));
+                            Outcome::Straggle { .. } => {
+                                stats.stragglers += 1;
+                                if plan.speculation {
+                                    // The speculative duplicate commits;
+                                    // the slow original's full output is
+                                    // discarded.
+                                    stats.reduce_attempts += 1;
+                                    stats.speculative += 1;
+                                    stats.wasted_input_records += total as u64;
+                                    units.push((p_idx, runs.clone(), UnitKind::WastedFull));
+                                }
+                                break;
+                            }
+                            Outcome::Success => break,
                         }
-                        fault_stats.lock().unwrap().merge(local);
-                    });
+                    }
+                } else {
+                    stats.reduce_attempts += 1;
                 }
-            });
+                let shards = shard_count(workers, key_local, nonempty, total);
+                if shards <= 1 {
+                    units.push((p_idx, runs.clone(), UnitKind::Committed));
+                    committed_units += 1;
+                } else {
+                    for shard in plan_shards(runs, shards) {
+                        units.push((p_idx, shard, UnitKind::Committed));
+                        committed_units += 1;
+                    }
+                }
+            }
+            metrics.merge_shards = committed_units;
 
-            // Canonical partition order (see the map-phase sort above;
-            // unique partition indices make sort_unstable safe).
-            let mut out_blocks = blocks_out.into_inner().expect("reduce phase panicked");
-            out_blocks.sort_unstable_by_key(|(p_idx, _, _)| *p_idx);
+            // Execute the units through the pool. Every unit's work is a
+            // pure function of its (partition, runs, kind) — results carry
+            // (partition, committed records, measured waste) and arrive in
+            // unit order, which is partition order with committed shards in
+            // key-range order, so concatenation below reproduces the serial
+            // merge byte for byte at any worker count.
+            let (unit_results, reduce_pool) =
+                pool::run_tasks(workers, units, |_u, (p_idx, runs, kind)| {
+                    let mut task = reducer.create();
+                    let mut out = ReduceOutput::default();
+                    match kind {
+                        UnitKind::Doomed { limit } => {
+                            merge_key_groups(&runs, Some(limit), |key, values| {
+                                task.reduce(key, values, &mut out);
+                            });
+                            (p_idx, None, reduce_output_size(&out))
+                        }
+                        UnitKind::WastedFull => {
+                            merge_key_groups(&runs, None, |key, values| {
+                                task.reduce(key, values, &mut out);
+                            });
+                            task.cleanup(&mut out);
+                            (p_idx, None, reduce_output_size(&out))
+                        }
+                        UnitKind::Committed => {
+                            merge_key_groups(&runs, None, |key, values| {
+                                task.reduce(key, values, &mut out);
+                            });
+                            task.cleanup(&mut out);
+                            (p_idx, Some(std::mem::take(&mut out.records)), 0)
+                        }
+                    }
+                });
+            metrics.reduce_busy_max_ns = reduce_pool.makespan_ns();
+            metrics.reduce_busy_total_ns = reduce_pool.total_busy_ns();
+            metrics.steals += reduce_pool.steals;
+
+            // Stitch committed shard outputs back into one record stream
+            // per partition (unit order is already canonical — see above),
+            // and fold measured waste into the ledger.
+            let mut per_part: Vec<(usize, crate::codec::RecBuffer)> = Vec::new();
+            for (p_idx, out, waste) in unit_results {
+                stats.wasted_output_bytes += waste;
+                if let Some(recs) = out {
+                    match per_part.last_mut() {
+                        Some((last, acc)) if *last == p_idx => acc.append(&recs),
+                        _ => per_part.push((p_idx, recs)),
+                    }
+                }
+            }
             let mut blocks = Vec::new();
             let mut block_records = Vec::new();
             let mut records = 0usize;
-            for (_, n, b) in out_blocks {
-                records += n;
-                block_records.push(n);
-                blocks.push(Bytes::from(b));
+            for (_, recs) in per_part {
+                if recs.is_empty() {
+                    continue;
+                }
+                let mut bb = BlockBuilder::new();
+                for rec in recs.iter() {
+                    bb.push(rec);
+                }
+                records += bb.records();
+                block_records.push(bb.records());
+                blocks.push(Bytes::from(bb.finish()));
             }
             Dataset {
                 blocks,
@@ -383,7 +518,6 @@ impl Engine {
         metrics.output_bytes = output_ds.total_bytes() as u64;
         self.dfs.put(&job.output, output_ds);
 
-        let stats = fault_stats.into_inner().expect("fault stats poisoned");
         metrics.map_attempts = stats.map_attempts;
         metrics.reduce_attempts = stats.reduce_attempts;
         metrics.failed_attempts = stats.failed;
@@ -487,77 +621,6 @@ impl Engine {
         }
     }
 
-    /// Run one reduce task (identified by its partition index) to a
-    /// committed result, mirroring [`Engine::run_map_task`]'s attempt loop.
-    /// Input arrives as the partition's pre-sorted runs (one per map task,
-    /// in canonical task order); the loser-tree merge streams key groups
-    /// straight into the reducer without materializing the merged list.
-    fn run_reduce_task(
-        &self,
-        job: &Job,
-        reducer: &dyn crate::job::ReduceTaskFactory,
-        p_idx: usize,
-        runs: &[Run<'_>],
-        total: usize,
-        stats: &mut FaultStats,
-    ) -> ReduceOutput {
-        let full = || {
-            let mut task = reducer.create();
-            let mut out = ReduceOutput::default();
-            merge_key_groups(runs, None, |key, values| {
-                task.reduce(key, values, &mut out);
-            });
-            task.cleanup(&mut out);
-            out
-        };
-        let Some(plan) = &self.faults else {
-            stats.reduce_attempts += 1;
-            return full();
-        };
-
-        let mut retries = 0usize;
-        loop {
-            let outcome = plan.decide(&job.name, TaskKind::Reduce, p_idx, retries);
-            stats.reduce_attempts += 1;
-            match outcome {
-                Outcome::Fail {
-                    fraction,
-                    node_loss,
-                } => {
-                    // Run the doomed attempt over a prefix of its merged
-                    // input (the merge's `limit` stops mid-group exactly
-                    // where the old materialized slice did), then discard.
-                    let limit = ((fraction * total as f64) as usize).min(total);
-                    let mut task = reducer.create();
-                    let mut wasted = ReduceOutput::default();
-                    merge_key_groups(runs, Some(limit), |key, values| {
-                        task.reduce(key, values, &mut wasted);
-                    });
-                    stats.failed += 1;
-                    if node_loss {
-                        stats.node_loss += 1;
-                    }
-                    stats.wasted_input_records += limit as u64;
-                    stats.wasted_output_bytes += reduce_output_size(&wasted);
-                    stats.backoff_s += plan.backoff_s(retries);
-                    retries += 1;
-                }
-                Outcome::Straggle { .. } => {
-                    let out = full();
-                    stats.stragglers += 1;
-                    if plan.speculation {
-                        stats.reduce_attempts += 1;
-                        stats.speculative += 1;
-                        stats.wasted_input_records += total as u64;
-                        stats.wasted_output_bytes += reduce_output_size(&out);
-                        return full();
-                    }
-                    return out;
-                }
-                Outcome::Success => return full(),
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -605,7 +668,7 @@ mod tests {
     fn run_wordcount(with_combiner: bool) -> (Vec<String>, JobMetrics) {
         let dfs = SimDfs::new();
         dfs.put("in", wc_input());
-        let engine = Engine::with_workers(dfs.clone(), 4);
+        let engine = Engine::pinned(dfs.clone());
         let m = engine.run_job(&wordcount_job(with_combiner));
         let out = dfs.get("out").unwrap();
         let mut lines: Vec<String> = out
@@ -655,7 +718,7 @@ mod tests {
             .mapper(Arc::new(FnMapFactory(|| IdMap)))
             .output("out")
             .build();
-        let engine = Engine::with_workers(dfs.clone(), 4);
+        let engine = Engine::pinned(dfs.clone());
         let m = engine.run_job(&job);
         assert!(m.map_only);
         assert_eq!(m.shuffle_bytes, 0);
@@ -684,7 +747,7 @@ mod tests {
             .mapper(Arc::new(FnMapFactory(|| TagMap)))
             .output("out")
             .build();
-        let engine = Engine::with_workers(dfs.clone(), 4);
+        let engine = Engine::pinned(dfs.clone());
         engine.run_job(&job);
         let mut recs: Vec<String> = dfs
             .get("out")
@@ -735,7 +798,7 @@ mod tests {
             .output("out")
             .num_reducers(1)
             .build();
-        let engine = Engine::with_workers(dfs.clone(), 4);
+        let engine = Engine::pinned(dfs.clone());
         let m = engine.run_job(&job);
         let recs: Vec<String> = dfs
             .get("out")
@@ -763,7 +826,7 @@ mod tests {
             .reducer(Arc::new(FnReduceFactory(|| WcReduce { as_output: true })))
             .output("out")
             .build();
-        let engine = Engine::with_workers(dfs.clone(), 4);
+        let engine = Engine::pinned(dfs.clone());
         let wf = engine.run_workflow(&[j1, j2]);
         assert_eq!(wf.cycles(), 2);
         assert_eq!(wf.full_cycles(), 1);
@@ -793,7 +856,7 @@ mod tests {
     fn fault_free_run_counts_one_attempt_per_task() {
         let dfs = SimDfs::new();
         dfs.put("in", wc_input());
-        let engine = Engine::with_workers(dfs.clone(), 4);
+        let engine = Engine::pinned(dfs.clone());
         let m = engine.run_job(&wordcount_job(false));
         assert_eq!(m.map_attempts, m.map_tasks as u64);
         assert_eq!(m.reduce_attempts, m.reduce_tasks as u64);
@@ -808,7 +871,7 @@ mod tests {
         let run = |faults: Option<FaultPlan>| {
             let dfs = SimDfs::new();
             dfs.put("in", wc_input());
-            let mut engine = Engine::with_workers(dfs.clone(), 4);
+            let mut engine = Engine::pinned(dfs.clone());
             engine.faults = faults;
             let m = engine.run_job(&wordcount_job(true));
             let bytes: Vec<Vec<u8>> = dfs
@@ -835,7 +898,7 @@ mod tests {
     fn injected_failures_are_ledgered() {
         let dfs = SimDfs::new();
         dfs.put("in", wc_input());
-        let engine = Engine::with_workers(dfs.clone(), 4)
+        let engine = Engine::pinned(dfs.clone())
             .with_faults(FaultPlan::failures_only(5, 0.9));
         let m = engine.run_job(&wordcount_job(false));
         assert!(m.failed_attempts > 0);
@@ -856,7 +919,7 @@ mod tests {
             lost_node: Some(0),
             ..FaultPlan::new(0)
         };
-        let engine = Engine::with_workers(dfs.clone(), 4).with_faults(plan.clone());
+        let engine = Engine::pinned(dfs.clone()).with_faults(plan.clone());
         let m = engine.run_job(&wordcount_job(false));
         let on_lost_node = (0..m.map_tasks).filter(|t| plan.node_of(*t) == 0).count()
             + (0..3).filter(|p| plan.node_of(*p) == 0).count().min(m.reduce_tasks);
@@ -883,7 +946,7 @@ mod tests {
             speculation: false,
             ..FaultPlan::new(2)
         };
-        let engine = Engine::with_workers(dfs.clone(), 4).with_faults(plan);
+        let engine = Engine::pinned(dfs.clone()).with_faults(plan);
         let m = engine.run_job(&wordcount_job(false));
         assert_eq!(
             m.straggler_tasks,
@@ -903,11 +966,144 @@ mod tests {
             straggler_slowdown: 4.0,
             ..FaultPlan::new(2)
         };
-        let engine = Engine::with_workers(dfs.clone(), 4).with_faults(plan);
+        let engine = Engine::pinned(dfs.clone()).with_faults(plan);
         let m = engine.run_job(&wordcount_job(false));
         assert_eq!(m.speculative_attempts, (m.map_tasks + m.reduce_tasks) as u64);
         assert_eq!(m.extra_attempts(), m.speculative_attempts);
         assert!(m.wasted_input_records > 0, "superseded attempts are waste");
+    }
+
+    /// A larger keyed dataset so committed reduce merges clear the
+    /// MIN_SHARD_RECORDS floor and genuinely shard.
+    fn big_keyed_dataset(n: usize) -> Dataset {
+        let mut w = DatasetWriter::new(64 * 1024);
+        let mut x = 0x9e37_79b9_u64;
+        for i in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let rec = format!("k{:05}", (x.wrapping_add(i as u64)) % 512);
+            w.push(rec.as_bytes());
+        }
+        w.finish()
+    }
+
+    struct CountReduce;
+    impl ReduceTask for CountReduce {
+        fn reduce(&mut self, key: &[u8], values: &[&[u8]], out: &mut ReduceOutput) {
+            let mut rec = key.to_vec();
+            rec.push(b'=');
+            rec.extend_from_slice(values.len().to_string().as_bytes());
+            out.write(&rec);
+        }
+    }
+
+    fn big_count_job(key_local: bool) -> Job {
+        let reducer: Arc<dyn ReduceTaskFactory> = if key_local {
+            Arc::new(KeyLocal(FnReduceFactory(|| CountReduce)))
+        } else {
+            Arc::new(FnReduceFactory(|| CountReduce))
+        };
+        JobBuilder::new("bigcount")
+            .input("in")
+            .mapper(Arc::new(FnMapFactory(|| WcMap)))
+            .reducer(reducer)
+            .output("out")
+            .num_reducers(2)
+            .build()
+    }
+
+    fn run_big_count(workers: usize, key_local: bool) -> (Vec<Vec<u8>>, JobMetrics) {
+        let dfs = SimDfs::new();
+        dfs.put("in", big_keyed_dataset(12_000));
+        let engine = Engine::with_workers(dfs.clone(), workers);
+        let m = engine.run_job(&big_count_job(key_local));
+        let bytes: Vec<Vec<u8>> = dfs
+            .get("out")
+            .unwrap()
+            .blocks
+            .iter()
+            .map(|b| b.as_ref().to_vec())
+            .collect();
+        (bytes, m)
+    }
+
+    #[test]
+    fn sharded_key_local_reduce_is_byte_identical_to_serial() {
+        let (golden, m1) = run_big_count(1, true);
+        assert_eq!(
+            m1.merge_shards, m1.reduce_tasks,
+            "one worker must not shard"
+        );
+        for workers in [2, 4, 8] {
+            let (sharded, m) = run_big_count(workers, true);
+            assert_eq!(
+                golden, sharded,
+                "sharded merge must reproduce the serial bytes at {workers} workers"
+            );
+            assert!(
+                m.merge_shards > m.reduce_tasks,
+                "key-local reduce over 12k records should shard at {workers} workers \
+                 (got {} shards for {} tasks)",
+                m.merge_shards,
+                m.reduce_tasks
+            );
+            assert_eq!(m.output_bytes, m1.output_bytes);
+            assert_eq!(m.reduce_attempts, m1.reduce_attempts);
+        }
+    }
+
+    #[test]
+    fn non_key_local_reduce_never_shards() {
+        let (golden, _) = run_big_count(1, false);
+        let (out, m) = run_big_count(8, false);
+        assert_eq!(golden, out);
+        assert_eq!(
+            m.merge_shards, m.reduce_tasks,
+            "a reducer that did not opt in must merge serially per partition"
+        );
+    }
+
+    #[test]
+    fn busy_metrics_are_populated() {
+        let (_, m) = run_big_count(4, true);
+        assert!(m.map_busy_max_ns > 0, "map busy makespan must be measured");
+        assert!(m.reduce_busy_max_ns > 0, "reduce busy makespan must be measured");
+        assert!(m.map_busy_total_ns >= m.map_busy_max_ns);
+        assert!(m.reduce_busy_total_ns >= m.reduce_busy_max_ns);
+        assert_eq!(m.busy_makespan_ns(), m.map_busy_max_ns + m.reduce_busy_max_ns);
+    }
+
+    #[test]
+    fn sharded_reduce_survives_chaos_with_identical_bytes_and_ledger() {
+        let run = |workers: usize, faults: Option<FaultPlan>| {
+            let dfs = SimDfs::new();
+            dfs.put("in", big_keyed_dataset(12_000));
+            let mut engine = Engine::with_workers(dfs.clone(), workers);
+            engine.faults = faults;
+            let m = engine.run_job(&big_count_job(true));
+            let bytes: Vec<Vec<u8>> = dfs
+                .get("out")
+                .unwrap()
+                .blocks
+                .iter()
+                .map(|b| b.as_ref().to_vec())
+                .collect();
+            (bytes, m)
+        };
+        let (golden, _) = run(1, None);
+        let (chaos1, m1) = run(1, Some(FaultPlan::chaotic(7)));
+        let (chaos8, m8) = run(8, Some(FaultPlan::chaotic(7)));
+        assert_eq!(golden, chaos1);
+        assert_eq!(golden, chaos8);
+        // The whole fault ledger — including wasted output bytes measured
+        // during execution — is worker-count-independent because doomed and
+        // superseded attempts always run the serial full-partition merge.
+        assert_eq!(m1.reduce_attempts, m8.reduce_attempts);
+        assert_eq!(m1.failed_attempts, m8.failed_attempts);
+        assert_eq!(m1.wasted_input_records, m8.wasted_input_records);
+        assert_eq!(m1.wasted_output_bytes, m8.wasted_output_bytes);
+        assert_eq!(m1.backoff_s, m8.backoff_s);
     }
 
     #[test]
@@ -918,7 +1114,7 @@ mod tests {
             .mapper(Arc::new(FnMapFactory(|| IdMap)))
             .output("out")
             .build();
-        let engine = Engine::with_workers(dfs.clone(), 4);
+        let engine = Engine::pinned(dfs.clone());
         let m = engine.run_job(&job);
         assert_eq!(m.input_records, 0);
         assert_eq!(m.output_records, 0);

@@ -88,6 +88,36 @@ pub trait ReduceTask: Send {
 pub trait ReduceTaskFactory: Send + Sync {
     /// Create a fresh task.
     fn create(&self) -> Box<dyn ReduceTask>;
+
+    /// Does this factory's reducer treat every key group independently?
+    ///
+    /// A *key-local* reducer's output for a key group depends only on that
+    /// group (no state carried between `reduce` calls), and its `cleanup`
+    /// emits nothing. Declaring key-locality lets the engine cut a reduce
+    /// partition's key range into shards and merge-reduce the shards on
+    /// separate workers — one fresh task instance per shard — and still
+    /// produce the exact bytes of the serial merge by concatenating shard
+    /// outputs in key-range order. The default is conservative: `false`
+    /// keeps the whole partition on one task instance.
+    fn key_local(&self) -> bool {
+        false
+    }
+}
+
+/// Marker wrapper declaring a factory's reducer key-local (see
+/// [`ReduceTaskFactory::key_local`]). Wrapping is an assertion about the
+/// inner reducer's semantics — per-group-only logic, no cleanup emissions —
+/// that the engine trusts for shard-parallel reduce.
+pub struct KeyLocal<F>(pub F);
+
+impl<F: ReduceTaskFactory> ReduceTaskFactory for KeyLocal<F> {
+    fn create(&self) -> Box<dyn ReduceTask> {
+        self.0.create()
+    }
+
+    fn key_local(&self) -> bool {
+        true
+    }
 }
 
 /// Blanket factory over a cloneable function returning a task.

@@ -23,6 +23,7 @@
 //!   splits.
 //! * [`job`] — job specs with Hadoop-style task lifecycles (map / combiner /
 //!   reduce, per-task `cleanup` hooks).
+//! * [`pool`] — the work-stealing task pool both phases run on.
 //! * [`engine`] — the executor ([`Engine`]).
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]): task
 //!   failures, stragglers, node loss, with bounded retry + speculation.
@@ -39,16 +40,18 @@ pub mod fault;
 pub mod job;
 pub mod merge;
 pub mod metrics;
+pub mod pool;
 
 pub use bytes::Bytes;
 pub use codec::{KvBuffer, KvRef, RecBuffer};
 pub use cost::ClusterModel;
 pub use dfs::{Dataset, DatasetWriter, SimDfs};
 pub use engine::{shuffle_partition, Engine};
-pub use merge::{merge_key_groups, LoserTree, Run};
+pub use merge::{merge_key_groups, plan_shards, shard_merge_key_groups, LoserTree, Run};
 pub use fault::{FaultPlan, Outcome, TaskKind};
 pub use job::{
-    FnMapFactory, FnReduceFactory, InputSrc, Job, JobBuilder, MapOutput, MapTask, MapTaskFactory,
-    ReduceOutput, ReduceTask, ReduceTaskFactory,
+    FnMapFactory, FnReduceFactory, InputSrc, Job, JobBuilder, KeyLocal, MapOutput, MapTask,
+    MapTaskFactory, ReduceOutput, ReduceTask, ReduceTaskFactory,
 };
+pub use pool::PoolStats;
 pub use metrics::{JobMetrics, WorkflowMetrics};

@@ -17,18 +17,29 @@
 use crate::codec::KvBuffer;
 
 /// One pre-sorted run: a [`KvBuffer`] plus an optional selection of entry
-/// indices (a map task's slice of one reduce partition). With no selection
-/// the whole buffer is the run.
+/// indices (a map task's slice of one reduce partition), optionally
+/// windowed to a contiguous subrange — the unit the shard-parallel merge
+/// cuts runs into. With no selection and no window the whole buffer is the
+/// run.
 #[derive(Clone, Copy)]
 pub struct Run<'a> {
     buf: &'a KvBuffer,
     sel: Option<&'a [u32]>,
+    /// First position of the window within the (selected) run.
+    lo: usize,
+    /// Window length.
+    n: usize,
 }
 
 impl<'a> Run<'a> {
     /// A run covering the whole (pre-sorted) buffer.
     pub fn sorted(buf: &'a KvBuffer) -> Self {
-        Run { buf, sel: None }
+        Run {
+            buf,
+            sel: None,
+            lo: 0,
+            n: buf.len(),
+        }
     }
 
     /// A run over a selection of entry indices, in selection order (the
@@ -37,24 +48,39 @@ impl<'a> Run<'a> {
         Run {
             buf,
             sel: Some(sel),
+            lo: 0,
+            n: sel.len(),
+        }
+    }
+
+    /// The window `[start, end)` of this run, in run positions. The new
+    /// run sees positions `0..end - start`.
+    pub fn subrange(&self, start: usize, end: usize) -> Run<'a> {
+        debug_assert!(start <= end && end <= self.n);
+        Run {
+            buf: self.buf,
+            sel: self.sel,
+            lo: self.lo + start,
+            n: end - start,
         }
     }
 
     /// Number of pairs in the run.
     pub fn len(&self) -> usize {
-        self.sel.map_or(self.buf.len(), |s| s.len())
+        self.n
     }
 
     /// True if the run holds no pairs.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.n == 0
     }
 
     #[inline]
     fn entry(&self, i: usize) -> usize {
+        debug_assert!(i < self.n);
         match self.sel {
-            Some(s) => s[i] as usize,
-            None => i,
+            Some(s) => s[self.lo + i] as usize,
+            None => self.lo + i,
         }
     }
 
@@ -226,6 +252,106 @@ pub fn merge_key_groups<F: FnMut(&[u8], &[&[u8]])>(
     consumed
 }
 
+/// Cut a set of pre-sorted runs into at most `shards` disjoint key ranges,
+/// each a full set of run windows ready for its own independent merge.
+///
+/// Cut keys are chosen from per-run quantile samples, then applied to every
+/// run with the same `first position whose key >= cut` rule — so all
+/// occurrences of any key, across all runs, land in exactly one shard, and
+/// no key group ever straddles a shard boundary. Within each shard the runs
+/// keep their original order (empty windows included), so the loser tree's
+/// run-index tie-break inside a shard agrees with the serial merge.
+/// Concatenating the shard merges in shard order therefore reproduces the
+/// serial merge byte for byte: shard ranges partition the key space in
+/// ascending order, and within a range the merge is the same merge.
+///
+/// The returned plan may have fewer than `shards` non-empty shards (duplicate
+/// cut candidates collapse), and some shards may be empty; both are harmless
+/// to merge and preserve the concatenation identity.
+pub fn plan_shards<'a>(runs: &[Run<'a>], shards: usize) -> Vec<Vec<Run<'a>>> {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    if shards <= 1 || total == 0 {
+        return vec![runs.to_vec()];
+    }
+
+    // Candidate cut keys: each run contributes its quantile keys. Sampling
+    // every run keeps the cuts near the true global quantiles even when run
+    // key ranges are disjoint or heavily skewed.
+    let mut cands: Vec<&'a [u8]> = Vec::new();
+    for r in runs {
+        if r.is_empty() {
+            continue;
+        }
+        for j in 1..shards {
+            let i = (r.len() * j / shards).min(r.len() - 1);
+            cands.push(r.key(i));
+        }
+    }
+    cands.sort_unstable();
+    cands.dedup();
+
+    // Pick `shards - 1` cuts at candidate quantiles, deduped: equal picks
+    // would only manufacture empty shards.
+    let mut cuts: Vec<&'a [u8]> = Vec::new();
+    for s in 1..shards {
+        let i = cands.len() * s / shards;
+        if i < cands.len() && cuts.last() != Some(&cands[i]) {
+            cuts.push(cands[i]);
+        }
+    }
+
+    let mut out: Vec<Vec<Run<'a>>> = Vec::with_capacity(cuts.len() + 1);
+    let mut prev: Vec<usize> = vec![0; runs.len()];
+    for &cut in &cuts {
+        let mut shard: Vec<Run<'a>> = Vec::with_capacity(runs.len());
+        for (ri, r) in runs.iter().enumerate() {
+            let b = lower_bound(r, prev[ri], cut);
+            shard.push(r.subrange(prev[ri], b));
+            prev[ri] = b;
+        }
+        out.push(shard);
+    }
+    out.push(
+        runs.iter()
+            .enumerate()
+            .map(|(ri, r)| r.subrange(prev[ri], r.len()))
+            .collect(),
+    );
+    out
+}
+
+/// First position in `[from, r.len())` whose key is `>= cut` (the run is
+/// sorted by key, so this is a plain binary search).
+fn lower_bound(r: &Run<'_>, from: usize, cut: &[u8]) -> usize {
+    let (mut lo, mut hi) = (from, r.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if r.key(mid) < cut {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// [`merge_key_groups`] over a [`plan_shards`] plan, executed serially in
+/// shard order: `f(shard, key, values)` sees exactly the groups the serial
+/// merge would produce, in the same order, with the shard index attached.
+/// The engine runs the same plan with one merge per pool task; this serial
+/// driver is the oracle the property tests compare both against.
+pub fn shard_merge_key_groups<F: FnMut(usize, &[u8], &[&[u8]])>(
+    runs: &[Run<'_>],
+    shards: usize,
+    mut f: F,
+) -> usize {
+    let mut consumed = 0usize;
+    for (s, shard) in plan_shards(runs, shards).iter().enumerate() {
+        consumed += merge_key_groups(shard, None, |k, vs| f(s, k, vs));
+    }
+    consumed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,5 +472,95 @@ mod tests {
         assert_eq!(n, 1);
         assert_eq!(cut, vec![(b"a".to_vec(), 1)]);
         assert_eq!(merge_key_groups(&runs, Some(0), |_, _| panic!()), 0);
+    }
+
+    #[test]
+    fn subrange_windows_a_run() {
+        let buf = sorted_buf(&[(b"a", b"1"), (b"b", b"2"), (b"c", b"3"), (b"d", b"4")]);
+        let r = Run::sorted(&buf);
+        let w = r.subrange(1, 3);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.key(0), b"b");
+        assert_eq!(w.value(1), b"3");
+        let ww = w.subrange(1, 2);
+        assert_eq!(ww.len(), 1);
+        assert_eq!(ww.key(0), b"c");
+        assert!(w.subrange(1, 1).is_empty());
+    }
+
+    /// Flatten a shard plan's groups: `(shard, key, values)` triples in
+    /// emission order.
+    fn sharded_groups(
+        runs: &[Run<'_>],
+        shards: usize,
+    ) -> (usize, Vec<(usize, Vec<u8>, Vec<Vec<u8>>)>) {
+        let mut out = Vec::new();
+        let n = shard_merge_key_groups(runs, shards, |s, k, vs| {
+            out.push((s, k.to_vec(), vs.iter().map(|v| v.to_vec()).collect()));
+        });
+        (n, out)
+    }
+
+    fn serial_groups(runs: &[Run<'_>]) -> Vec<(Vec<u8>, Vec<Vec<u8>>)> {
+        let mut out = Vec::new();
+        merge_key_groups(runs, None, |k, vs| {
+            out.push((k.to_vec(), vs.iter().map(|v| v.to_vec()).collect()));
+        });
+        out
+    }
+
+    #[test]
+    fn shard_plan_covers_without_straddling() {
+        // Heavy duplicate keys across runs: every shard must own whole key
+        // groups, and concatenation must equal the serial merge.
+        let mut bufs = Vec::new();
+        for r in 0..5u64 {
+            let mut b = KvBuffer::new();
+            for i in 0..(40 + 11 * r) {
+                let key = ((i * 5 + r) % 13).to_string().into_bytes();
+                b.push(&key, format!("r{r}i{i}").into_bytes().as_slice());
+            }
+            b.sort_unstable();
+            bufs.push(b);
+        }
+        let runs: Vec<Run<'_>> = bufs.iter().map(Run::sorted).collect();
+        let serial = serial_groups(&runs);
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        for shards in [1, 2, 3, 4, 7, 50] {
+            let (n, got) = sharded_groups(&runs, shards);
+            assert_eq!(n, total, "shards={shards}: every pair consumed");
+            // Shard indices non-decreasing, and each key appears in exactly
+            // one shard.
+            for pair in got.windows(2) {
+                assert!(pair[0].0 <= pair[1].0, "shards={shards}: shard order");
+                assert_ne!(pair[0].1, pair[1].1, "shards={shards}: split group");
+            }
+            let flat: Vec<(Vec<u8>, Vec<Vec<u8>>)> =
+                got.into_iter().map(|(_, k, vs)| (k, vs)).collect();
+            assert_eq!(flat, serial, "shards={shards}: concat == serial merge");
+        }
+    }
+
+    #[test]
+    fn shard_plan_handles_empty_and_degenerate_runs() {
+        let empty = KvBuffer::new();
+        let one = sorted_buf(&[(b"k", b"v")]);
+        let same = sorted_buf(&[(b"k", b"1"), (b"k", b"2"), (b"k", b"3")]);
+        let runs = [Run::sorted(&empty), Run::sorted(&one), Run::sorted(&same)];
+        let serial = serial_groups(&runs);
+        for shards in [1, 2, 4] {
+            let (_, got) = sharded_groups(&runs, shards);
+            let flat: Vec<(Vec<u8>, Vec<Vec<u8>>)> =
+                got.into_iter().map(|(_, k, vs)| (k, vs)).collect();
+            // A single key can never be split: one group, all four values,
+            // tie-broken by run order.
+            assert_eq!(flat, serial, "shards={shards}");
+        }
+        // All-empty run set.
+        let runs = [Run::sorted(&empty)];
+        assert_eq!(shard_merge_key_groups(&runs, 4, |_, _, _| panic!()), 0);
+        let plan = plan_shards(&[], 4);
+        assert_eq!(plan.len(), 1);
+        assert!(plan[0].is_empty());
     }
 }

@@ -56,6 +56,21 @@ pub struct JobMetrics {
     pub backoff_s: f64,
     /// In-process wall time of this job.
     pub wall: Duration,
+    /// Busiest map worker's CPU time in task bodies, nanoseconds — the map
+    /// phase's busy-time makespan. Measured, machine-dependent; excluded
+    /// from the cost model and from determinism signatures.
+    pub map_busy_max_ns: u64,
+    /// Total map-phase CPU time across all workers, nanoseconds.
+    pub map_busy_total_ns: u64,
+    /// Busiest reduce worker's CPU time in task bodies, nanoseconds.
+    pub reduce_busy_max_ns: u64,
+    /// Total reduce-phase CPU time across all workers, nanoseconds.
+    pub reduce_busy_total_ns: u64,
+    /// Tasks migrated between worker deques by work stealing (both phases).
+    pub steals: u64,
+    /// Committed reduce merge shards executed (`>= reduce_tasks` whenever
+    /// a key-local reducer's partitions were cut into parallel ranges).
+    pub merge_shards: usize,
 }
 
 impl JobMetrics {
@@ -78,6 +93,18 @@ impl JobMetrics {
     pub fn extra_attempts(&self) -> u64 {
         self.task_attempts()
             .saturating_sub((self.map_tasks + self.reduce_tasks) as u64)
+    }
+
+    /// Busy-time makespan of the whole job: the critical path through both
+    /// phase pools, assuming the phases run back to back.
+    pub fn busy_makespan_ns(&self) -> u64 {
+        self.map_busy_max_ns + self.reduce_busy_max_ns
+    }
+
+    /// Total CPU time in task bodies across both phases — the serial-run
+    /// equivalent of [`Self::busy_makespan_ns`].
+    pub fn busy_total_ns(&self) -> u64 {
+        self.map_busy_total_ns + self.reduce_busy_total_ns
     }
 }
 
@@ -191,6 +218,16 @@ impl WorkflowMetrics {
     /// Total simulated retry backoff across all jobs, seconds.
     pub fn total_backoff_s(&self) -> f64 {
         self.jobs.iter().map(|j| j.backoff_s).sum()
+    }
+
+    /// Total busy-time makespan across all jobs (jobs run back to back).
+    pub fn total_busy_makespan_ns(&self) -> u64 {
+        self.jobs.iter().map(|j| j.busy_makespan_ns()).sum()
+    }
+
+    /// Total CPU time in task bodies across all jobs.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.jobs.iter().map(|j| j.busy_total_ns()).sum()
     }
 }
 

@@ -9,7 +9,7 @@
 
 use rapida_mapred::{
     ClusterModel, DatasetWriter, Engine, FaultPlan, FnMapFactory, FnReduceFactory, InputSrc,
-    JobBuilder, MapOutput, MapTask, ReduceOutput, ReduceTask, SimDfs, WorkflowMetrics,
+    JobBuilder, KeyLocal, MapOutput, MapTask, ReduceOutput, ReduceTask, SimDfs, WorkflowMetrics,
 };
 use rapida_testkit::chaos;
 use rapida_testkit::chaos::{ChaosConfig, Scenario};
@@ -181,6 +181,24 @@ chaos! {
         (committed_signature(&wf), blocks)
     }
 
+    /// Shard-parallel reduce merge under reduce-side chaos: a key-local
+    /// reducer over a partition big enough to shard, with reduce attempts
+    /// failing at a high rate — so doomed attempts (serial full-partition
+    /// merges) and committed shard merges interleave on the pool. Recovery
+    /// must be byte-identical to the fault-free golden at every worker
+    /// count and seed.
+    fn sharded_reduce_survives_mid_merge_faults(scenario) {
+        let (wf, blocks) = run_sharded(scenario, |seed| FaultPlan {
+            map_fail_p: 0.05,
+            reduce_fail_p: 0.7,
+            straggler_p: 0.3,
+            straggler_slowdown: 5.0,
+            speculation: true,
+            ..FaultPlan::new(seed)
+        });
+        (committed_signature(&wf), blocks)
+    }
+
     /// Sorted-run merge under map-side chaos only: a shuffle-heavy job
     /// (several emitted pairs per record, runs overlapping on every key)
     /// where map attempts fail or straggle but reduce tasks never do.
@@ -244,6 +262,115 @@ fn run_fanout(
         .map(|b| b.as_ref().to_vec())
         .collect();
     (wf, blocks)
+}
+
+/// Bigram counter: emits a 2-byte key per adjacent byte pair — a wider key
+/// space than [`FanoutMap`], so [`rapida_mapred::plan_shards`] has real cut
+/// points to work with.
+struct BigramMap;
+impl MapTask for BigramMap {
+    fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
+        for w in record.windows(2) {
+            out.emit(w, &1u32.to_le_bytes());
+        }
+    }
+}
+
+/// Like [`run`], but a single-cycle bigram count sized past the engine's
+/// shard floor (≥ 4096 records per partition), with the reducer declared
+/// key-local so committed merges genuinely shard.
+fn run_sharded(
+    scenario: &Scenario,
+    plan_of: impl Fn(u64) -> FaultPlan,
+) -> (WorkflowMetrics, Vec<Vec<u8>>) {
+    let dfs = SimDfs::new();
+    let mut rng = StdRng::seed_from_u64(0xB16);
+    let mut w = DatasetWriter::new(2048);
+    for _ in 0..2500 {
+        let len = rng.gen_range(4usize..=9);
+        let word: Vec<u8> = (0..len).map(|_| b'a' + rng.gen_range(0u8..12)).collect();
+        w.push(&word);
+    }
+    dfs.put("in", w.finish());
+    let jobs = vec![JobBuilder::new("bigrams")
+        .input("in")
+        .mapper(Arc::new(FnMapFactory(|| BigramMap)))
+        .reducer(Arc::new(KeyLocal(FnReduceFactory(|| Sum { to_output: true }))))
+        .output("out")
+        .num_reducers(2)
+        .build()];
+    let mut engine = Engine::with_workers(dfs.clone(), scenario.workers);
+    engine.faults = scenario.fault_seed.map(plan_of);
+    let wf = engine.run_workflow(&jobs);
+    let blocks: Vec<Vec<u8>> = dfs
+        .get("out")
+        .expect("workflow output")
+        .blocks
+        .iter()
+        .map(|b| b.as_ref().to_vec())
+        .collect();
+    (wf, blocks)
+}
+
+/// Under reduce-side chaos the entire attempt ledger — including wasted
+/// output bytes, which are *measured during execution* — must be identical
+/// at every worker count, because doomed and superseded attempts always run
+/// the serial full-partition merge regardless of how committed merges shard.
+#[test]
+fn sharded_reduce_ledger_is_worker_count_independent() {
+    let cfg = ChaosConfig::from_env();
+    let plan_of = |seed: u64| FaultPlan {
+        reduce_fail_p: 0.7,
+        straggler_p: 0.3,
+        straggler_slowdown: 5.0,
+        speculation: true,
+        ..FaultPlan::new(seed)
+    };
+    for seed in &cfg.seeds {
+        let ledgers: Vec<Vec<(u64, u64, u64, u64, u64, String)>> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&workers| {
+                let s = Scenario {
+                    fault_seed: Some(*seed),
+                    workers,
+                };
+                let (wf, _) = run_sharded(&s, plan_of);
+                wf.jobs
+                    .iter()
+                    .map(|j| {
+                        (
+                            j.task_attempts(),
+                            j.failed_attempts,
+                            j.wasted_input_records,
+                            j.wasted_output_bytes,
+                            j.speculative_attempts,
+                            format!("{:.6}", j.backoff_s),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        for l in &ledgers[1..] {
+            assert_eq!(
+                l, &ledgers[0],
+                "seed {seed:#x}: fault ledger drifted with worker count"
+            );
+        }
+        let extra: u64 = {
+            let s = Scenario {
+                fault_seed: Some(*seed),
+                workers: 8,
+            };
+            let (wf, _) = run_sharded(&s, plan_of);
+            assert_eq!(
+                wf.jobs.iter().map(|j| j.extra_attempts()).sum::<u64>(),
+                wf.total_retried_attempts() + wf.total_speculative_attempts(),
+                "seed {seed:#x}: attempt ledger must balance"
+            );
+            wf.total_retried_attempts() + wf.total_speculative_attempts()
+        };
+        assert!(extra > 0, "seed {seed:#x}: reduce chaos injected nothing");
+    }
 }
 
 /// Faulted runs must report the chaos they absorbed — retries and/or

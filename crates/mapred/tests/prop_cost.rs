@@ -161,7 +161,7 @@ fn ladder_cost(plan: Option<FaultPlan>) -> f64 {
         .output("out")
         .num_reducers(4)
         .build();
-    let mut engine = Engine::with_workers(dfs, 4);
+    let mut engine = Engine::pinned(dfs);
     engine.faults = plan;
     let wf = engine.run_workflow(&[job]);
     ClusterModel::nodes10().workflow_time(&wf)

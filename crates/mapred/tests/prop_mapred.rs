@@ -140,7 +140,7 @@ proptest! {
         if with_combiner {
             builder = builder.combiner(Arc::new(FnReduceFactory(|| SumTask { to_output: false })));
         }
-        let metrics = Engine::with_workers(dfs.clone(), 4).run_job(&builder.build());
+        let metrics = Engine::pinned(dfs.clone()).run_job(&builder.build());
         prop_assert_eq!(metrics.input_records as usize, words.len());
 
         let mut got: HashMap<String, u32> = HashMap::new();

@@ -1,0 +1,123 @@
+//! Property test for the shard-parallel reduce merge: cutting a partition's
+//! sorted runs into key-range shards with [`plan_shards`] and merging each
+//! shard independently must reproduce the serial [`merge_key_groups`] pass
+//! exactly — same key groups, same value order inside each group, and no
+//! key group straddling a shard boundary — for arbitrary run shapes,
+//! duplicate-heavy key distributions, empty runs, and degenerate shard
+//! counts.
+
+use rapida_testkit::prelude::*;
+
+use rapida_mapred::{merge_key_groups, plan_shards, shard_merge_key_groups, KvBuffer, Run};
+
+/// Build one sorted run from `(key_id, value)` pairs. Keys come from a tiny
+/// id space so equal keys frequently cross runs; values are tagged with the
+/// run index and insertion order so value-order violations are visible.
+fn run_buffer(run_idx: usize, pairs: &[(u8, u8)]) -> KvBuffer {
+    let mut kvs = KvBuffer::default();
+    for (i, (kid, v)) in pairs.iter().enumerate() {
+        // Two-byte key: duplicates both within and across runs.
+        kvs.push(&[b'k', kid % 7], &[*v, run_idx as u8, i as u8]);
+    }
+    kvs.sort_unstable();
+    kvs
+}
+
+/// One flattened group list: `(key, concatenated values in order)`.
+type Groups = Vec<(Vec<u8>, Vec<Vec<u8>>)>;
+
+fn serial_groups(runs: &[Run<'_>]) -> Groups {
+    let mut out: Groups = Vec::new();
+    merge_key_groups(runs, None, |key, values| {
+        out.push((key.to_vec(), values.iter().map(|v| v.to_vec()).collect()));
+    });
+    out
+}
+
+proptest! {
+    #[test]
+    fn sharded_merge_is_byte_identical_to_serial(
+        runs in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), any::<u8>()), 0..40), 0..6),
+        shards in 1usize..8,
+    ) {
+        let bufs: Vec<KvBuffer> = runs
+            .iter()
+            .enumerate()
+            .map(|(i, pairs)| run_buffer(i, pairs))
+            .collect();
+        let runs: Vec<Run<'_>> = bufs.iter().map(Run::sorted).collect();
+        let serial = serial_groups(&runs);
+
+        // Shard-by-shard merge through the plan, concatenated in shard
+        // order, must equal the serial merge...
+        let plan = plan_shards(&runs, shards);
+        let mut sharded: Groups = Vec::new();
+        let mut boundary_keys: Vec<Option<Vec<u8>>> = Vec::new();
+        for shard_runs in &plan {
+            let mut first_key: Option<Vec<u8>> = None;
+            merge_key_groups(shard_runs, None, |key, values| {
+                if first_key.is_none() {
+                    first_key = Some(key.to_vec());
+                }
+                sharded.push((key.to_vec(), values.iter().map(|v| v.to_vec()).collect()));
+            });
+            boundary_keys.push(first_key);
+        }
+        prop_assert_eq!(&sharded, &serial);
+
+        // ...and no key group may straddle a boundary. A straddled group
+        // would surface as two adjacent entries with the same key in the
+        // concatenation (the serial merge emits each key once), so adjacent
+        // sharded groups must always have strictly increasing keys. The
+        // per-shard first keys must be strictly increasing as well.
+        for w in sharded.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "adjacent groups share a key: {:?}", w[0].0);
+        }
+        let firsts: Vec<&Vec<u8>> = boundary_keys.iter().flatten().collect();
+        for w in firsts.windows(2) {
+            prop_assert!(w[0] < w[1], "shard first keys must strictly increase");
+        }
+
+        // The convenience serial driver agrees too, and reports the shard
+        // index non-decreasingly.
+        let mut driver: Groups = Vec::new();
+        let mut last_shard = 0usize;
+        let consumed = shard_merge_key_groups(&runs, shards, |s, key, values| {
+            assert!(s >= last_shard, "shard order must be non-decreasing");
+            last_shard = s;
+            driver.push((key.to_vec(), values.iter().map(|v| v.to_vec()).collect()));
+        });
+        prop_assert_eq!(&driver, &serial);
+        prop_assert_eq!(consumed, runs.iter().map(|r| r.len()).sum::<usize>());
+    }
+
+    #[test]
+    fn empty_and_single_key_runs_never_break_the_plan(
+        n_empty in 0usize..4,
+        dup_len in 0usize..30,
+        shards in 1usize..10,
+    ) {
+        // Pathological partition: some all-empty runs plus one run whose
+        // keys are all identical — no legal cut point exists, so every
+        // plan must collapse to one effective shard holding the whole run.
+        let mut bufs: Vec<KvBuffer> = (0..n_empty).map(|_| KvBuffer::default()).collect();
+        bufs.push(run_buffer(0, &vec![(3u8, 9u8); dup_len]));
+        let runs: Vec<Run<'_>> = bufs.iter().map(Run::sorted).collect();
+        let serial = serial_groups(&runs);
+
+        let plan = plan_shards(&runs, shards);
+        let mut sharded: Groups = Vec::new();
+        for shard_runs in &plan {
+            merge_key_groups(shard_runs, None, |key, values| {
+                sharded.push((key.to_vec(), values.iter().map(|v| v.to_vec()).collect()));
+            });
+        }
+        prop_assert_eq!(&sharded, &serial);
+        if dup_len > 0 {
+            // All duplicates of the single key stay in one group.
+            prop_assert_eq!(sharded.len(), 1);
+            prop_assert_eq!(sharded[0].1.len(), dup_len);
+        }
+    }
+}

@@ -28,7 +28,8 @@ pub mod triplegroup;
 
 pub use hashagg::AggTable;
 pub use ops::{
-    accumulate, accumulate_view, agg_join, alpha_join, finalize_groups, n_split,
+    accumulate, accumulate_view, agg_join, alpha_join, finalize_groups, finalize_groups_par,
+    n_split,
     opt_group_filter, opt_group_filter_into, AccumScratch,
 };
 pub use spec::{

@@ -327,17 +327,60 @@ pub fn finalize_groups(
     groups: Vec<(Vec<u64>, Vec<PartialAgg>)>,
     ops: &[AggOp],
 ) -> Vec<(Vec<u64>, Vec<Option<f64>>)> {
-    groups
-        .into_iter()
-        .map(|(k, partials)| {
-            let values = partials
-                .iter()
-                .zip(ops)
-                .map(|(p, op)| p.finalize(*op))
-                .collect();
-            (k, values)
-        })
-        .collect()
+    finalize_groups_par(groups, ops, 1)
+}
+
+/// [`finalize_groups`] with the group list cut into contiguous chunks
+/// finalized on `workers` scoped threads. Each group's finalize reads only
+/// its own partials — key-local in the engine's sense — so chunk outputs
+/// concatenated in chunk order are exactly the serial result at any worker
+/// count.
+pub fn finalize_groups_par(
+    groups: Vec<(Vec<u64>, Vec<PartialAgg>)>,
+    ops: &[AggOp],
+    workers: usize,
+) -> Vec<(Vec<u64>, Vec<Option<f64>>)> {
+    const MIN_PAR_GROUPS: usize = 1024;
+    let finalize_chunk = |chunk: Vec<(Vec<u64>, Vec<PartialAgg>)>| {
+        chunk
+            .into_iter()
+            .map(|(k, partials)| {
+                let values = partials
+                    .iter()
+                    .zip(ops)
+                    .map(|(p, op)| p.finalize(*op))
+                    .collect();
+                (k, values)
+            })
+            .collect::<Vec<_>>()
+    };
+    let workers = workers.max(1).min(groups.len() / MIN_PAR_GROUPS + 1);
+    if workers <= 1 {
+        return finalize_chunk(groups);
+    }
+    // Split into owned chunks front to back, finalize each on its own
+    // scoped thread, join in spawn order.
+    let per = groups.len().div_ceil(workers);
+    let mut rest = groups;
+    let mut chunks: Vec<Vec<(Vec<u64>, Vec<PartialAgg>)>> = Vec::with_capacity(workers);
+    while rest.len() > per {
+        let tail = rest.split_off(per);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+    let finalize_chunk = &finalize_chunk;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || finalize_chunk(c)))
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            out.extend(h.join().expect("finalize worker panicked"));
+        }
+        out
+    })
 }
 
 #[cfg(test)]
@@ -655,6 +698,33 @@ mod tests {
         p.add(Some(6.0));
         let out = finalize_groups(vec![(vec![1], vec![p])], &[AggOp::Avg]);
         assert_eq!(out[0].1[0], Some(5.0));
+    }
+
+    #[test]
+    fn finalize_groups_par_matches_serial_in_order() {
+        // Enough groups to clear the MIN_PAR_GROUPS floor and genuinely
+        // split across threads.
+        let mk = || {
+            (0..5000usize)
+                .map(|i| {
+                    let mut p = PartialAgg::default();
+                    p.add(Some(i as f64));
+                    p.add(if i % 7 == 0 { None } else { Some(2.0 * i as f64) });
+                    let mut q = PartialAgg::default();
+                    q.add(Some(1.0));
+                    (vec![i as u64, (i % 13) as u64], vec![p, q])
+                })
+                .collect::<Vec<_>>()
+        };
+        let ops = [AggOp::Sum, AggOp::Count];
+        let serial = finalize_groups_par(mk(), &ops, 1);
+        for workers in [2, 3, 8] {
+            assert_eq!(
+                finalize_groups_par(mk(), &ops, workers),
+                serial,
+                "chunk-parallel finalize must match serial at {workers} workers"
+            );
+        }
     }
 
     #[test]

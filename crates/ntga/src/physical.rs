@@ -278,6 +278,14 @@ pub struct AlphaJoinReducer {
 }
 
 impl AlphaJoinReducer {
+    /// This reducer is *key-local* (see
+    /// `rapida_mapred::ReduceTaskFactory::key_local`): each key group's join
+    /// product depends only on that group's values — the index lists and
+    /// emit buffer are per-call scratch, cleared on entry — and `cleanup`
+    /// emits nothing. Factories may wrap it in `rapida_mapred::KeyLocal` to
+    /// let the engine shard its partitions across workers.
+    pub const KEY_LOCAL: bool = true;
+
     /// Create from the shared α-condition list (empty = accept all).
     pub fn new(conds: Arc<Vec<AlphaCond>>) -> Self {
         AlphaJoinReducer {
@@ -648,6 +656,14 @@ pub struct AggJoinReducer {
 }
 
 impl AggJoinReducer {
+    /// This reducer is *key-local* (see
+    /// `rapida_mapred::ReduceTaskFactory::key_local`): the partial-aggregate
+    /// merge and finalize for one `id#grp` key read nothing but that key
+    /// group — `group_key` / `merged` / `buf` are per-call scratch — and
+    /// `cleanup` emits nothing. Factories may wrap it in
+    /// `rapida_mapred::KeyLocal` to let the engine shard its partitions.
+    pub const KEY_LOCAL: bool = true;
+
     /// Create from shared config (for spec/op lookup by id).
     pub fn new(config: Arc<AggJoinConfig>) -> Self {
         AggJoinReducer {
@@ -721,7 +737,7 @@ mod tests {
     use super::*;
     use crate::spec::{AggOp, AggRec, AggSpec, AlphaTerm, PropReq, VarRef};
     use rapida_mapred::{
-        DatasetWriter, Engine, FnMapFactory, FnReduceFactory, JobBuilder, SimDfs,
+        DatasetWriter, Engine, FnMapFactory, FnReduceFactory, JobBuilder, KeyLocal, SimDfs,
     };
 
     const TY: u64 = 1;
@@ -791,7 +807,7 @@ mod tests {
                 let c = config.clone();
                 move || TgJoinMapper::new(c.clone())
             })))
-            .reducer(Arc::new(FnReduceFactory({
+            .reducer(Arc::new(KeyLocal(FnReduceFactory({
                 let c = conds.clone();
                 move || {
                     if legacy {
@@ -800,11 +816,11 @@ mod tests {
                         AlphaJoinReducer::new(c.clone())
                     }
                 }
-            })))
+            }))))
             .output(out_name)
             .num_reducers(2)
             .build();
-        Engine::with_workers(dfs.clone(), 4).run_job(&job);
+        Engine::pinned(dfs.clone()).run_job(&job);
         dfs.get(out_name)
             .unwrap()
             .iter_records()
@@ -879,13 +895,13 @@ mod tests {
                 let c = config.clone();
                 move || TgJoinMapper::new(c.clone())
             })))
-            .reducer(Arc::new(FnReduceFactory({
+            .reducer(Arc::new(KeyLocal(FnReduceFactory({
                 let c = conds.clone();
                 move || AlphaJoinReducer::new(c.clone())
-            })))
+            }))))
             .output("joined")
             .build();
-        Engine::with_workers(dfs.clone(), 4).run_job(&job);
+        Engine::pinned(dfs.clone()).run_job(&job);
         let joined: Vec<AnnTg> = dfs
             .get("joined")
             .unwrap()
@@ -950,13 +966,13 @@ mod tests {
                 let c = config.clone();
                 move || AggJoinMapper::new(c.clone())
             })))
-            .reducer(Arc::new(FnReduceFactory({
+            .reducer(Arc::new(KeyLocal(FnReduceFactory({
                 let c = config.clone();
                 move || AggJoinReducer::new(c.clone())
-            })))
+            }))))
             .output("aggs")
             .build();
-        Engine::with_workers(dfs.clone(), 4).run_job(&job);
+        Engine::pinned(dfs.clone()).run_job(&job);
         let mut recs: Vec<AggRec> = dfs
             .get("aggs")
             .unwrap()
@@ -1022,13 +1038,13 @@ mod tests {
                     let c = config.clone();
                     move || AggJoinMapper::new(c.clone())
                 })))
-                .reducer(Arc::new(FnReduceFactory({
+                .reducer(Arc::new(KeyLocal(FnReduceFactory({
                     let c = config.clone();
                     move || AggJoinReducer::new(c.clone())
-                })))
+                }))))
                 .output(out)
                 .build();
-            Engine::with_workers(dfs.clone(), 4).run_job(&job)
+            Engine::pinned(dfs.clone()).run_job(&job)
         };
         let with = run(true, "out_with");
         let without = run(false, "out_without");
@@ -1129,14 +1145,14 @@ mod tests {
                     let c = config.clone();
                     move || AggJoinMapper::new(c.clone())
                 })))
-                .reducer(Arc::new(FnReduceFactory({
+                .reducer(Arc::new(KeyLocal(FnReduceFactory({
                     let c = config.clone();
                     move || AggJoinReducer::new(c.clone())
-                })))
+                }))))
                 .output(out)
                 .num_reducers(2)
                 .build();
-            Engine::with_workers(dfs.clone(), 4).run_job(&job);
+            Engine::pinned(dfs.clone()).run_job(&job);
         };
         for combine in [true, false] {
             let (a, b) = if combine {

@@ -381,6 +381,43 @@ impl Bencher {
         }
         self.samples_ns = samples;
     }
+
+    /// Time `f` with a caller-measured clock — criterion's `iter_custom`
+    /// shape. `f` receives an iteration count and returns the total
+    /// [`Duration`] those iterations took by whatever clock the caller
+    /// trusts (e.g. a busy-time makespan rather than wall time, on machines
+    /// where wall-clock parallel speedup is meaningless). Samples record
+    /// mean per-iteration nanoseconds, exactly like [`Self::iter`].
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        if self.smoke {
+            self.samples_ns = vec![f(1).as_nanos() as f64];
+            self.iters_per_sample = 1;
+            return;
+        }
+
+        // Warmup, measuring per-call cost by wall clock to pick a batch
+        // that fills the per-sample time budget.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(f(1));
+            warm_iters += 1;
+        }
+        let per_call_ns =
+            (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        let target_sample_ns =
+            self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let batch = (target_sample_ns / per_call_ns).clamp(1.0, 1e7) as u64;
+        self.iters_per_sample = batch;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let total = f(batch);
+            samples.push(total.as_nanos() as f64 / batch as f64);
+        }
+        self.samples_ns = samples;
+    }
 }
 
 /// Bundle bench functions into a group runner — criterion's macro shape.
@@ -443,6 +480,24 @@ mod tests {
         for r in &g.results {
             assert_eq!(r.samples_ns.len(), 3);
             assert!(r.min_ns <= r.median_ns);
+        }
+        // Don't write a JSON file from unit tests: drop without finish().
+    }
+
+    #[test]
+    fn iter_custom_uses_the_callers_clock() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("testgroup_custom");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        g.bench_function("fixed", |b| {
+            // Report exactly 1 µs per iteration regardless of wall time.
+            b.iter_custom(|iters| Duration::from_micros(iters))
+        });
+        assert_eq!(g.results.len(), 1);
+        for &s in &g.results[0].samples_ns {
+            assert!((s - 1000.0).abs() < 1.0, "sample {s} should be ~1000 ns");
         }
         // Don't write a JSON file from unit tests: drop without finish().
     }

@@ -31,6 +31,12 @@ pub mod chaos;
 pub mod prop;
 pub mod rng;
 
+/// The worker count test suites pin their engines to, so measured metrics
+/// never depend on the host machine's parallelism. Engines consume it via
+/// `Engine::pinned` (in `rapida-mapred`, which depends on this crate); the
+/// constant lives here so every suite inherits a change from one place.
+pub const PINNED_WORKERS: usize = 4;
+
 /// One-line import for property tests, mirroring `proptest::prelude::*`.
 ///
 /// Ported test files keep their `proptest::collection::vec(..)` /

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Benchmark report runner. Usage:
 #
-#   scripts/bench_report.sh [mapred|query|all]
+#   scripts/bench_report.sh [mapred|query|scale|all]
 #
 # Runs the requested bench group(s) with real measurement settings and
 # validates the resulting BENCH_<group>.json in the repo root (override the
@@ -14,14 +14,18 @@
 #   BENCH_query.json  — Fig. 8 MG queries on RAPIDAnalytics, zero-copy view
 #     operators vs the owned-decode path; the view path must be >= 1.3x
 #     faster at the median across queries.
+#   BENCH_scale.json  — 1M-record shuffle at 1/2/4/8 workers, measured as
+#     busy-time makespan (busiest worker's CPU time per phase, so the floor
+#     holds even on a 1-core container); 4 workers must be >= 2x faster
+#     than 1 worker.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GROUP="${1:-all}"
 case "$GROUP" in
-    mapred|query|all) ;;
+    mapred|query|scale|all) ;;
     *)
-        echo "usage: $0 [mapred|query|all]" >&2
+        echo "usage: $0 [mapred|query|scale|all]" >&2
         exit 2
         ;;
 esac
@@ -49,6 +53,11 @@ run_mapred() {
 run_query() {
     echo "==> Fig. 8 view-vs-owned query bench (writes BENCH_query.json)"
     cargo bench --offline -p rapida-bench --bench query
+}
+
+run_scale() {
+    echo "==> worker-count scaling bench (writes BENCH_scale.json)"
+    cargo bench --offline -p rapida-bench --bench scale
 }
 
 check_mapred() {
@@ -115,17 +124,58 @@ if not report.get("smoke") and median < 1.3:
 EOF
 }
 
+check_scale() {
+    echo "==> checking BENCH_scale.json"
+    python3 - "$DEST/BENCH_scale.json" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        report = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"FAIL: {path} missing or malformed: {e}")
+by_workers = {}
+for b in report["benchmarks"]:
+    # ids look like shuffle_1m/w4 (shuffle_50k/w4 in smoke mode)
+    tag, _, w = b["id"].partition("/w")
+    if w.isdigit():
+        by_workers[int(w)] = b
+if not by_workers:
+    sys.exit(f"FAIL: {path} has no <workload>/w<N> benchmarks")
+base = by_workers.get(1)
+if base is None:
+    sys.exit(f"FAIL: {path} lacks the 1-worker baseline")
+for w in sorted(by_workers):
+    b = by_workers[w]
+    speedup = base["median_ns"] / b["median_ns"]
+    print(f"  w{w}: busy makespan {b['median_ns'] / 1e6:.1f} ms  ({speedup:.2f}x vs w1)")
+four = by_workers.get(4)
+if four is None:
+    sys.exit(f"FAIL: {path} lacks the 4-worker point")
+ratio = base["median_ns"] / four["median_ns"]
+if not report.get("smoke") and ratio < 2.0:
+    sys.exit(f"FAIL: 4-worker speedup {ratio:.2f}x is below the 2x floor")
+EOF
+}
+
 if [ "$GROUP" = "mapred" ] || [ "$GROUP" = "all" ]; then
     run_mapred
 fi
 if [ "$GROUP" = "query" ] || [ "$GROUP" = "all" ]; then
     run_query
 fi
+if [ "$GROUP" = "scale" ] || [ "$GROUP" = "all" ]; then
+    run_scale
+fi
 if [ "$GROUP" = "mapred" ] || [ "$GROUP" = "all" ]; then
     check_mapred
 fi
 if [ "$GROUP" = "query" ] || [ "$GROUP" = "all" ]; then
     check_query
+fi
+if [ "$GROUP" = "scale" ] || [ "$GROUP" = "all" ]; then
+    check_scale
 fi
 
 echo "==> bench report OK ($DEST)"

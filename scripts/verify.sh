@@ -19,6 +19,9 @@ cargo test -q --workspace --offline
 echo "==> chaos smoke (4 fault seeds x worker counts)"
 RAPIDA_CHAOS_SEEDS=4 cargo test -q --offline -p rapida-mapred --test chaos
 
+echo "==> scale smoke (worker-count determinism matrix)"
+cargo test -q --offline --test scale_identity
+
 echo "==> bench smoke (1 iteration per benchmark)"
 # Absolute path: bench binaries run with cwd = crates/bench, where a
 # relative RAPIDA_BENCH_DIR would silently land.
@@ -56,6 +59,21 @@ ids = [b["id"] for b in report["benchmarks"]]
 for prefix in ("views/", "legacy_owned/"):
     if not any(i.startswith(prefix) for i in ids):
         sys.exit(f"FAIL: BENCH_query.json lacks a {prefix}* benchmark")
+print(f"  ok: {ids}")
+EOF
+
+echo "==> BENCH_scale.json present and well-formed"
+python3 - target/bench-smoke/BENCH_scale.json <<'EOF'
+import json, sys
+try:
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"FAIL: BENCH_scale.json missing or malformed: {e}")
+ids = [b["id"] for b in report["benchmarks"]]
+for w in (1, 2, 4, 8):
+    if not any(i.endswith(f"/w{w}") for i in ids):
+        sys.exit(f"FAIL: BENCH_scale.json lacks a */w{w} benchmark")
 print(f"  ok: {ids}")
 EOF
 

@@ -126,7 +126,7 @@ proptest! {
         let expected = evaluate(&query, &g).canonicalized(&g.dict);
         let aq = extract(&query).unwrap();
         let cat = DataCatalog::load(&g);
-        let mr = MrEngine::with_workers(cat.dfs.clone(), 4);
+        let mr = MrEngine::pinned(cat.dfs.clone());
         let engines: Vec<Box<dyn QueryEngine>> = vec![
             Box::new(HiveNaive::default()),
             Box::new(HiveMqo::default()),
@@ -155,7 +155,7 @@ proptest! {
         let expected = evaluate(&query, &g).canonicalized(&g.dict);
         let aq = extract(&query).unwrap();
         let cat = DataCatalog::load(&g);
-        let mr = MrEngine::with_workers(cat.dfs.clone(), 4);
+        let mr = MrEngine::pinned(cat.dfs.clone());
         let variants: Vec<RapidAnalytics> = vec![
             RapidAnalytics { map_side_combine: false, ..Default::default() },
             RapidAnalytics { alpha_pruning: false, ..Default::default() },
