@@ -5,7 +5,7 @@ use rapida_mapred::SimDfs;
 use rapida_ntga::NumericSnapshot;
 use rapida_rdf::{Dictionary, Graph, GraphStats, Term, TermId};
 use rapida_sparql::analysis::PropKey;
-use rapida_storage::{TgStore, VpKey, VpStore};
+use rapida_storage::{StatsCatalog, TgStore, VpKey, VpStore};
 use std::sync::Arc;
 
 /// Sentinel id for query constants absent from the data: matches nothing.
@@ -29,6 +29,8 @@ pub struct DataCatalog {
     pub lexical: Arc<Vec<String>>,
     /// Graph statistics (property cardinalities, type counts).
     pub stats: Arc<GraphStats>,
+    /// Per-predicate count/NDV statistics (sorted; plan-enumeration inputs).
+    pub pstats: Arc<StatsCatalog>,
 }
 
 /// Load-time tuning knobs.
@@ -68,6 +70,7 @@ impl DataCatalog {
             numeric: Arc::new(graph.dict.numeric_snapshot()),
             lexical: Arc::new(graph.dict.lexical_snapshot()),
             stats: Arc::new(graph.stats()),
+            pstats: Arc::new(StatsCatalog::compute(graph)),
         }
     }
 

@@ -15,7 +15,7 @@ use crate::relops::{
     GroupAggReduceTask, JoinCycleCfg, JoinInputCfg, JoinMapTask, JoinReduceTask, MapJoinCfg,
     MapJoinFactory, MapJoinSmall, PredOnCol, ScanKind,
 };
-use rapida_mapred::{FnMapFactory, FnReduceFactory, Job, JobBuilder, KeyLocal};
+use rapida_mapred::{ClusterModel, FnMapFactory, FnReduceFactory, Job, JobBuilder, KeyLocal};
 use rapida_ntga::AggOp;
 use rapida_rdf::FxHashMap;
 use rapida_sparql::analysis::{PropKey, StarDecomposition};
@@ -34,6 +34,13 @@ pub struct HiveConfig {
     pub map_join_threshold: usize,
     /// Hash-based map-side partial aggregation.
     pub map_side_agg: bool,
+    /// Explicit star-join edge orders, one per planning unit (block index
+    /// for the naive planner; unit 0 for the MQO composite). Each entry is a
+    /// permutation of the unit's join-edge indexes; the planner consumes
+    /// edges in that order as long as every prefix stays connected. Empty =
+    /// the default greedy (first connecting edge) order. Set by the plan
+    /// enumerator.
+    pub join_orders: Vec<Vec<usize>>,
 }
 
 impl Default for HiveConfig {
@@ -41,6 +48,7 @@ impl Default for HiveConfig {
         HiveConfig {
             map_join_threshold: 24 * 1024,
             map_side_agg: true,
+            join_orders: Vec::new(),
         }
     }
 }
@@ -50,6 +58,10 @@ impl Default for HiveConfig {
 pub struct HiveNaive {
     /// Engine configuration.
     pub config: HiveConfig,
+    /// Cost-based opt-in: when set, `plan` runs the mini-Volcano enumerator
+    /// over the Hive plan family and returns the cheapest physical plan
+    /// under this cluster model instead of the fixed naive shape.
+    pub cost_model: Option<ClusterModel>,
 }
 
 /// Hive (MQO): composite pattern via OPTIONAL-style left-outer joins,
@@ -58,6 +70,8 @@ pub struct HiveNaive {
 pub struct HiveMqo {
     /// Engine configuration.
     pub config: HiveConfig,
+    /// Cost-based opt-in (see [`HiveNaive::cost_model`]).
+    pub cost_model: Option<ClusterModel>,
 }
 
 impl QueryEngine for HiveNaive {
@@ -66,6 +80,10 @@ impl QueryEngine for HiveNaive {
     }
 
     fn plan(&self, aq: &AnalyticalQuery, cat: &DataCatalog) -> Result<QueryPlan, PlanError> {
+        if let Some(model) = self.cost_model {
+            return crate::enumerate::enumerate_best(crate::enumerate::Family::Hive, aq, cat, &model)
+                .map(|e| e.plan);
+        }
         let pid = next_plan_id("hn");
         let mut planner = RelPlanner::new(cat, &self.config, pid.clone());
         let mut block_datasets = Vec::new();
@@ -90,11 +108,16 @@ impl QueryEngine for HiveMqo {
     }
 
     fn plan(&self, aq: &AnalyticalQuery, cat: &DataCatalog) -> Result<QueryPlan, PlanError> {
+        if let Some(model) = self.cost_model {
+            return crate::enumerate::enumerate_best(crate::enumerate::Family::Hive, aq, cat, &model)
+                .map(|e| e.plan);
+        }
         if aq.blocks.len() < 2 {
             // MQO rewriting needs multiple patterns; single blocks compile
             // exactly like naive Hive.
             let naive = HiveNaive {
                 config: self.config.clone(),
+                cost_model: None,
             };
             let mut plan = naive.plan(aq, cat)?;
             plan.engine = "Hive (MQO)";
@@ -105,6 +128,7 @@ impl QueryEngine for HiveMqo {
             CompositeOutcome::NotOverlapping(_) => {
                 let naive = HiveNaive {
                     config: self.config.clone(),
+                    cost_model: None,
                 };
                 let mut plan = naive.plan(aq, cat)?;
                 plan.engine = "Hive (MQO)";
@@ -218,6 +242,7 @@ impl<'a> RelPlanner<'a> {
     fn join_cycle(
         &mut self,
         label: &str,
+        tag: &str,
         rels: Vec<Rel>,
         key_var: &Var,
         needed: &BTreeSet<Var>,
@@ -337,6 +362,7 @@ impl<'a> RelPlanner<'a> {
                 .input(stream.dataset.clone())
                 .mapper(Arc::new(MapJoinFactory::new(cfg, self.cat.dfs.clone())))
                 .output(out_name.clone())
+                .tag(tag)
                 .build()
         } else {
             // Reduce-side join.
@@ -393,6 +419,7 @@ impl<'a> RelPlanner<'a> {
             }))))
             .output(out_name.clone())
             .num_reducers(NUM_REDUCERS)
+            .tag(tag)
             .build()
         };
         self.jobs.push(job);
@@ -414,6 +441,7 @@ impl<'a> RelPlanner<'a> {
         block: &GroupingBlock,
         block_id: u8,
     ) -> Result<String, PlanError> {
+        let tag = format!("agg b{block_id}");
         self.cycle += 1;
         let out = format!("{}_agg{}", self.prefix, self.cycle);
         let group_cols = block
@@ -461,6 +489,7 @@ impl<'a> RelPlanner<'a> {
             }))))
             .output(out.clone())
             .num_reducers(NUM_REDUCERS)
+            .tag(tag)
             .build();
         self.jobs.push(job);
         Ok(out)
@@ -485,9 +514,16 @@ impl<'a> RelPlanner<'a> {
 
     /// Join the stars of a decomposition (BFS along the join edges),
     /// starting from per-star relations; returns the final relation.
+    ///
+    /// `unit` indexes into [`HiveConfig::join_orders`]: when an explicit
+    /// edge permutation is configured for this planning unit, edges are
+    /// offered in that order (each prefix must stay connected, which the
+    /// enumerator guarantees; a disconnected prefix falls back to the first
+    /// connecting edge of the permuted sequence).
     fn join_stars(
         &mut self,
         label: &str,
+        unit: usize,
         dec: &StarDecomposition,
         mut star_rels: Vec<Rel>,
         needed: &BTreeSet<Var>,
@@ -497,8 +533,15 @@ impl<'a> RelPlanner<'a> {
         }
         // Vars needed downstream of star-star joins, including join vars.
         let mut joined: Vec<usize> = Vec::new();
-        let mut remaining: Vec<&rapida_sparql::analysis::StarJoin> = dec.joins.iter().collect();
+        let mut remaining: Vec<&rapida_sparql::analysis::StarJoin> =
+            match self.cfg.join_orders.get(unit) {
+                Some(ord) if is_permutation(ord, dec.joins.len()) => {
+                    ord.iter().map(|&i| &dec.joins[i]).collect()
+                }
+                _ => dec.joins.iter().collect(),
+            };
         let mut acc: Option<Rel> = None;
+        let mut k = 0usize;
         while !remaining.is_empty() {
             let pos = if joined.is_empty() {
                 0
@@ -541,7 +584,14 @@ impl<'a> RelPlanner<'a> {
                     format!("{label}:join {}", edge.var),
                 )
             };
-            acc = Some(self.join_cycle(&label_n, rels, &edge.var, &cycle_needed)?);
+            acc = Some(self.join_cycle(
+                &label_n,
+                &format!("join u{unit} k{k}"),
+                rels,
+                &edge.var,
+                &cycle_needed,
+            )?);
+            k += 1;
         }
         if joined.len() != dec.stars.len() {
             return Err(PlanError::Unsupported("disconnected star-join graph".into()));
@@ -581,6 +631,7 @@ impl<'a> RelPlanner<'a> {
                 star_needed.insert(star.subject.clone());
                 self.join_cycle(
                     &format!("Hive b{b}:star {}", star.subject),
+                    &format!("star u{b} s{s}"),
                     rels,
                     &star.subject,
                     &star_needed,
@@ -588,7 +639,8 @@ impl<'a> RelPlanner<'a> {
             };
             star_rels.push(rel);
         }
-        let final_rel = self.join_stars(&format!("Hive b{b}"), &dec, star_rels, &needed)?;
+        let final_rel =
+            self.join_stars(&format!("Hive b{b}"), b as usize, &dec, star_rels, &needed)?;
         self.group_agg_cycle(&format!("Hive b{b}:group-agg"), &final_rel, block, b)
     }
 
@@ -737,6 +789,7 @@ impl<'a> RelPlanner<'a> {
             } else {
                 self.join_cycle(
                     &format!("HiveMQO:composite-star {}", subjects[cs]),
+                    &format!("star u0 s{cs}"),
                     rels,
                     &subjects[cs].clone(),
                     &qopt_needed,
@@ -745,7 +798,7 @@ impl<'a> RelPlanner<'a> {
             star_out.push(rel);
         }
         // Composite star-star joins (block 0's join structure).
-        let qopt = self.join_stars("HiveMQO:composite", &decs[0], star_out, &qopt_needed)?;
+        let qopt = self.join_stars("HiveMQO:composite", 0, &decs[0], star_out, &qopt_needed)?;
 
         // When the composite has no secondary properties the blocks are
         // structurally identical: every QOPT row is an exact solution of
@@ -830,6 +883,7 @@ impl<'a> RelPlanner<'a> {
                 .reducer(Arc::new(KeyLocal(FnReduceFactory(|| DistinctReduceTask))))
                 .output(extract_out.clone())
                 .num_reducers(NUM_REDUCERS)
+                .tag(format!("extract b{b}"))
                 .build();
             self.jobs.push(job);
 
@@ -854,6 +908,23 @@ impl<'a> RelPlanner<'a> {
         }
         Ok(block_datasets)
     }
+}
+
+/// Is `ord` a permutation of `0..n`? Anything else is ignored by
+/// [`RelPlanner::join_stars`] (defensive: the enumerator only produces
+/// valid permutations, but configs are public).
+pub(crate) fn is_permutation(ord: &[usize], n: usize) -> bool {
+    if ord.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &i in ord {
+        if i >= n || seen[i] {
+            return false;
+        }
+        seen[i] = true;
+    }
+    true
 }
 
 fn insert_mapping(

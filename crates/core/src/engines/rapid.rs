@@ -9,7 +9,7 @@ use crate::composite::{build_composite, CompositeOutcome, CompositePattern, Edge
 use crate::filters::{compile_block_filters, StarFilter, ValuePred};
 use crate::plan::{agg_op_of, finish_plan, next_plan_id, PlanError, QueryEngine, QueryPlan};
 use crate::relops::IdPred;
-use rapida_mapred::{FnMapFactory, FnReduceFactory, Job, JobBuilder, KeyLocal};
+use rapida_mapred::{ClusterModel, FnMapFactory, FnReduceFactory, Job, JobBuilder, KeyLocal};
 use rapida_ntga::{
     AggJoinConfig, AggJoinMapper, AggJoinReducer, AggJoinSpec, AggSpec, AlphaCond,
     AlphaJoinReducer, AlphaTerm, AnnRoute, JoinKey, PropReq, Side, StarRoute, StarSpec,
@@ -29,6 +29,15 @@ pub struct RapidPlus {
     /// Run operators on the owned-decode path instead of the borrowed
     /// triplegroup views (benchmark baseline; byte-identical output).
     pub legacy_owned: bool,
+    /// Cost-based mode: enumerate candidate plans across the RAPID family,
+    /// price each with this cluster model, and return the cheapest. `None`
+    /// (default) keeps the fixed plan above.
+    pub cost_model: Option<ClusterModel>,
+    /// Explicit star-join edge orders, one entry per planning unit (block
+    /// index). Each entry must be a permutation of that block's edge
+    /// indexes; missing or invalid entries fall back to the default greedy
+    /// order. Set by the enumerator.
+    pub join_orders: Vec<Vec<usize>>,
 }
 
 impl Default for RapidPlus {
@@ -36,6 +45,8 @@ impl Default for RapidPlus {
         RapidPlus {
             map_side_combine: true,
             legacy_owned: false,
+            cost_model: None,
+            join_orders: Vec::new(),
         }
     }
 }
@@ -55,6 +66,13 @@ pub struct RapidAnalytics {
     /// Run operators on the owned-decode path instead of the borrowed
     /// triplegroup views (benchmark baseline; byte-identical output).
     pub legacy_owned: bool,
+    /// Cost-based mode: enumerate candidate plans across the RAPID family,
+    /// price each with this cluster model, and return the cheapest. `None`
+    /// (default) keeps the fixed plan above.
+    pub cost_model: Option<ClusterModel>,
+    /// Explicit star-join edge orders per planning unit (composite pattern =
+    /// unit 0); invalid entries fall back to the default greedy order.
+    pub join_orders: Vec<Vec<usize>>,
 }
 
 impl Default for RapidAnalytics {
@@ -64,6 +82,8 @@ impl Default for RapidAnalytics {
             alpha_pruning: true,
             parallel_agg: true,
             legacy_owned: false,
+            cost_model: None,
+            join_orders: Vec::new(),
         }
     }
 }
@@ -74,6 +94,15 @@ impl QueryEngine for RapidPlus {
     }
 
     fn plan(&self, aq: &AnalyticalQuery, cat: &DataCatalog) -> Result<QueryPlan, PlanError> {
+        if let Some(model) = self.cost_model {
+            return crate::enumerate::enumerate_best(
+                crate::enumerate::Family::Rapid,
+                aq,
+                cat,
+                &model,
+            )
+            .map(|e| e.plan);
+        }
         let pid = next_plan_id("rp");
         let mut jobs = Vec::new();
         let mut block_datasets = Vec::new();
@@ -86,6 +115,8 @@ impl QueryEngine for RapidPlus {
             let planner = TgJoinPlanner {
                 cat,
                 prefix: format!("{pid}_b{b}"),
+                unit: b,
+                edge_order: self.join_orders.get(b).cloned().unwrap_or_default(),
                 specs,
                 prefilters,
                 edges,
@@ -101,6 +132,7 @@ impl QueryEngine for RapidPlus {
             jobs.push(agg_join_job(
                 cat,
                 &format!("RAPID+:agg-join b{b}"),
+                &format!("agg b{b}"),
                 vec![spec],
                 joined,
                 &planner,
@@ -120,6 +152,15 @@ impl QueryEngine for RapidAnalytics {
     }
 
     fn plan(&self, aq: &AnalyticalQuery, cat: &DataCatalog) -> Result<QueryPlan, PlanError> {
+        if let Some(model) = self.cost_model {
+            return crate::enumerate::enumerate_best(
+                crate::enumerate::Family::Rapid,
+                aq,
+                cat,
+                &model,
+            )
+            .map(|e| e.plan);
+        }
         let composite = match build_composite(&aq.blocks)? {
             CompositeOutcome::Composite(c) => c,
             CompositeOutcome::NotOverlapping(_) => {
@@ -135,6 +176,8 @@ impl QueryEngine for RapidAnalytics {
                 let fallback = RapidPlus {
                     map_side_combine: self.map_side_combine,
                     legacy_owned: self.legacy_owned,
+                    cost_model: None,
+                    join_orders: self.join_orders.clone(),
                 };
                 let mut plan = fallback.plan(aq, cat)?;
                 plan.engine = "RAPIDAnalytics";
@@ -162,6 +205,8 @@ impl QueryEngine for RapidAnalytics {
         let planner = TgJoinPlanner {
             cat,
             prefix: pid.clone(),
+            unit: 0,
+            edge_order: self.join_orders.first().cloned().unwrap_or_default(),
             specs,
             prefilters,
             edges,
@@ -191,6 +236,7 @@ impl QueryEngine for RapidAnalytics {
             jobs.push(agg_join_job(
                 cat,
                 "RAPIDAnalytics:parallel-agg-join",
+                "agg-par",
                 agg_specs,
                 joined.clone(),
                 &planner,
@@ -207,6 +253,7 @@ impl QueryEngine for RapidAnalytics {
                 jobs.push(agg_join_job(
                     cat,
                     &format!("RAPIDAnalytics:agg-join b{b}"),
+                    &format!("agg b{b}"),
                     vec![spec],
                     joined.clone(),
                     &planner,
@@ -287,6 +334,7 @@ impl RapidAnalytics {
             }))))
             .output(out.clone())
             .num_reducers(NUM_REDUCERS)
+            .tag("agg-shared")
             .build();
         let block_datasets = vec![out; aq.blocks.len()];
         finish_plan(
@@ -305,6 +353,11 @@ impl RapidAnalytics {
 pub(crate) struct TgJoinPlanner<'a> {
     pub(crate) cat: &'a DataCatalog,
     pub(crate) prefix: String,
+    /// Planning-unit index for cost tags (block index, 0 for composites).
+    pub(crate) unit: usize,
+    /// Explicit edge order (permutation of `0..edges.len()`); anything else
+    /// falls back to the default greedy order.
+    pub(crate) edge_order: Vec<usize>,
     pub(crate) specs: Vec<StarSpec>,
     pub(crate) prefilters: Vec<Option<TgTransform>>,
     pub(crate) edges: Vec<CompiledEdge>,
@@ -353,7 +406,12 @@ impl TgJoinPlanner<'_> {
         }
         let mut jobs = Vec::new();
         let mut joined_stars: Vec<usize> = Vec::new();
-        let mut remaining: Vec<&CompiledEdge> = self.edges.iter().collect();
+        let mut remaining: Vec<&CompiledEdge> =
+            if crate::engines::hive::is_permutation(&self.edge_order, self.edges.len()) {
+                self.edge_order.iter().map(|&i| &self.edges[i]).collect()
+            } else {
+                self.edges.iter().collect()
+            };
         let mut prev: Option<String> = None;
         let mut cycle = 0usize;
         while !remaining.is_empty() {
@@ -392,6 +450,7 @@ impl TgJoinPlanner<'_> {
                 });
                 join_job(
                     &format!("{}:tg-join{}", self.prefix, cycle),
+                    &format!("join u{} k{}", self.unit, cycle - 1),
                     inputs,
                     cfg,
                     &self.conds,
@@ -421,6 +480,7 @@ impl TgJoinPlanner<'_> {
                 });
                 join_job(
                     &format!("{}:tg-join{}", self.prefix, cycle),
+                    &format!("join u{} k{}", self.unit, cycle - 1),
                     inputs,
                     cfg,
                     &self.conds,
@@ -442,6 +502,7 @@ impl TgJoinPlanner<'_> {
 
 fn join_job(
     name: &str,
+    tag: &str,
     inputs: Vec<String>,
     cfg: Arc<TgJoinMapConfig>,
     conds: &Arc<Vec<AlphaCond>>,
@@ -466,12 +527,14 @@ fn join_job(
     }))))
     .output(out)
     .num_reducers(NUM_REDUCERS)
+    .tag(tag)
     .build()
 }
 
 pub(crate) fn agg_join_job(
     cat: &DataCatalog,
     name: &str,
+    tag: &str,
     specs: Vec<AggJoinSpec>,
     joined: Option<String>,
     planner: &TgJoinPlanner<'_>,
@@ -507,6 +570,7 @@ pub(crate) fn agg_join_job(
     }))))
     .output(out)
     .num_reducers(NUM_REDUCERS)
+    .tag(tag)
     .build()
 }
 

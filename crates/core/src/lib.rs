@@ -35,6 +35,7 @@ pub mod aquery;
 pub mod catalog;
 pub mod composite;
 pub mod engines;
+pub mod enumerate;
 pub mod filters;
 pub mod overlap;
 pub mod plan;
@@ -45,6 +46,7 @@ pub mod rows;
 pub use aquery::{extract, AnalyticalQuery, GroupingBlock};
 pub use catalog::{DataCatalog, LoadConfig};
 pub use composite::{build_composite, CompositeOutcome, CompositePattern};
+pub use enumerate::{enumerate_best, CandidateReport, Enumerated, Family};
 pub use overlap::{graphs_overlap, stars_overlap, GraphOverlap};
 pub use plan::{PlanError, QueryEngine, QueryPlan};
 pub use rollup::{cube_sets, rollup_sets, GroupingSetsPlan, GroupingSetsQuery};

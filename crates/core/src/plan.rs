@@ -243,6 +243,9 @@ pub enum OutputKind {
 pub struct QueryPlan {
     /// The compiling engine's name.
     pub engine: &'static str,
+    /// The unique plan id embedded in this plan's intermediate dataset
+    /// names (see [`next_plan_id`]); [`QueryPlan::dump`] normalizes it away.
+    pub plan_id: String,
     /// The MR jobs, in order.
     pub jobs: Vec<Job>,
     /// Driver-side fixups applied after `jobs`.
@@ -310,6 +313,56 @@ impl QueryPlan {
         }
         s.push_str(&format!("  output: {}\n", self.output_dataset));
         s
+    }
+
+    /// A compact, *stable* textual plan dump: like [`QueryPlan::explain`]
+    /// but with the per-compilation plan id replaced by `«P»`, so two
+    /// compilations of the same plan produce byte-identical dumps. This is
+    /// the representation the golden plan snapshots and the enumerator's
+    /// determinism test pin.
+    pub fn dump(&self) -> String {
+        let mut s = format!(
+            "{}: {} cycles ({} full, {} map-only)\n",
+            self.engine,
+            self.cycles(),
+            self.full_cycles(),
+            self.map_only_cycles()
+        );
+        for (i, job) in self.jobs.iter().chain(self.final_job.iter()).enumerate() {
+            s.push_str(&format!(
+                "MR{} {} {}",
+                i + 1,
+                if job.is_map_only() { "map-only " } else { "map-reduce" },
+                job.name,
+            ));
+            if !job.tag.is_empty() {
+                s.push_str(&format!("  [{}]", job.tag));
+            }
+            s.push_str(&format!(
+                "\n     <- {}\n     -> {}\n",
+                job.inputs.join(", "),
+                job.output
+            ));
+        }
+        for f in &self.fixups {
+            s.push_str(&format!(
+                "driver: empty-ALL fixup block {} in {}\n",
+                f.block_id, f.dataset
+            ));
+        }
+        s.push_str(&format!(
+            "output: {} ({})\n",
+            self.output_dataset,
+            match &self.output {
+                OutputKind::Rows => "rows",
+                OutputKind::AggRecs { .. } => "agg-recs",
+            }
+        ));
+        if self.plan_id.is_empty() {
+            s
+        } else {
+            s.replace(&self.plan_id, "«P»")
+        }
     }
 
     /// Execute against an MR engine, returning the result relation and the
@@ -477,6 +530,7 @@ pub fn finish_plan(
             .collect();
         return Ok(QueryPlan {
             engine,
+            plan_id: plan_id.to_string(),
             jobs,
             fixups,
             final_job: None,
@@ -518,9 +572,11 @@ pub fn finish_plan(
         .input(block_datasets[0].clone())
         .mapper(Arc::new(FinalJoinFactory::new(cfg, dfs.clone())))
         .output(out_name.clone())
+        .tag("final")
         .build();
     Ok(QueryPlan {
         engine,
+        plan_id: plan_id.to_string(),
         jobs,
         fixups,
         final_job: Some(final_job),

@@ -99,6 +99,8 @@ impl GroupingSetsQuery {
         let planner = TgJoinPlanner {
             cat,
             prefix: pid.clone(),
+            unit: 0,
+            edge_order: Vec::new(),
             specs,
             prefilters,
             edges,

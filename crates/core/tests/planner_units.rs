@@ -49,6 +49,7 @@ fn map_join_threshold_controls_cycle_kinds() {
                 map_join_threshold: threshold,
                 ..Default::default()
             },
+            cost_model: None,
         };
         let plan = engine.plan(&aq, &cat).unwrap();
         let map_only = plan.map_only_cycles();

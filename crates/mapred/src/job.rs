@@ -164,6 +164,10 @@ pub struct Job {
     pub output: String,
     /// Number of reduce partitions (ignored for map-only jobs).
     pub num_reducers: usize,
+    /// Free-form structured tag describing the job's logical operation
+    /// (e.g. `"join u0 k1"`). Planners set it; cost estimators parse it.
+    /// Empty when the producer did not annotate the job.
+    pub tag: String,
 }
 
 impl Job {
@@ -182,6 +186,7 @@ pub struct JobBuilder {
     reducer: Option<Arc<dyn ReduceTaskFactory>>,
     output: String,
     num_reducers: usize,
+    tag: String,
 }
 
 impl JobBuilder {
@@ -195,7 +200,14 @@ impl JobBuilder {
             reducer: None,
             output: String::new(),
             num_reducers: 4,
+            tag: String::new(),
         }
+    }
+
+    /// Set the logical-operation tag (see [`Job::tag`]).
+    pub fn tag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = tag.into();
+        self
     }
 
     /// Add an input dataset.
@@ -245,6 +257,7 @@ impl JobBuilder {
             reducer: self.reducer,
             output: self.output,
             num_reducers: self.num_reducers,
+            tag: self.tag,
         }
     }
 }

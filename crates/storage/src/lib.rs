@@ -13,9 +13,11 @@
 //! paper's pre-processing section.
 
 pub mod segment;
+pub mod stats;
 pub mod tg_store;
 pub mod vp;
 
 pub use segment::{decode_segment, decode_stats, encode_segment, SegmentStats};
+pub use stats::{PredStat, StatsCatalog};
 pub use tg_store::{decode_tg, encode_tg, EcMeta, TgStore};
 pub use vp::{read_dataset_rows, VpKey, VpStore, VpTableMeta};

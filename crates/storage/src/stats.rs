@@ -1,0 +1,168 @@
+//! Per-predicate catalog statistics: triple counts and NDV (number of
+//! distinct values) for the subject and object columns of every property,
+//! plus per-type instance counts — the cardinality inputs of the plan
+//! enumerator's coster.
+//!
+//! Everything here is stored in **sorted** vectors and looked up by binary
+//! search: statistics sit on the plan-choice path, where hash-map iteration
+//! order must never leak into the chosen plan.
+
+use rapida_rdf::{vocab, FxHashMap, Graph, Term, TermId};
+use std::collections::hash_map::Entry;
+
+/// Statistics of one property's triple table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredStat {
+    /// The property id.
+    pub prop: TermId,
+    /// Triple count.
+    pub count: u64,
+    /// Distinct subjects.
+    pub ndv_subjects: u64,
+    /// Distinct objects.
+    pub ndv_objects: u64,
+}
+
+impl PredStat {
+    /// Average object multiplicity per subject (≥ 1 for non-empty tables).
+    pub fn avg_per_subject(&self) -> f64 {
+        if self.ndv_subjects == 0 {
+            0.0
+        } else {
+            self.count as f64 / self.ndv_subjects as f64
+        }
+    }
+}
+
+/// Catalog-wide statistics over a loaded graph, ordered deterministically.
+#[derive(Debug, Clone, Default)]
+pub struct StatsCatalog {
+    /// Total triples.
+    pub triples: u64,
+    /// Distinct subjects across the whole graph.
+    pub subjects: u64,
+    /// Per-property statistics, sorted by property id.
+    preds: Vec<PredStat>,
+    /// Per-`rdf:type`-object instance counts, sorted by object id.
+    types: Vec<(TermId, u64)>,
+}
+
+impl StatsCatalog {
+    /// One pass over the graph. NDVs are exact (the simulator's datasets are
+    /// small); a production system would substitute sketches here without
+    /// changing the interface.
+    pub fn compute(graph: &Graph) -> StatsCatalog {
+        let rdf_type = graph.dict.lookup(&Term::iri(vocab::RDF_TYPE));
+        struct Acc {
+            count: u64,
+            subjects: FxHashMap<u64, ()>,
+            objects: FxHashMap<u64, ()>,
+        }
+        let mut by_prop: FxHashMap<TermId, Acc> = FxHashMap::default();
+        let mut all_subjects: FxHashMap<u64, ()> = FxHashMap::default();
+        let mut type_counts: FxHashMap<TermId, u64> = FxHashMap::default();
+        for t in &graph.triples {
+            all_subjects.insert(t.s.0, ());
+            if Some(t.p) == rdf_type {
+                *type_counts.entry(t.o).or_insert(0) += 1;
+            }
+            let acc = match by_prop.entry(t.p) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(e) => e.insert(Acc {
+                    count: 0,
+                    subjects: FxHashMap::default(),
+                    objects: FxHashMap::default(),
+                }),
+            };
+            acc.count += 1;
+            acc.subjects.insert(t.s.0, ());
+            acc.objects.insert(t.o.0, ());
+        }
+        let mut preds: Vec<PredStat> = by_prop
+            .into_iter()
+            .map(|(prop, acc)| PredStat {
+                prop,
+                count: acc.count,
+                ndv_subjects: acc.subjects.len() as u64,
+                ndv_objects: acc.objects.len() as u64,
+            })
+            .collect();
+        preds.sort_unstable_by_key(|p| p.prop);
+        let mut types: Vec<(TermId, u64)> = type_counts.into_iter().collect();
+        types.sort_unstable_by_key(|(o, _)| *o);
+        StatsCatalog {
+            triples: graph.triples.len() as u64,
+            subjects: all_subjects.len() as u64,
+            preds,
+            types,
+        }
+    }
+
+    /// Statistics of one property, if any triple carries it.
+    pub fn pred(&self, prop: TermId) -> Option<&PredStat> {
+        self.preds
+            .binary_search_by_key(&prop, |p| p.prop)
+            .ok()
+            .map(|i| &self.preds[i])
+    }
+
+    /// Instance count of one `rdf:type` object (0 when absent).
+    pub fn type_count(&self, object: TermId) -> u64 {
+        self.types
+            .binary_search_by_key(&object, |(o, _)| *o)
+            .ok()
+            .map(|i| self.types[i].1)
+            .unwrap_or(0)
+    }
+
+    /// All per-property statistics, sorted by property id.
+    pub fn preds(&self) -> &[PredStat] {
+        &self.preds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(format!("http://x/{s}"))
+    }
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        for i in 0..6 {
+            let s = iri(&format!("s{i}"));
+            g.insert_terms(&s, &Term::iri(vocab::RDF_TYPE), &iri("T"));
+            g.insert_terms(&s, &iri("p"), &iri(&format!("v{}", i % 3)));
+            g.insert_terms(&s, &iri("p"), &iri("shared"));
+        }
+        g
+    }
+
+    #[test]
+    fn counts_and_ndvs_are_exact() {
+        let g = sample();
+        let st = StatsCatalog::compute(&g);
+        assert_eq!(st.triples, 18);
+        assert_eq!(st.subjects, 6);
+        let p = g.dict.lookup(&iri("p")).unwrap();
+        let ps = st.pred(p).unwrap();
+        assert_eq!(ps.count, 12);
+        assert_eq!(ps.ndv_subjects, 6);
+        assert_eq!(ps.ndv_objects, 4); // v0, v1, v2, shared
+        assert!((ps.avg_per_subject() - 2.0).abs() < 1e-12);
+        let t = g.dict.lookup(&iri("T")).unwrap();
+        assert_eq!(st.type_count(t), 6);
+        assert_eq!(st.type_count(TermId(u64::MAX)), 0);
+    }
+
+    #[test]
+    fn preds_are_sorted_by_property_id() {
+        let st = StatsCatalog::compute(&sample());
+        let ids: Vec<u64> = st.preds().iter().map(|p| p.prop.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+}

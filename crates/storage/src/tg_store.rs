@@ -77,8 +77,15 @@ impl TgStore {
             by_ec.entry(ec).or_default().push((s, pairs));
         }
 
-        let mut classes = Vec::with_capacity(by_ec.len());
-        for (i, (props, mut groups)) in by_ec.into_iter().enumerate() {
+        // Class indexes feed the `tg_ec{i}` dataset names, which appear in
+        // compiled plans: assign them in property-set order, never in hash
+        // order, so plan dumps are a pure function of the graph.
+        let mut ecs: Vec<(BTreeSet<TermId>, Vec<(u64, Vec<(u64, u64)>)>)> =
+            by_ec.into_iter().collect();
+        ecs.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+
+        let mut classes = Vec::with_capacity(ecs.len());
+        for (i, (props, mut groups)) in ecs.into_iter().enumerate() {
             groups.sort_unstable_by_key(|(s, _)| *s);
             let dataset = format!("tg_ec{i}");
             let mut writer = DatasetWriter::new(split_bytes);

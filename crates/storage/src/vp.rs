@@ -68,6 +68,12 @@ impl VpStore {
             groups.entry(key).or_default().push((t.s.0, t.o.0));
         }
 
+        // Table datasets are keyed by VpKey so hash order cannot leak into
+        // names, but keep the load deterministic end-to-end (DFS insertion
+        // order, block layout) by materializing in key order.
+        let mut groups: Vec<(VpKey, Vec<(u64, u64)>)> = groups.into_iter().collect();
+        groups.sort_unstable_by_key(|(k, _)| *k);
+
         let mut tables = FxHashMap::default();
         for (key, mut rows) in groups {
             rows.sort_unstable();

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Benchmark report runner. Usage:
 #
-#   scripts/bench_report.sh [mapred|query|scale|all]
+#   scripts/bench_report.sh [mapred|query|scale|plan|all]
 #
 # Runs the requested bench group(s) with real measurement settings and
 # validates the resulting BENCH_<group>.json in the repo root (override the
@@ -18,14 +18,18 @@
 #     busy-time makespan (busiest worker's CPU time per phase, so the floor
 #     holds even on a 1-core container); 4 workers must be >= 2x faster
 #     than 1 worker.
+#   BENCH_plan.json   — cost-based enumerator vs fixed plans on MG1-MG4
+#     (deterministic simulated model seconds). Floors: per family the chosen
+#     plan is never worse than either fixed plan, and at least one MG query
+#     has a chosen plan >= 1.1x faster than the fixed Hive-MQO baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GROUP="${1:-all}"
 case "$GROUP" in
-    mapred|query|scale|all) ;;
+    mapred|query|scale|plan|all) ;;
     *)
-        echo "usage: $0 [mapred|query|scale|all]" >&2
+        echo "usage: $0 [mapred|query|scale|plan|all]" >&2
         exit 2
         ;;
 esac
@@ -58,6 +62,11 @@ run_query() {
 run_scale() {
     echo "==> worker-count scaling bench (writes BENCH_scale.json)"
     cargo bench --offline -p rapida-bench --bench scale
+}
+
+run_plan() {
+    echo "==> enumerator vs fixed-plan bench (writes BENCH_plan.json)"
+    cargo bench --offline -p rapida-bench --bench plan
 }
 
 check_mapred() {
@@ -159,6 +168,53 @@ if not report.get("smoke") and ratio < 2.0:
 EOF
 }
 
+check_plan() {
+    echo "==> checking BENCH_plan.json"
+    python3 - "$DEST/BENCH_plan.json" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        report = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"FAIL: {path} missing or malformed: {e}")
+by_id = {b["id"]: b["median_ns"] for b in report["benchmarks"]}
+queries = sorted({i.split("/", 1)[1] for i in by_id if "/" in i})
+if not queries:
+    sys.exit(f"FAIL: {path} has no <label>/<query> benchmarks")
+families = {
+    "chosen_hive": ["fixed_hive_naive", "fixed_hive_mqo"],
+    "chosen_rapid": ["fixed_rapid_plus", "fixed_rapida"],
+}
+best_vs_mqo = 0.0
+for q in queries:
+    for chosen, fixes in families.items():
+        c = by_id.get(f"{chosen}/{q}")
+        if c is None:
+            sys.exit(f"FAIL: {path} lacks {chosen}/{q}")
+        for fx in fixes:
+            f_ns = by_id.get(f"{fx}/{q}")
+            if f_ns is None:
+                sys.exit(f"FAIL: {path} lacks {fx}/{q}")
+            if not report.get("smoke") and c > f_ns * 1.001:
+                sys.exit(
+                    f"FAIL: {chosen}/{q} ({c / 1e9:.1f}s) worse than {fx}/{q} ({f_ns / 1e9:.1f}s)"
+                )
+    mqo = by_id[f"fixed_hive_mqo/{q}"]
+    for chosen in families:
+        best_vs_mqo = max(best_vs_mqo, mqo / by_id[f"{chosen}/{q}"])
+    print(
+        f"  {q}: chosen hive {by_id[f'chosen_hive/{q}'] / 1e9:.1f}s"
+        f" (fixed mqo {mqo / 1e9:.1f}s)"
+        f"  chosen rapid {by_id[f'chosen_rapid/{q}'] / 1e9:.1f}s"
+    )
+print(f"  best chosen-vs-fixed-HiveMQO speedup: {best_vs_mqo:.2f}x")
+if not report.get("smoke") and best_vs_mqo < 1.1:
+    sys.exit(f"FAIL: no chosen plan beats fixed Hive-MQO by 1.1x (best {best_vs_mqo:.2f}x)")
+EOF
+}
+
 if [ "$GROUP" = "mapred" ] || [ "$GROUP" = "all" ]; then
     run_mapred
 fi
@@ -168,6 +224,9 @@ fi
 if [ "$GROUP" = "scale" ] || [ "$GROUP" = "all" ]; then
     run_scale
 fi
+if [ "$GROUP" = "plan" ] || [ "$GROUP" = "all" ]; then
+    run_plan
+fi
 if [ "$GROUP" = "mapred" ] || [ "$GROUP" = "all" ]; then
     check_mapred
 fi
@@ -176,6 +235,9 @@ if [ "$GROUP" = "query" ] || [ "$GROUP" = "all" ]; then
 fi
 if [ "$GROUP" = "scale" ] || [ "$GROUP" = "all" ]; then
     check_scale
+fi
+if [ "$GROUP" = "plan" ] || [ "$GROUP" = "all" ]; then
+    check_plan
 fi
 
 echo "==> bench report OK ($DEST)"

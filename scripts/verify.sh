@@ -22,6 +22,9 @@ RAPIDA_CHAOS_SEEDS=4 cargo test -q --offline -p rapida-mapred --test chaos
 echo "==> scale smoke (worker-count determinism matrix)"
 cargo test -q --offline --test scale_identity
 
+echo "==> plan-enumerator smoke (golden snapshots + NTGA rediscovery)"
+cargo test -q --offline -p rapida-core --test plan_snapshots
+
 echo "==> bench smoke (1 iteration per benchmark)"
 # Absolute path: bench binaries run with cwd = crates/bench, where a
 # relative RAPIDA_BENCH_DIR would silently land.
@@ -75,6 +78,21 @@ for w in (1, 2, 4, 8):
     if not any(i.endswith(f"/w{w}") for i in ids):
         sys.exit(f"FAIL: BENCH_scale.json lacks a */w{w} benchmark")
 print(f"  ok: {ids}")
+EOF
+
+echo "==> BENCH_plan.json present and well-formed"
+python3 - target/bench-smoke/BENCH_plan.json <<'EOF'
+import json, sys
+try:
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"FAIL: BENCH_plan.json missing or malformed: {e}")
+ids = [b["id"] for b in report["benchmarks"]]
+for prefix in ("fixed_hive_mqo/", "chosen_hive/", "chosen_rapid/"):
+    if not any(i.startswith(prefix) for i in ids):
+        sys.exit(f"FAIL: BENCH_plan.json lacks a {prefix}* benchmark")
+print(f"  ok: {len(ids)} benchmarks")
 EOF
 
 echo "==> verify OK"
