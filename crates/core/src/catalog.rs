@@ -40,6 +40,13 @@ pub struct LoadConfig {
     pub vp_segment_rows: usize,
     /// Target triplegroup-store split size in bytes.
     pub tg_split_bytes: usize,
+    /// Materialize ExtVP semi-join reductions at load time (S2RDF). On by
+    /// default: the compilers substitute reductions for full-table scans,
+    /// and the byte-identity oracles hold either way.
+    pub extvp: bool,
+    /// ExtVP selectivity cutoff: a reduction is kept only when it retains at
+    /// most this fraction of its base table's rows (S2RDF's 0.25 default).
+    pub extvp_threshold: f64,
 }
 
 impl Default for LoadConfig {
@@ -47,6 +54,8 @@ impl Default for LoadConfig {
         LoadConfig {
             vp_segment_rows: 8192,
             tg_split_bytes: 256 * 1024,
+            extvp: true,
+            extvp_threshold: 0.25,
         }
     }
 }
@@ -60,8 +69,11 @@ impl DataCatalog {
     /// Load a graph with explicit tuning.
     pub fn load_with(graph: &Graph, cfg: LoadConfig) -> DataCatalog {
         let dfs = SimDfs::new();
-        let vp = VpStore::load(graph, &dfs, cfg.vp_segment_rows);
+        let extvp = cfg.extvp.then_some(cfg.extvp_threshold);
+        let vp = VpStore::load_ext(graph, &dfs, cfg.vp_segment_rows, extvp);
         let tg = TgStore::load(graph, &dfs, cfg.tg_split_bytes);
+        let mut pstats = StatsCatalog::compute(graph);
+        pstats.register_ext_tables(vp.ext_tables());
         DataCatalog {
             dict: graph.dict.clone(),
             dfs,
@@ -70,7 +82,7 @@ impl DataCatalog {
             numeric: Arc::new(graph.dict.numeric_snapshot()),
             lexical: Arc::new(graph.dict.lexical_snapshot()),
             stats: Arc::new(graph.stats()),
-            pstats: Arc::new(StatsCatalog::compute(graph)),
+            pstats: Arc::new(pstats),
         }
     }
 

@@ -18,7 +18,8 @@ use crate::relops::{
 use rapida_mapred::{ClusterModel, FnMapFactory, FnReduceFactory, Job, JobBuilder, KeyLocal};
 use rapida_ntga::AggOp;
 use rapida_rdf::FxHashMap;
-use rapida_sparql::analysis::{PropKey, StarDecomposition};
+use rapida_sparql::analysis::{PropKey, Role, StarDecomposition};
+use rapida_storage::{ExtVpKind, ExtVpMeta, VpKey};
 use rapida_sparql::ast::{PatternTerm, TriplePattern, Var};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -41,6 +42,13 @@ pub struct HiveConfig {
     /// the default greedy (first connecting edge) order. Set by the plan
     /// enumerator.
     pub join_orders: Vec<Vec<usize>>,
+    /// Substitute materialized ExtVP semi-join reductions for full VP
+    /// scans where a required join partner makes them sound. Swapping a
+    /// scan's dataset never changes query output (the reduction only drops
+    /// rows that could not survive the join) and never changes the plan
+    /// *shape*: map-join decisions keep pricing the base table, like Hive's
+    /// metastore statistics. Ablation knob for the enumerator.
+    pub use_extvp: bool,
 }
 
 impl Default for HiveConfig {
@@ -49,6 +57,7 @@ impl Default for HiveConfig {
             map_join_threshold: 24 * 1024,
             map_side_agg: true,
             join_orders: Vec::new(),
+            use_extvp: true,
         }
     }
 }
@@ -234,6 +243,95 @@ impl<'a> RelPlanner<'a> {
             scan_preds,
             optional: false,
         })
+    }
+
+    /// ExtVP partner candidates for the pattern `key` of star `star`:
+    /// required same-star siblings yield SS partners (shared subject
+    /// variable); the star-join edges of `dec` yield SO partners (this
+    /// star's subject is the other side's object) and OS partners (this
+    /// pattern's object is the other star's subject). `required` says
+    /// whether a `(star, key)` pattern is an inner input of its join —
+    /// only required patterns may *reduce* others (a semi-join against an
+    /// optional partner could drop rows a left-outer join must keep).
+    fn extvp_partners(
+        &self,
+        dec: &StarDecomposition,
+        star: usize,
+        key: &PropKey,
+        required: &dyn Fn(usize, &PropKey) -> bool,
+    ) -> Vec<(ExtVpKind, VpKey)> {
+        let mut partners = Vec::new();
+        for tp in &dec.stars[star].triples {
+            let Some(k2) = PropKey::of(tp) else { continue };
+            if k2 != *key && required(star, &k2) {
+                partners.push((ExtVpKind::SS, self.cat.vp_key(&k2)));
+            }
+        }
+        for edge in &dec.joins {
+            for (me, other) in [(&edge.left, &edge.right), (&edge.right, &edge.left)] {
+                if me.star != star {
+                    continue;
+                }
+                match me.role {
+                    // The join variable is this star's subject: every
+                    // pattern of the star joins through its subject to the
+                    // other side's object column.
+                    Role::Subject => {
+                        if other.role == Role::Object {
+                            if let Some(p) = &other.prop {
+                                if required(other.star, p) {
+                                    partners.push((ExtVpKind::SO, self.cat.vp_key(p)));
+                                }
+                            }
+                        }
+                    }
+                    // The join variable is this pattern's object (the
+                    // edge's own joining pattern only): it must equal the
+                    // other star's subject, which in turn must be a subject
+                    // of every required pattern over there.
+                    Role::Object => {
+                        if me.prop.as_ref() == Some(key) && other.role == Role::Subject {
+                            for tp in &dec.stars[other.star].triples {
+                                let Some(k2) = PropKey::of(tp) else { continue };
+                                if required(other.star, &k2) {
+                                    partners.push((ExtVpKind::OS, self.cat.vp_key(&k2)));
+                                }
+                            }
+                        }
+                    }
+                    Role::Property => {}
+                }
+            }
+        }
+        partners
+    }
+
+    /// Swap `rel`'s scan dataset for the smallest materialized ExtVP
+    /// reduction among `partners`, if any survived the load-time
+    /// selectivity cutoff. `est_bytes` deliberately keeps the *base*
+    /// table's size: the map-join decision models Hive's
+    /// `smalltable.filesize` check against metastore statistics of the
+    /// base tables, so the fixed engines' plan shapes (and the paper's
+    /// pinned cycle counts) are invariant under ExtVP materialization.
+    /// The cost enumerator explores the ExtVP × map-join interplay by
+    /// sweeping `use_extvp` and measuring.
+    fn substitute_extvp(&self, rel: &mut Rel, base: VpKey, partners: &[(ExtVpKind, VpKey)]) {
+        if !self.cfg.use_extvp {
+            return;
+        }
+        let mut best: Option<&ExtVpMeta> = None;
+        for (kind, partner) in partners {
+            if let Some(e) = self.cat.vp.reduction(base, *kind, *partner) {
+                // Deterministic tie-break by name after size.
+                if best.is_none_or(|b| (e.bytes, e.dataset.as_str()) < (b.bytes, b.dataset.as_str()))
+                {
+                    best = Some(e);
+                }
+            }
+        }
+        if let Some(e) = best {
+            rel.dataset = e.dataset.clone();
+        }
     }
 
     /// Compile one join cycle (reduce-side or broadcast) over relations all
@@ -622,8 +720,17 @@ impl<'a> RelPlanner<'a> {
             let rels: Vec<Rel> = star
                 .triples
                 .iter()
-                .map(|tp| self.tp_rel(tp, &filters, s, None, None))
-                .collect::<Result<_, _>>()?;
+                .map(|tp| {
+                    let mut rel = self.tp_rel(tp, &filters, s, None, None)?;
+                    // Every pattern of a naive block is an inner input, so
+                    // any sibling or join neighbour may reduce it.
+                    if let Some(key) = PropKey::of(tp) {
+                        let partners = self.extvp_partners(&dec, s, &key, &|_, _| true);
+                        self.substitute_extvp(&mut rel, self.cat.vp_key(&key), &partners);
+                    }
+                    Ok(rel)
+                })
+                .collect::<Result<_, PlanError>>()?;
             let rel = if rels.len() == 1 {
                 rels.into_iter().next().expect("one")
             } else {
@@ -668,6 +775,12 @@ impl<'a> RelPlanner<'a> {
             vec![FxHashMap::default(); n_blocks];
         let mut star_rels: Vec<Vec<Rel>> = Vec::with_capacity(composite.stars.len());
         let mut subjects: Vec<Var> = Vec::with_capacity(composite.stars.len());
+        // ExtVP reductions in the composite may only come from *primary*
+        // (inner) partners: a secondary pattern is left-outer joined, so
+        // semi-joining a required input against it could drop rows the
+        // outer join must keep.
+        let mqo_required =
+            |cs: usize, k: &PropKey| composite.stars[cs].primary.contains(k);
         for (cs, cstar) in composite.stars.iter().enumerate() {
             let subject = decs[0].stars[cs].subject.clone();
             subjects.push(subject.clone());
@@ -677,7 +790,10 @@ impl<'a> RelPlanner<'a> {
                 let tp = decs[0].stars[cs]
                     .triple_for(key)
                     .expect("primary prop in block 0");
-                rels.push(self.tp_rel(tp, &filters, cs, None, None)?);
+                let mut rel = self.tp_rel(tp, &filters, cs, None, None)?;
+                let partners = self.extvp_partners(&decs[0], cs, key, &mqo_required);
+                self.substitute_extvp(&mut rel, self.cat.vp_key(key), &partners);
+                rels.push(rel);
             }
             // Secondary properties: owner block's pattern, subject renamed
             // to the composite subject, object prefixed, marked optional.
@@ -704,6 +820,11 @@ impl<'a> RelPlanner<'a> {
                 let mut rel =
                     self.tp_rel(tp, &filters, cs, Some(&subject), renamed_obj.as_ref())?;
                 rel.optional = true;
+                // An optional input may itself be reduced by required
+                // partners: its rows only ever attach to subjects that
+                // satisfied every primary pattern.
+                let partners = self.extvp_partners(&decs[0], cs, &sec.prop, &mqo_required);
+                self.substitute_extvp(&mut rel, self.cat.vp_key(&sec.prop), &partners);
                 rels.push(rel);
             }
             star_rels.push(rels);

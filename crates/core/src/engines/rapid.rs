@@ -16,6 +16,7 @@ use rapida_ntga::{
     TgJoinMapConfig, TgJoinMapper, TgTransform, VarRef,
 };
 use rapida_sparql::analysis::{PropKey, Role, StarDecomposition};
+use rapida_storage::{read_dataset_rows, ExtVpKind, ExtVpMeta};
 use rapida_sparql::ast::{PatternTerm, TriplePattern, Var};
 use std::sync::Arc;
 
@@ -38,6 +39,12 @@ pub struct RapidPlus {
     /// indexes; missing or invalid entries fall back to the default greedy
     /// order. Set by the enumerator.
     pub join_orders: Vec<Vec<usize>>,
+    /// Gate star scans on ExtVP-derived subject sets: a star entering a
+    /// join by Subject keeps only triplegroups whose subject appears in
+    /// the matching SO reduction. Sound because the α-join is a pure inner
+    /// join — gated-out groups could never survive it — so output stays
+    /// byte-identical either way.
+    pub use_extvp: bool,
 }
 
 impl Default for RapidPlus {
@@ -47,6 +54,7 @@ impl Default for RapidPlus {
             legacy_owned: false,
             cost_model: None,
             join_orders: Vec::new(),
+            use_extvp: true,
         }
     }
 }
@@ -73,6 +81,9 @@ pub struct RapidAnalytics {
     /// Explicit star-join edge orders per planning unit (composite pattern =
     /// unit 0); invalid entries fall back to the default greedy order.
     pub join_orders: Vec<Vec<usize>>,
+    /// Gate star scans on ExtVP-derived subject sets (see
+    /// [`RapidPlus::use_extvp`]).
+    pub use_extvp: bool,
 }
 
 impl Default for RapidAnalytics {
@@ -84,6 +95,7 @@ impl Default for RapidAnalytics {
             legacy_owned: false,
             cost_model: None,
             join_orders: Vec::new(),
+            use_extvp: true,
         }
     }
 }
@@ -110,7 +122,15 @@ impl QueryEngine for RapidPlus {
             let dec = block.decomposition()?;
             let filters = compile_block_filters(block, &dec)?;
             let specs = block_star_specs(cat, &dec)?;
-            let prefilters = star_prefilters(cat, &filters, dec.stars.len());
+            let mut prefilters = star_prefilters(cat, &filters, dec.stars.len());
+            if self.use_extvp {
+                let primary: Vec<Vec<PropKey>> = dec
+                    .stars
+                    .iter()
+                    .map(|s| s.triples.iter().filter_map(PropKey::of).collect())
+                    .collect();
+                compose_extvp_gates(cat, &mut prefilters, &primary, &block_subject_gates(&dec));
+            }
             let edges = compile_edges(cat, &dec)?;
             let planner = TgJoinPlanner {
                 cat,
@@ -178,6 +198,7 @@ impl QueryEngine for RapidAnalytics {
                     legacy_owned: self.legacy_owned,
                     cost_model: None,
                     join_orders: self.join_orders.clone(),
+                    use_extvp: self.use_extvp,
                 };
                 let mut plan = fallback.plan(aq, cat)?;
                 plan.engine = "RAPIDAnalytics";
@@ -192,7 +213,20 @@ impl QueryEngine for RapidAnalytics {
             .collect::<Result<_, _>>()?;
 
         let specs = composite_star_specs(cat, &composite, &decs)?;
-        let prefilters = composite_prefilters(cat, &composite);
+        let mut prefilters = composite_prefilters(cat, &composite);
+        if self.use_extvp {
+            let primary: Vec<Vec<PropKey>> = composite
+                .stars
+                .iter()
+                .map(|s| s.primary.clone())
+                .collect();
+            compose_extvp_gates(
+                cat,
+                &mut prefilters,
+                &primary,
+                &composite_subject_gates(&composite),
+            );
+        }
         let edges = composite_edges(cat, &composite);
         // Join-time pruning: the disjunction of every block's positive α.
         let conds: Vec<AlphaCond> = if self.alpha_pruning {
@@ -667,6 +701,84 @@ fn composite_prefilters(cat: &DataCatalog, c: &CompositePattern) -> Vec<Option<T
     star_prefilters(cat, &c.filters, c.stars.len())
 }
 
+/// Join edges where a star enters the join by its subject against a
+/// partner's `ObjectOf(p)` column: `(subject-side star, partner prop p)`.
+fn block_subject_gates(dec: &StarDecomposition) -> Vec<(usize, PropKey)> {
+    let mut gates = Vec::new();
+    for j in &dec.joins {
+        for (me, other) in [(&j.left, &j.right), (&j.right, &j.left)] {
+            if me.role == Role::Subject && other.role == Role::Object {
+                if let Some(p) = &other.prop {
+                    gates.push((me.star, p.clone()));
+                }
+            }
+        }
+    }
+    gates
+}
+
+fn composite_subject_gates(c: &CompositePattern) -> Vec<(usize, PropKey)> {
+    let mut gates = Vec::new();
+    for j in &c.joins {
+        for (star, key, other) in [
+            (j.left_star, &j.left, &j.right),
+            (j.right_star, &j.right, &j.left),
+        ] {
+            if *key == EdgeKey::Subject {
+                if let EdgeKey::ObjectOf(p) = other {
+                    gates.push((star, p.clone()));
+                }
+            }
+        }
+    }
+    gates
+}
+
+/// Compose ExtVP subject gates into per-star prefilters. A spec-matching
+/// triplegroup of the subject-side star has its subject in `subjects(a)`
+/// for every primary prop `a`, and survives the pure-inner α-join only if
+/// that subject also lies in `objects(p)` — together exactly the subject
+/// set of the `SO[a|p]` reduction. The smallest applicable reduction is
+/// loaded once at plan time as a sorted id set and checked by binary
+/// search ahead of the shuffle; stars without a materialized reduction
+/// stay ungated. Groups the gate removes could never survive the join,
+/// so output is byte-identical either way.
+fn compose_extvp_gates(
+    cat: &DataCatalog,
+    prefilters: &mut [Option<TgTransform>],
+    star_primary: &[Vec<PropKey>],
+    gates: &[(usize, PropKey)],
+) {
+    for (star, partner) in gates {
+        let partner_key = cat.vp_key(partner);
+        let mut best: Option<&ExtVpMeta> = None;
+        for a in &star_primary[*star] {
+            if let Some(e) = cat.vp.reduction(cat.vp_key(a), ExtVpKind::SO, partner_key) {
+                if best
+                    .is_none_or(|b| (e.bytes, e.dataset.as_str()) < (b.bytes, b.dataset.as_str()))
+                {
+                    best = Some(e);
+                }
+            }
+        }
+        let Some(e) = best else { continue };
+        let Some(ds) = cat.dfs.peek(&e.dataset) else {
+            continue;
+        };
+        let mut subjects: Vec<u64> = read_dataset_rows(&ds).into_iter().map(|(s, _)| s).collect();
+        subjects.dedup(); // reduction rows are sorted by (s, o)
+        let subjects = Arc::new(subjects);
+        let inner = prefilters[*star].take();
+        prefilters[*star] = Some(Arc::new(move |tg: rapida_ntga::TripleGroup| {
+            let tg = match &inner {
+                Some(f) => f(tg)?,
+                None => tg,
+            };
+            subjects.binary_search(&tg.subject).is_ok().then_some(tg)
+        }));
+    }
+}
+
 /// Compile a [`ValuePred`] to the id level.
 pub(crate) fn id_pred_of(cat: &DataCatalog, pred: &ValuePred) -> IdPred {
     match pred {
@@ -943,6 +1055,58 @@ mod tests {
         assert!(out.has_triple(pc, hi));
         assert!(!out.has_triple(pc, lo));
         assert!(out.has_prop(99), "unrelated properties untouched");
+    }
+
+    /// The ExtVP subject gate on a graph where only 4 of 40 `pa` subjects
+    /// are referenced by `pr` objects (SO selectivity 0.1, under the 0.25
+    /// threshold): the gated plan must produce identical result rows while
+    /// emitting strictly fewer map-output records (groups dropped ahead of
+    /// the shuffle).
+    #[test]
+    fn extvp_subject_gate_prunes_shuffle_but_not_output() {
+        let mut g = Graph::new();
+        let iri = |s: &str| rapida_rdf::Term::iri(format!("http://x/{s}"));
+        for i in 0..40 {
+            g.insert_terms(
+                &iri(&format!("s{i}")),
+                &iri("pa"),
+                &iri(&format!("x{}", i % 7)),
+            );
+        }
+        for i in 0..4 {
+            let o = iri(&format!("o{i}"));
+            g.insert_terms(&o, &iri("pr"), &iri(&format!("s{i}")));
+            g.insert_terms(&o, &iri("pc"), &rapida_rdf::Term::decimal(i as f64));
+        }
+        let cat = DataCatalog::load(&g);
+        let aq = extract(
+            &parse_query(
+                "PREFIX ex: <http://x/>
+                 SELECT (COUNT(?c) AS ?n) { ?p ex:pa ?x . ?o ex:pr ?p ; ex:pc ?c . }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let run = |use_extvp: bool| {
+            let engine = RapidPlus {
+                use_extvp,
+                ..Default::default()
+            };
+            let plan = engine.plan(&aq, &cat).unwrap();
+            let mr = rapida_mapred::Engine::pinned(cat.dfs.clone());
+            let (rel, wf) = plan.execute(&mr, &aq, &cat.dict);
+            plan.cleanup(&cat.dfs);
+            cat.dfs.remove(&plan.output_dataset);
+            let emitted: u64 = wf.jobs.iter().map(|j| j.map_output_records).sum();
+            (rel.rows, emitted)
+        };
+        let (rows_gated, emitted_gated) = run(true);
+        let (rows_full, emitted_full) = run(false);
+        assert_eq!(rows_gated, rows_full, "gate changed the query result");
+        assert!(
+            emitted_gated < emitted_full,
+            "gate never fired: {emitted_gated} map-output records vs {emitted_full}"
+        );
     }
 
     #[test]

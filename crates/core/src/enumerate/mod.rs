@@ -349,30 +349,34 @@ fn hive_candidates(
         }
         for &thr in &[0usize, default.map_join_threshold, 1 << 20] {
             for &msa in &[true, false] {
-                for &ord in &ord_variants {
-                    if thr == default.map_join_threshold && msa && ord.is_none() {
-                        continue; // that's the incumbent
+                for &extvp in &[true, false] {
+                    for &ord in &ord_variants {
+                        if thr == default.map_join_threshold && msa && extvp && ord.is_none() {
+                            continue; // that's the incumbent
+                        }
+                        let cfg = HiveConfig {
+                            map_join_threshold: thr,
+                            map_side_agg: msa,
+                            use_extvp: extvp,
+                            join_orders: ord.cloned().unwrap_or_default(),
+                        };
+                        let name = format!(
+                            "hive-{} mj={thr} msa={} extvp={} ord={}",
+                            if mqo { "mqo" } else { "naive" },
+                            if msa { "on" } else { "off" },
+                            if extvp { "on" } else { "off" },
+                            fmt_order(&cfg.join_orders),
+                        );
+                        cands.push(Candidate {
+                            name,
+                            incumbent: false,
+                            spec: if mqo {
+                                Spec::HiveMqo(cfg)
+                            } else {
+                                Spec::HiveNaive(cfg)
+                            },
+                        });
                     }
-                    let cfg = HiveConfig {
-                        map_join_threshold: thr,
-                        map_side_agg: msa,
-                        join_orders: ord.cloned().unwrap_or_default(),
-                    };
-                    let name = format!(
-                        "hive-{} mj={thr} msa={} ord={}",
-                        if mqo { "mqo" } else { "naive" },
-                        if msa { "on" } else { "off" },
-                        fmt_order(&cfg.join_orders),
-                    );
-                    cands.push(Candidate {
-                        name,
-                        incumbent: false,
-                        spec: if mqo {
-                            Spec::HiveMqo(cfg)
-                        } else {
-                            Spec::HiveNaive(cfg)
-                        },
-                    });
                 }
             }
         }
@@ -424,6 +428,25 @@ fn rapid_candidates(
         incumbent: false,
         spec: Spec::RapidPlus(RapidPlus {
             map_side_combine: false,
+            ..Default::default()
+        }),
+    });
+
+    // ExtVP subject-gate ablations: the gates trade plan-time set loads for
+    // map-side group drops, so the enumerator prices both sides.
+    cands.push(Candidate {
+        name: "rapid-plus extvp=off".into(),
+        incumbent: false,
+        spec: Spec::RapidPlus(RapidPlus {
+            use_extvp: false,
+            ..Default::default()
+        }),
+    });
+    cands.push(Candidate {
+        name: "rapida extvp=off".into(),
+        incumbent: false,
+        spec: Spec::Rapida(RapidAnalytics {
+            use_extvp: false,
             ..Default::default()
         }),
     });

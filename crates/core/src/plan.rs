@@ -289,12 +289,20 @@ impl QueryPlan {
             self.map_only_cycles()
         );
         for (i, job) in self.jobs.iter().enumerate() {
+            let inputs: Vec<String> = job
+                .inputs
+                .iter()
+                .map(|i| match scan_kind(i) {
+                    Some(kind) => format!("{i} {kind}"),
+                    None => i.clone(),
+                })
+                .collect();
             s.push_str(&format!(
                 "  MR{} [{}] {} <- {}\n",
                 i + 1,
                 if job.is_map_only() { "map-only" } else { "map-reduce" },
                 job.name,
-                job.inputs.join(", ")
+                inputs.join(", ")
             ));
         }
         for f in &self.fixups {
@@ -338,9 +346,17 @@ impl QueryPlan {
             if !job.tag.is_empty() {
                 s.push_str(&format!("  [{}]", job.tag));
             }
+            let inputs: Vec<String> = job
+                .inputs
+                .iter()
+                .map(|i| match scan_kind(i) {
+                    Some(kind) => format!("{i} {kind}"),
+                    None => i.clone(),
+                })
+                .collect();
             s.push_str(&format!(
                 "\n     <- {}\n     -> {}\n",
-                job.inputs.join(", "),
+                inputs.join(", "),
                 job.output
             ));
         }
@@ -435,6 +451,24 @@ impl QueryPlan {
             }
         }
         Relation { vars, rows }
+    }
+}
+
+/// Scan-kind annotation of a plan input dataset, keyed on the storage
+/// layer's naming scheme: full VP tables vs ExtVP semi-join reductions.
+/// Intermediate datasets (plan-id-prefixed) and triplegroup partitions get
+/// no annotation.
+fn scan_kind(name: &str) -> Option<&'static str> {
+    if name.starts_with("extvp_ss__") {
+        Some("[ExtVP-SS]")
+    } else if name.starts_with("extvp_so__") {
+        Some("[ExtVP-SO]")
+    } else if name.starts_with("extvp_os__") {
+        Some("[ExtVP-OS]")
+    } else if name.starts_with("vp_") {
+        Some("[full-VP]")
+    } else {
+        None
     }
 }
 

@@ -194,9 +194,15 @@ pub struct JoinCycleCfg {
 }
 
 /// ORC-style row-group skipping: can the whole segment be skipped because
-/// a numeric predicate on the object column excludes its min/max range?
-/// (The paper §5.1: ORC's "light-weight indexes to skip row groups for
-/// predicate-based filtering".)
+/// a predicate on the object column excludes its zone map? (The paper §5.1:
+/// ORC's "light-weight indexes to skip row groups for predicate-based
+/// filtering".) Two zone maps apply:
+///
+/// * the **numeric** min/max range, when every object in the segment is a
+///   numeric literal (see `SegmentStats::numeric`'s `None` contract —
+///   `None` means "unknown, never skip"), against `Num` predicates;
+/// * the **id** min/max range (`o_min`/`o_max`, always present), against
+///   constant-object scans and positive `IdEq` equality predicates.
 pub fn segment_skippable(rec: &[u8], scan: &ScanKind, preds: &[PredOnCol]) -> bool {
     if matches!(scan, ScanKind::Rows(_)) {
         return false;
@@ -204,22 +210,38 @@ pub fn segment_skippable(rec: &[u8], scan: &ScanKind, preds: &[PredOnCol]) -> bo
     let Some(stats) = rapida_storage::decode_stats(rec) else {
         return false;
     };
-    let Some((lo, hi)) = stats.numeric else {
-        return false;
-    };
+    // Id zone map: a constant-object scan whose id falls outside the
+    // segment's object range matches nothing in it. An empty segment
+    // (degenerate 0..=0 range) is never worth a special case — scanning it
+    // is free.
+    if stats.rows > 0 {
+        if let ScanKind::VpConstObject(oid) = scan {
+            if *oid < stats.o_min || *oid > stats.o_max {
+                return true;
+            }
+        }
+    }
     preds.iter().any(|p| {
         if p.col != 1 {
             return false;
         }
         match &p.pred {
-            IdPred::Num { op, rhs } => match op {
-                CmpOp::Lt => lo >= *rhs,
-                CmpOp::Le => lo > *rhs,
-                CmpOp::Gt => hi <= *rhs,
-                CmpOp::Ge => hi < *rhs,
-                CmpOp::Eq => *rhs < lo || *rhs > hi,
-                CmpOp::Ne => false,
-            },
+            IdPred::Num { op, rhs } => {
+                let Some((lo, hi)) = stats.numeric else {
+                    return false;
+                };
+                match op {
+                    CmpOp::Lt => lo >= *rhs,
+                    CmpOp::Le => lo > *rhs,
+                    CmpOp::Gt => hi <= *rhs,
+                    CmpOp::Ge => hi < *rhs,
+                    CmpOp::Eq => *rhs < lo || *rhs > hi,
+                    CmpOp::Ne => false,
+                }
+            }
+            IdPred::IdEq { eq: true, rhs } => {
+                stats.rows > 0 && (*rhs < stats.o_min || *rhs > stats.o_max)
+            }
             _ => false,
         }
     })
@@ -258,6 +280,7 @@ impl MapTask for JoinMapTask {
             return;
         };
         if segment_skippable(record, &input.scan, &input.scan_preds) {
+            out.skip_segment(record.len());
             return;
         }
         let numeric = &cfg.numeric;
@@ -554,6 +577,7 @@ impl MapJoinTask {
 impl MapTask for MapJoinTask {
     fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
         if segment_skippable(record, &self.cfg.stream.scan, &self.cfg.stream.scan_preds) {
+            out.skip_segment(record.len());
             return;
         }
         // `probe` needs `&self`, so the scratch buffers are taken out for
@@ -671,6 +695,7 @@ impl MapTask for GroupAggMapTask {
             partials,
         } = self;
         if segment_skippable(record, &cfg.scan, &cfg.scan_preds) {
+            out.skip_segment(record.len());
             return;
         }
         cfg.scan.scan(record, row_buf, |row| {
@@ -1149,6 +1174,81 @@ mod tests {
         let mut seg2 = Vec::new();
         rapida_storage::encode_segment(&rows, |_| None, &mut seg2);
         assert!(!segment_skippable(&seg2, &scan, &pred(CmpOp::Gt, 99.0)));
+    }
+
+    #[test]
+    fn segment_skipping_uses_id_range_stats() {
+        // Object ids in [100, 109]; no numeric values at all.
+        let rows: Vec<(u64, u64)> = (0..10).map(|i| (i, 100 + i)).collect();
+        let mut seg = Vec::new();
+        rapida_storage::encode_segment(&rows, |_| None, &mut seg);
+        // Constant-object scans outside the id range skip the segment.
+        assert!(segment_skippable(&seg, &ScanKind::VpConstObject(99), &[]));
+        assert!(segment_skippable(&seg, &ScanKind::VpConstObject(110), &[]));
+        assert!(segment_skippable(&seg, &ScanKind::VpConstObject(u64::MAX), &[]));
+        assert!(!segment_skippable(&seg, &ScanKind::VpConstObject(100), &[]));
+        assert!(!segment_skippable(&seg, &ScanKind::VpConstObject(105), &[]));
+        // Positive IdEq predicates on the object column skip the same way;
+        // negative equality never skips.
+        let ideq = |eq: bool, rhs: u64| {
+            vec![PredOnCol {
+                col: 1,
+                pred: IdPred::IdEq { eq, rhs },
+            }]
+        };
+        assert!(segment_skippable(&seg, &ScanKind::VpFull, &ideq(true, 99)));
+        assert!(!segment_skippable(&seg, &ScanKind::VpFull, &ideq(true, 104)));
+        assert!(!segment_skippable(&seg, &ScanKind::VpFull, &ideq(false, 99)));
+        // The empty segment is never "skipped" (scanning it is free and the
+        // 0..=0 sentinel range must not match real ids).
+        let mut empty = Vec::new();
+        rapida_storage::encode_segment(&[], |_| None, &mut empty);
+        assert!(!segment_skippable(&empty, &ScanKind::VpConstObject(5), &[]));
+    }
+
+    #[test]
+    fn skipped_segments_are_counted_in_metrics() {
+        // Two segments (blocks): objects [100..110) and [200..210). A
+        // constant-object scan for 205 must skip the first segment whole
+        // and count its bytes as pruned.
+        let dfs = SimDfs::new();
+        let mut writer = rapida_mapred::DatasetWriter::new(1);
+        for base in [100u64, 200] {
+            let rows: Vec<(u64, u64)> = (0..10).map(|i| (i, base + i)).collect();
+            let mut seg = Vec::new();
+            rapida_storage::encode_segment(&rows, |_| None, &mut seg);
+            writer.push(&seg);
+        }
+        dfs.put("vp", writer.finish());
+        let lexical: LexicalSnapshot = Arc::new(Vec::new());
+        let cfg = Arc::new(GroupAggCfg {
+            block_id: 0,
+            scan: ScanKind::VpConstObject(205),
+            scan_preds: vec![],
+            group_cols: vec![0],
+            aggs: vec![(AggOp::Count, None)],
+            numeric: Arc::new(Vec::new()),
+            lexical,
+            map_side_combine: true,
+        });
+        let job = JobBuilder::new("pruned")
+            .input("vp")
+            .mapper(Arc::new(FnMapFactory({
+                let c = cfg.clone();
+                move || GroupAggMapTask::new(c.clone())
+            })))
+            .reducer(Arc::new(FnReduceFactory({
+                let c = cfg.clone();
+                move || GroupAggReduceTask::new(c.clone())
+            })))
+            .output("out")
+            .build();
+        let m = Engine::pinned(dfs.clone()).run_job(&job);
+        assert_eq!(m.segments_skipped, 1);
+        assert!(m.input_bytes_pruned > 0);
+        assert!(m.input_bytes_pruned < m.input_bytes);
+        // The surviving segment still produced one group per subject.
+        assert_eq!(m.output_records, 1);
     }
 
     #[test]

@@ -224,6 +224,8 @@ impl Engine {
             records: crate::codec::RecBuffer,
             raw_kv_records: u64,
             raw_kv_bytes: u64,
+            segments_skipped: u64,
+            input_bytes_pruned: u64,
         }
 
         let workers = self.workers.max(1);
@@ -300,6 +302,11 @@ impl Engine {
                         records: std::mem::take(&mut out.records),
                         raw_kv_records,
                         raw_kv_bytes,
+                        // Committed attempt only: doomed/superseded attempts
+                        // build their own MapOutput whose skip counters are
+                        // discarded with the rest of their work.
+                        segments_skipped: out.segments_skipped,
+                        input_bytes_pruned: out.input_bytes_pruned,
                     },
                     local,
                 )
@@ -316,6 +323,8 @@ impl Engine {
         for r in &map_results {
             metrics.map_output_records += r.raw_kv_records;
             metrics.map_output_bytes += r.raw_kv_bytes;
+            metrics.segments_skipped += r.segments_skipped;
+            metrics.input_bytes_pruned += r.input_bytes_pruned;
         }
 
         let output_ds = if job.is_map_only() {

@@ -22,6 +22,11 @@ pub struct MapOutput {
     pub kvs: KvBuffer,
     /// Direct records (map-only jobs).
     pub records: RecBuffer,
+    /// Input segments the task skipped whole via zone-map pruning (ORC
+    /// row-group skipping). Mappers bump this instead of scanning.
+    pub segments_skipped: u64,
+    /// Input bytes of those skipped segments — work the scan never did.
+    pub input_bytes_pruned: u64,
 }
 
 impl MapOutput {
@@ -35,6 +40,13 @@ impl MapOutput {
     #[inline]
     pub fn write(&mut self, record: &[u8]) {
         self.records.push(record);
+    }
+
+    /// Record a zone-map skip of one whole input segment of `bytes` bytes.
+    #[inline]
+    pub fn skip_segment(&mut self, bytes: usize) {
+        self.segments_skipped += 1;
+        self.input_bytes_pruned += bytes as u64;
     }
 }
 

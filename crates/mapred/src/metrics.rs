@@ -21,6 +21,12 @@ pub struct JobMetrics {
     pub input_bytes: u64,
     /// Records read by map tasks.
     pub input_records: u64,
+    /// Input segments skipped whole via zone-map pruning by committed map
+    /// attempts (subset of the splits counted in `input_bytes` — pruning
+    /// saves scan work, not scheduled input).
+    pub segments_skipped: u64,
+    /// Input bytes of those skipped segments.
+    pub input_bytes_pruned: u64,
     /// Map output records before the combiner.
     pub map_output_records: u64,
     /// Map output bytes before the combiner.
@@ -176,6 +182,16 @@ impl WorkflowMetrics {
     /// Total bytes read from the DFS across all jobs.
     pub fn total_input_bytes(&self) -> u64 {
         self.jobs.iter().map(|j| j.input_bytes).sum()
+    }
+
+    /// Total input segments skipped via zone-map pruning across all jobs.
+    pub fn total_segments_skipped(&self) -> u64 {
+        self.jobs.iter().map(|j| j.segments_skipped).sum()
+    }
+
+    /// Total input bytes pruned by zone-map skipping across all jobs.
+    pub fn total_input_bytes_pruned(&self) -> u64 {
+        self.jobs.iter().map(|j| j.input_bytes_pruned).sum()
     }
 
     /// Total in-process wall time.

@@ -20,4 +20,4 @@ pub mod vp;
 pub use segment::{decode_segment, decode_stats, encode_segment, SegmentStats};
 pub use stats::{PredStat, StatsCatalog};
 pub use tg_store::{decode_tg, encode_tg, EcMeta, TgStore};
-pub use vp::{read_dataset_rows, VpKey, VpStore, VpTableMeta};
+pub use vp::{read_dataset_rows, ExtVpKind, ExtVpMeta, VpKey, VpStore, VpTableMeta};

@@ -21,6 +21,15 @@ pub struct SegmentStats {
     /// Maximum object id.
     pub o_max: u64,
     /// Numeric min/max over object literals, when every object is numeric.
+    ///
+    /// **`None` contract:** this field is `Some((lo, hi))` iff the segment is
+    /// non-empty and *every* object resolves to a numeric value. A single
+    /// non-numeric object — no matter where it sits in the row run — poisons
+    /// the whole segment to `None`, and an empty segment is `None`. There is
+    /// no partial range: consumers (zone-map pruning in the scan path) may
+    /// treat `Some` as a sound bound over all rows, and `None` as
+    /// "unknown, never skip". The poisoning is order-independent, so two
+    /// segments holding the same multiset of rows encode the same header.
     pub numeric: Option<(f64, f64)>,
 }
 
@@ -35,18 +44,22 @@ pub fn encode_segment(
     debug_assert!(rows.windows(2).all(|w| w[0].0 <= w[1].0), "rows sorted by s");
     let o_min = rows.iter().map(|r| r.1).min().unwrap_or(0);
     let o_max = rows.iter().map(|r| r.1).max().unwrap_or(0);
-    let mut numeric: Option<(f64, f64)> = Some((f64::INFINITY, f64::NEG_INFINITY));
+    // Numeric zone map: `Some` only when every object is numeric (see the
+    // `SegmentStats::numeric` contract). The fold short-circuits on the
+    // first non-numeric object — nothing accumulated up to that point
+    // survives, so a poisoned segment can never publish a stale partial
+    // range. Starting from `None` also makes the empty segment fall out of
+    // the same rule instead of needing an (INF, -INF) sentinel fixup.
+    let mut numeric: Option<(f64, f64)> = None;
     for (_, o) in rows {
-        match (numeric, numeric_of(*o)) {
-            (Some((lo, hi)), Some(v)) => numeric = Some((lo.min(v), hi.max(v))),
-            _ => {
-                numeric = None;
-                break;
-            }
-        }
-    }
-    if rows.is_empty() {
-        numeric = None;
+        let Some(v) = numeric_of(*o) else {
+            numeric = None;
+            break;
+        };
+        numeric = Some(match numeric {
+            None => (v, v),
+            Some((lo, hi)) => (lo.min(v), hi.max(v)),
+        });
     }
 
     write_varint(out, rows.len() as u64);
@@ -159,6 +172,61 @@ mod tests {
         assert_eq!(st.numeric, Some((20.0, 24.0)));
         // Full decode still works past the numeric header.
         assert_eq!(decode_segment(&buf).unwrap(), rows);
+    }
+
+    #[test]
+    fn single_non_numeric_object_poisons_numeric_stats() {
+        // Object id 2 is the lone non-numeric; wherever it sits in the run,
+        // the segment's numeric zone map must be None — never a partial
+        // range over the numeric prefix or suffix.
+        let numeric_of = |o: u64| if o == 2 { None } else { Some(o as f64) };
+        let poisoned_first: [(u64, u64); 3] = [(1, 2), (2, 10), (3, 20)];
+        let poisoned_mid: [(u64, u64); 3] = [(1, 10), (2, 2), (3, 20)];
+        let poisoned_last: [(u64, u64); 3] = [(1, 10), (2, 20), (3, 2)];
+        for rows in [&poisoned_first, &poisoned_mid, &poisoned_last] {
+            let mut buf = Vec::new();
+            encode_segment(rows, numeric_of, &mut buf);
+            let st = decode_stats(&buf).unwrap();
+            assert_eq!(st.numeric, None, "poisoned segment {rows:?}");
+            // Non-numeric headers stay intact.
+            assert_eq!(st.rows, 3);
+            assert_eq!(st.o_min, 2);
+            assert_eq!(st.o_max, 20);
+        }
+    }
+
+    #[test]
+    fn numeric_poisoning_is_order_independent() {
+        // Same multiset of objects, different subject-run layouts: the
+        // numeric header bytes must agree (all Some with the same range, or
+        // all None) regardless of where the poison lands.
+        let numeric_of = |o: u64| if o % 3 == 0 { None } else { Some(o as f64) };
+        let a: [(u64, u64); 4] = [(1, 1), (2, 3), (3, 5), (4, 7)];
+        let b: [(u64, u64); 4] = [(1, 7), (2, 5), (3, 1), (4, 3)];
+        let (mut ba, mut bb) = (Vec::new(), Vec::new());
+        encode_segment(&a, numeric_of, &mut ba);
+        encode_segment(&b, numeric_of, &mut bb);
+        assert_eq!(
+            decode_stats(&ba).unwrap().numeric,
+            decode_stats(&bb).unwrap().numeric
+        );
+        assert_eq!(decode_stats(&ba).unwrap().numeric, None);
+    }
+
+    #[test]
+    fn empty_segment_has_no_numeric_stats() {
+        let mut buf = Vec::new();
+        encode_segment(&[], |o| Some(o as f64), &mut buf);
+        let st = decode_stats(&buf).unwrap();
+        assert_eq!(st.rows, 0);
+        assert_eq!(st.numeric, None, "empty segment must not claim a range");
+    }
+
+    #[test]
+    fn all_numeric_single_row_range_is_degenerate() {
+        let mut buf = Vec::new();
+        encode_segment(&[(7, 42)], |o| Some(o as f64), &mut buf);
+        assert_eq!(decode_stats(&buf).unwrap().numeric, Some((42.0, 42.0)));
     }
 
     #[test]

@@ -34,6 +34,19 @@ impl PredStat {
     }
 }
 
+/// Row/byte counts of one materialized ExtVP reduction, keyed by its DFS
+/// dataset name — the coster prices ExtVP scans from these without touching
+/// the DFS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtTableStat {
+    /// DFS dataset name (`extvp_{kind}__{base}__{partner}`).
+    pub dataset: String,
+    /// Row count.
+    pub rows: u64,
+    /// Stored (compressed) bytes.
+    pub bytes: u64,
+}
+
 /// Catalog-wide statistics over a loaded graph, ordered deterministically.
 #[derive(Debug, Clone, Default)]
 pub struct StatsCatalog {
@@ -45,6 +58,8 @@ pub struct StatsCatalog {
     preds: Vec<PredStat>,
     /// Per-`rdf:type`-object instance counts, sorted by object id.
     types: Vec<(TermId, u64)>,
+    /// Registered ExtVP reduction stats, sorted by dataset name.
+    ext: Vec<ExtTableStat>,
 }
 
 impl StatsCatalog {
@@ -95,6 +110,7 @@ impl StatsCatalog {
             subjects: all_subjects.len() as u64,
             preds,
             types,
+            ext: Vec::new(),
         }
     }
 
@@ -118,6 +134,33 @@ impl StatsCatalog {
     /// All per-property statistics, sorted by property id.
     pub fn preds(&self) -> &[PredStat] {
         &self.preds
+    }
+
+    /// Register the VP store's materialized ExtVP reductions so their sizes
+    /// participate in cost estimation. Replaces any prior registration.
+    pub fn register_ext_tables(&mut self, ext: &[crate::vp::ExtVpMeta]) {
+        self.ext = ext
+            .iter()
+            .map(|e| ExtTableStat {
+                dataset: e.dataset.clone(),
+                rows: e.rows as u64,
+                bytes: e.bytes as u64,
+            })
+            .collect();
+        self.ext.sort_unstable_by(|a, b| a.dataset.cmp(&b.dataset));
+    }
+
+    /// Statistics of one registered ExtVP reduction, by dataset name.
+    pub fn ext_table(&self, dataset: &str) -> Option<&ExtTableStat> {
+        self.ext
+            .binary_search_by(|e| e.dataset.as_str().cmp(dataset))
+            .ok()
+            .map(|i| &self.ext[i])
+    }
+
+    /// All registered ExtVP reduction stats, sorted by dataset name.
+    pub fn ext_tables(&self) -> &[ExtTableStat] {
+        &self.ext
     }
 }
 
@@ -164,5 +207,73 @@ mod tests {
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_stats() {
+        let st = StatsCatalog::compute(&Graph::new());
+        assert_eq!(st.triples, 0);
+        assert_eq!(st.subjects, 0);
+        assert!(st.preds().is_empty());
+        assert_eq!(st.type_count(TermId(0)), 0);
+        assert!(st.ext_tables().is_empty());
+    }
+
+    #[test]
+    fn single_predicate_graph() {
+        let mut g = Graph::new();
+        for i in 0..4 {
+            g.insert_terms(&iri(&format!("s{i}")), &iri("only"), &iri("o"));
+        }
+        let st = StatsCatalog::compute(&g);
+        assert_eq!(st.preds().len(), 1);
+        let p = g.dict.lookup(&iri("only")).unwrap();
+        let ps = st.pred(p).unwrap();
+        assert_eq!((ps.count, ps.ndv_subjects, ps.ndv_objects), (4, 4, 1));
+        assert_eq!(st.subjects, 4);
+    }
+
+    #[test]
+    fn all_duplicate_subjects_gives_ndv_one() {
+        let mut g = Graph::new();
+        for i in 0..7 {
+            g.insert_terms(&iri("hub"), &iri("edge"), &iri(&format!("o{i}")));
+        }
+        let st = StatsCatalog::compute(&g);
+        let p = g.dict.lookup(&iri("edge")).unwrap();
+        let ps = st.pred(p).unwrap();
+        assert_eq!(ps.ndv_subjects, 1);
+        assert_eq!(ps.count, 7);
+        assert!((ps.avg_per_subject() - 7.0).abs() < 1e-12);
+        assert_eq!(st.subjects, 1);
+    }
+
+    #[test]
+    fn stats_rows_agree_with_vp_table_meta_including_extvp() {
+        use crate::vp::{VpKey, VpStore};
+        use rapida_mapred::SimDfs;
+
+        let g = sample();
+        let dfs = SimDfs::new();
+        let store = VpStore::load_ext(&g, &dfs, 16, Some(1.0));
+        let mut st = StatsCatalog::compute(&g);
+        st.register_ext_tables(store.ext_tables());
+
+        // Base tables: per-property counts and per-type instance counts must
+        // match the VP metadata row for row.
+        for meta in store.tables() {
+            let expect = match meta.key {
+                VpKey::Prop(p) => st.pred(p).unwrap().count,
+                VpKey::TypePartition(o) => st.type_count(o),
+            };
+            assert_eq!(expect, meta.rows as u64, "{}", meta.dataset);
+        }
+        // ExtVP reductions: registered stats mirror the store metadata.
+        assert_eq!(st.ext_tables().len(), store.ext_tables().len());
+        for e in store.ext_tables() {
+            let reg = st.ext_table(&e.dataset).unwrap();
+            assert_eq!(reg.rows, e.rows as u64, "{}", e.dataset);
+            assert_eq!(reg.bytes, e.bytes as u64, "{}", e.dataset);
+        }
     }
 }

@@ -2,6 +2,17 @@
 //! property–object partitions for `rdf:type` (Abadi et al. \[3\] + the paper's
 //! pre-processing §5.1), stored as compressed columnar segments in the
 //! simulated DFS.
+//!
+//! Optionally the store also materializes **ExtVP** reductions (S2RDF):
+//! for each co-occurring pair of tables, the semi-join reductions
+//! SS (subjects of the base that are subjects of the partner),
+//! SO (subjects of the base that are objects of the partner) and
+//! OS (objects of the base that are subjects of the partner), kept only
+//! when the reduction is selective enough (row ratio at or under a
+//! threshold, S2RDF's 0.25 default). Compilers may substitute the smallest
+//! applicable reduction for a full-table scan without changing query
+//! output, because a semi-join against a *required* join partner only
+//! removes rows that could never survive that join.
 
 use crate::segment::encode_segment;
 use rapida_rdf::{vocab, Dictionary, FxHashMap, Graph, Term, TermId};
@@ -41,6 +52,52 @@ pub struct VpTableMeta {
     pub raw_bytes: usize,
 }
 
+/// Which semi-join reduction an ExtVP table holds, named for the columns
+/// matched between base and partner (S2RDF's nomenclature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExtVpKind {
+    /// Rows of the base whose **subject** is a **subject** of the partner
+    /// (star groups: both patterns share the subject variable).
+    SS,
+    /// Rows of the base whose **subject** is an **object** of the partner
+    /// (path/α-join edges: the base's subject variable is the partner's
+    /// object variable).
+    SO,
+    /// Rows of the base whose **object** is a **subject** of the partner
+    /// (the mirror edge direction).
+    OS,
+}
+
+impl fmt::Display for ExtVpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtVpKind::SS => write!(f, "ss"),
+            ExtVpKind::SO => write!(f, "so"),
+            ExtVpKind::OS => write!(f, "os"),
+        }
+    }
+}
+
+/// Metadata about one materialized ExtVP reduction.
+#[derive(Debug, Clone)]
+pub struct ExtVpMeta {
+    /// Reduction kind.
+    pub kind: ExtVpKind,
+    /// The reduced table.
+    pub base: VpKey,
+    /// The semi-join partner.
+    pub partner: VpKey,
+    /// DFS dataset name (`extvp_{kind}__{base}__{partner}` — self-describing
+    /// so plan dumps can annotate scans from the name alone).
+    pub dataset: String,
+    /// Row count of the reduction.
+    pub rows: usize,
+    /// Stored (compressed) bytes.
+    pub bytes: usize,
+    /// `rows / base rows` — the retention ratio the threshold cut on.
+    pub selectivity: f64,
+}
+
 /// The vertical-partition store. Table contents live in the [`SimDfs`];
 /// this struct holds the catalog.
 #[derive(Clone)]
@@ -48,6 +105,9 @@ pub struct VpStore {
     /// The dictionary shared with the source graph.
     pub dict: Dictionary,
     tables: FxHashMap<VpKey, VpTableMeta>,
+    /// ExtVP reductions, sorted by `(base, kind, partner)` for binary-search
+    /// lookup (plan choice must not depend on hash order).
+    ext: Vec<ExtVpMeta>,
 }
 
 impl VpStore {
@@ -56,6 +116,20 @@ impl VpStore {
     /// `segment_rows` is the row-group size (ORC stripe analog): each segment
     /// becomes one input split for Hive-style scans.
     pub fn load(graph: &Graph, dfs: &SimDfs, segment_rows: usize) -> VpStore {
+        Self::load_ext(graph, dfs, segment_rows, None)
+    }
+
+    /// Like [`VpStore::load`], but when `extvp_threshold` is `Some(t)` also
+    /// materialize ExtVP semi-join reductions for every co-occurring table
+    /// pair, keeping a reduction only when it is strictly smaller than its
+    /// base and retains at most `t` of the base's rows (S2RDF's selectivity
+    /// cutoff; empty reductions are kept — they prune the scan entirely).
+    pub fn load_ext(
+        graph: &Graph,
+        dfs: &SimDfs,
+        segment_rows: usize,
+        extvp_threshold: Option<f64>,
+    ) -> VpStore {
         let dict = graph.dict.clone();
         let rdf_type = dict.lookup(&Term::iri(vocab::RDF_TYPE));
         let mut groups: FxHashMap<VpKey, Vec<(u64, u64)>> = FxHashMap::default();
@@ -74,11 +148,7 @@ impl VpStore {
         let mut groups: Vec<(VpKey, Vec<(u64, u64)>)> = groups.into_iter().collect();
         groups.sort_unstable_by_key(|(k, _)| *k);
 
-        let mut tables = FxHashMap::default();
-        for (key, mut rows) in groups {
-            rows.sort_unstable();
-            let raw_bytes = rows.len() * 16;
-            let dataset_name = format!("{key}");
+        let write_table = |name: &str, rows: &[(u64, u64)]| -> usize {
             // One segment per block: writer with split size 1 rolls a block
             // after every record (= segment).
             let mut writer = DatasetWriter::new(1);
@@ -89,11 +159,20 @@ impl VpStore {
             }
             let ds = writer.finish();
             let bytes = ds.total_bytes();
-            dfs.put(&dataset_name, ds);
+            dfs.put(name, ds);
+            bytes
+        };
+
+        let mut tables = FxHashMap::default();
+        for (key, rows) in &mut groups {
+            rows.sort_unstable();
+            let raw_bytes = rows.len() * 16;
+            let dataset_name = format!("{key}");
+            let bytes = write_table(&dataset_name, rows);
             tables.insert(
-                key,
+                *key,
                 VpTableMeta {
-                    key,
+                    key: *key,
                     dataset: dataset_name,
                     rows: rows.len(),
                     bytes,
@@ -101,7 +180,79 @@ impl VpStore {
                 },
             );
         }
-        VpStore { dict, tables }
+
+        let mut ext = Vec::new();
+        if let Some(threshold) = extvp_threshold {
+            // Per-table sorted-unique subject and object id sets. Rows are
+            // already sorted by (s, o), so subjects dedup in place; objects
+            // need a sort.
+            let sets: Vec<(VpKey, Vec<u64>, Vec<u64>)> = groups
+                .iter()
+                .map(|(key, rows)| {
+                    let mut subjects: Vec<u64> = rows.iter().map(|r| r.0).collect();
+                    subjects.dedup();
+                    let mut objects: Vec<u64> = rows.iter().map(|r| r.1).collect();
+                    objects.sort_unstable();
+                    objects.dedup();
+                    (*key, subjects, objects)
+                })
+                .collect();
+            for (base, rows) in &groups {
+                for (partner, p_subjects, p_objects) in &sets {
+                    if partner == base {
+                        continue;
+                    }
+                    for kind in [ExtVpKind::SS, ExtVpKind::SO, ExtVpKind::OS] {
+                        // Semantically void pairs: a type partition's object
+                        // column holds the type term itself, never a join
+                        // variable — so it cannot feed an SO reduction as
+                        // partner, nor an OS reduction as base.
+                        let void = match kind {
+                            ExtVpKind::SS => false,
+                            ExtVpKind::SO => matches!(partner, VpKey::TypePartition(_)),
+                            ExtVpKind::OS => matches!(base, VpKey::TypePartition(_)),
+                        };
+                        if void {
+                            continue;
+                        }
+                        let keep = |id: &u64| -> bool {
+                            let set = match kind {
+                                ExtVpKind::SS | ExtVpKind::OS => p_subjects,
+                                ExtVpKind::SO => p_objects,
+                            };
+                            set.binary_search(id).is_ok()
+                        };
+                        // Filtering preserves the (s, o) sort order, so the
+                        // reduction is written exactly like a base table.
+                        let reduced: Vec<(u64, u64)> = rows
+                            .iter()
+                            .filter(|(s, o)| match kind {
+                                ExtVpKind::SS | ExtVpKind::SO => keep(s),
+                                ExtVpKind::OS => keep(o),
+                            })
+                            .copied()
+                            .collect();
+                        let selectivity = reduced.len() as f64 / rows.len().max(1) as f64;
+                        if reduced.len() >= rows.len() || selectivity > threshold {
+                            continue;
+                        }
+                        let dataset = format!("extvp_{kind}__{base}__{partner}");
+                        let bytes = write_table(&dataset, &reduced);
+                        ext.push(ExtVpMeta {
+                            kind,
+                            base: *base,
+                            partner: *partner,
+                            dataset,
+                            rows: reduced.len(),
+                            bytes,
+                            selectivity,
+                        });
+                    }
+                }
+            }
+            ext.sort_unstable_by_key(|e| (e.base, e.kind, e.partner));
+        }
+        VpStore { dict, tables, ext }
     }
 
     /// Table metadata, if the table exists (absent tables mean no triples
@@ -113,6 +264,20 @@ impl VpStore {
     /// All tables.
     pub fn tables(&self) -> impl Iterator<Item = &VpTableMeta> {
         self.tables.values()
+    }
+
+    /// All materialized ExtVP reductions, sorted by `(base, kind, partner)`.
+    pub fn ext_tables(&self) -> &[ExtVpMeta] {
+        &self.ext
+    }
+
+    /// The materialized reduction for one `(base, kind, partner)` triple, if
+    /// it survived the selectivity cutoff.
+    pub fn reduction(&self, base: VpKey, kind: ExtVpKind, partner: VpKey) -> Option<&ExtVpMeta> {
+        self.ext
+            .binary_search_by_key(&(base, kind, partner), |e| (e.base, e.kind, e.partner))
+            .ok()
+            .map(|i| &self.ext[i])
     }
 
     /// Total stored bytes across all tables.
@@ -222,5 +387,117 @@ mod tests {
         let (g, dfs, store) = sample();
         let nosuch = g.dict.intern(&iri("nosuch"));
         assert!(store.read_table(&dfs, VpKey::Prop(nosuch)).is_empty());
+    }
+
+    #[test]
+    fn plain_load_materializes_no_extvp() {
+        let (_g, _dfs, store) = sample();
+        assert!(store.ext_tables().is_empty());
+    }
+
+    fn sample_ext(threshold: f64) -> (Graph, SimDfs, VpStore) {
+        let mut g = Graph::new();
+        for i in 0..50 {
+            let s = iri(&format!("p{i}"));
+            g.insert_terms(&s, &Term::iri(vocab::RDF_TYPE), &iri("T1"));
+            g.insert_terms(&s, &iri("price"), &Term::decimal(i as f64));
+            if i % 2 == 0 {
+                g.insert_terms(&s, &iri("feature"), &iri(&format!("f{}", i % 5)));
+            }
+        }
+        let dfs = SimDfs::new();
+        let store = VpStore::load_ext(&g, &dfs, 16, Some(threshold));
+        (g, dfs, store)
+    }
+
+    #[test]
+    fn extvp_threshold_cuts_reductions() {
+        // Half the price subjects have a feature, so SS[price|feature]
+        // retains 25/50 = 0.5 of the base: kept at threshold 0.5, cut at
+        // S2RDF's 0.25.
+        let (g, _dfs, loose) = sample_ext(0.5);
+        let price = VpKey::Prop(g.dict.lookup(&iri("price")).unwrap());
+        let feature = VpKey::Prop(g.dict.lookup(&iri("feature")).unwrap());
+        let red = loose.reduction(price, ExtVpKind::SS, feature).unwrap();
+        assert_eq!(red.rows, 25);
+        assert!((red.selectivity - 0.5).abs() < 1e-12);
+        assert!(red.bytes > 0);
+
+        let (g, _dfs, strict) = sample_ext(0.25);
+        let price = VpKey::Prop(g.dict.lookup(&iri("price")).unwrap());
+        let feature = VpKey::Prop(g.dict.lookup(&iri("feature")).unwrap());
+        assert!(strict.reduction(price, ExtVpKind::SS, feature).is_none());
+    }
+
+    #[test]
+    fn extvp_never_keeps_full_size_reductions() {
+        // Every feature subject also has a price, so SS[feature|price] is
+        // the whole base table — never materialized even at threshold 1.0.
+        let (g, _dfs, store) = sample_ext(1.0);
+        let price = VpKey::Prop(g.dict.lookup(&iri("price")).unwrap());
+        let feature = VpKey::Prop(g.dict.lookup(&iri("feature")).unwrap());
+        assert!(store.reduction(feature, ExtVpKind::SS, price).is_none());
+        for e in store.ext_tables() {
+            let base_rows = store.table(e.base).unwrap().rows;
+            assert!(e.rows < base_rows, "{}: not a strict reduction", e.dataset);
+        }
+    }
+
+    #[test]
+    fn extvp_rows_match_semi_join_semantics() {
+        let (g, dfs, store) = sample_ext(1.0);
+        for e in store.ext_tables() {
+            let base_rows = store.read_table(&dfs, e.base);
+            let partner_rows = store.read_table(&dfs, e.partner);
+            let keep_set: std::collections::BTreeSet<u64> = match e.kind {
+                ExtVpKind::SS | ExtVpKind::OS => partner_rows.iter().map(|r| r.0).collect(),
+                ExtVpKind::SO => partner_rows.iter().map(|r| r.1).collect(),
+            };
+            let expect: Vec<(u64, u64)> = base_rows
+                .iter()
+                .filter(|(s, o)| match e.kind {
+                    ExtVpKind::SS | ExtVpKind::SO => keep_set.contains(s),
+                    ExtVpKind::OS => keep_set.contains(o),
+                })
+                .copied()
+                .collect();
+            let ds = dfs.get(&e.dataset).unwrap();
+            assert_eq!(read_dataset_rows(&ds), expect, "{}", e.dataset);
+            assert_eq!(e.rows, expect.len(), "{}", e.dataset);
+        }
+        drop(g);
+    }
+
+    #[test]
+    fn extvp_skips_type_partition_void_pairs() {
+        // A type partition's object column holds the type term, not a join
+        // variable: no SO reduction may use one as partner, no OS reduction
+        // may use one as base.
+        let (_g, _dfs, store) = sample_ext(1.0);
+        assert!(!store.ext_tables().is_empty(), "sample should keep some");
+        for e in store.ext_tables() {
+            if matches!(e.kind, ExtVpKind::SO) {
+                assert!(!matches!(e.partner, VpKey::TypePartition(_)), "{}", e.dataset);
+            }
+            if matches!(e.kind, ExtVpKind::OS) {
+                assert!(!matches!(e.base, VpKey::TypePartition(_)), "{}", e.dataset);
+            }
+        }
+    }
+
+    #[test]
+    fn extvp_catalog_is_sorted_and_datasets_exist() {
+        let (_g, dfs, store) = sample_ext(1.0);
+        let keys: Vec<_> = store
+            .ext_tables()
+            .iter()
+            .map(|e| (e.base, e.kind, e.partner))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        for e in store.ext_tables() {
+            assert!(dfs.get(&e.dataset).is_some(), "{} missing in DFS", e.dataset);
+        }
     }
 }

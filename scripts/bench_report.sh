@@ -22,14 +22,18 @@
 #     (deterministic simulated model seconds). Floors: per family the chosen
 #     plan is never worse than either fixed plan, and at least one MG query
 #     has a chosen plan >= 1.1x faster than the fixed Hive-MQO baseline.
+#   BENCH_extvp.json  — ExtVP semi-join reductions vs full VP scans on
+#     MG1-MG4 + MG6 per engine family (deterministic simulated model
+#     seconds). Floors: ExtVP never worse on any (query, family) pair, and
+#     at least one MG pair >= 1.2x faster than the full-scan baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GROUP="${1:-all}"
 case "$GROUP" in
-    mapred|query|scale|plan|all) ;;
+    mapred|query|scale|plan|extvp|all) ;;
     *)
-        echo "usage: $0 [mapred|query|scale|plan|all]" >&2
+        echo "usage: $0 [mapred|query|scale|plan|extvp|all]" >&2
         exit 2
         ;;
 esac
@@ -67,6 +71,11 @@ run_scale() {
 run_plan() {
     echo "==> enumerator vs fixed-plan bench (writes BENCH_plan.json)"
     cargo bench --offline -p rapida-bench --bench plan
+}
+
+run_extvp() {
+    echo "==> ExtVP vs full-scan bench (writes BENCH_extvp.json)"
+    cargo bench --offline -p rapida-bench --bench extvp
 }
 
 check_mapred() {
@@ -215,6 +224,45 @@ if not report.get("smoke") and best_vs_mqo < 1.1:
 EOF
 }
 
+check_extvp() {
+    echo "==> checking BENCH_extvp.json"
+    python3 - "$DEST/BENCH_extvp.json" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        report = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"FAIL: {path} missing or malformed: {e}")
+by_id = {b["id"]: b["median_ns"] for b in report["benchmarks"]}
+best_mg = 0.0
+pairs = 0
+for bid in sorted(by_id):
+    if not bid.startswith("extvp/"):
+        continue
+    pair = bid.split("/", 1)[1]  # e.g. MG2_hive
+    full = by_id.get(f"fullscan/{pair}")
+    if full is None:
+        sys.exit(f"FAIL: {path} has {bid} but no fullscan/{pair}")
+    pairs += 1
+    ratio = full / by_id[bid]
+    print(
+        f"  {pair}: fullscan {full / 1e9:.1f}s  extvp {by_id[bid] / 1e9:.1f}s"
+        f"  speedup {ratio:.2f}x"
+    )
+    if not report.get("smoke") and ratio < 0.999:
+        sys.exit(f"FAIL: extvp/{pair} is worse than the full-scan baseline ({ratio:.2f}x)")
+    if pair.startswith("MG"):
+        best_mg = max(best_mg, ratio)
+if pairs == 0:
+    sys.exit(f"FAIL: {path} has no extvp/* benchmarks")
+print(f"  best MG speedup: {best_mg:.2f}x")
+if not report.get("smoke") and best_mg < 1.2:
+    sys.exit(f"FAIL: no MG pair beats the full-scan baseline by 1.2x (best {best_mg:.2f}x)")
+EOF
+}
+
 if [ "$GROUP" = "mapred" ] || [ "$GROUP" = "all" ]; then
     run_mapred
 fi
@@ -227,6 +275,9 @@ fi
 if [ "$GROUP" = "plan" ] || [ "$GROUP" = "all" ]; then
     run_plan
 fi
+if [ "$GROUP" = "extvp" ] || [ "$GROUP" = "all" ]; then
+    run_extvp
+fi
 if [ "$GROUP" = "mapred" ] || [ "$GROUP" = "all" ]; then
     check_mapred
 fi
@@ -238,6 +289,9 @@ if [ "$GROUP" = "scale" ] || [ "$GROUP" = "all" ]; then
 fi
 if [ "$GROUP" = "plan" ] || [ "$GROUP" = "all" ]; then
     check_plan
+fi
+if [ "$GROUP" = "extvp" ] || [ "$GROUP" = "all" ]; then
+    check_extvp
 fi
 
 echo "==> bench report OK ($DEST)"

@@ -25,6 +25,9 @@ cargo test -q --offline --test scale_identity
 echo "==> plan-enumerator smoke (golden snapshots + NTGA rediscovery)"
 cargo test -q --offline -p rapida-core --test plan_snapshots
 
+echo "==> ExtVP byte-identity smoke (reductions vs full scans)"
+cargo test -q --offline --test extvp_identity
+
 echo "==> bench smoke (1 iteration per benchmark)"
 # Absolute path: bench binaries run with cwd = crates/bench, where a
 # relative RAPIDA_BENCH_DIR would silently land.
@@ -92,6 +95,21 @@ ids = [b["id"] for b in report["benchmarks"]]
 for prefix in ("fixed_hive_mqo/", "chosen_hive/", "chosen_rapid/"):
     if not any(i.startswith(prefix) for i in ids):
         sys.exit(f"FAIL: BENCH_plan.json lacks a {prefix}* benchmark")
+print(f"  ok: {len(ids)} benchmarks")
+EOF
+
+echo "==> BENCH_extvp.json present and well-formed"
+python3 - target/bench-smoke/BENCH_extvp.json <<'EOF'
+import json, sys
+try:
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"FAIL: BENCH_extvp.json missing or malformed: {e}")
+ids = [b["id"] for b in report["benchmarks"]]
+for prefix in ("fullscan/", "extvp/"):
+    if not any(i.startswith(prefix) for i in ids):
+        sys.exit(f"FAIL: BENCH_extvp.json lacks a {prefix}* benchmark")
 print(f"  ok: {len(ids)} benchmarks")
 EOF
 
