@@ -1,0 +1,112 @@
+//! Checkpoint-resume vs full-restart recovery after a late-job loss:
+//! runs MG1 on Hive (Naive) — the longest workflow of the Fig. 8 set —
+//! kills the last job of the main workflow exactly once, and records the
+//! bytes each recovery mode recomputes into `BENCH_recover.json`.
+//!
+//! The measured quantity is deterministic (`iter_custom`, 1 ns per
+//! recomputed byte, plus the model-seconds recovery overhead as a second
+//! pair), so the recorded numbers are exact and reproducible. Floor
+//! checked by `scripts/bench_report.sh recover`: full restart must
+//! recompute at least 2x the bytes checkpoint resume does — the margin
+//! that makes job-granular checkpoints worth their storage.
+
+use rapida_core::engines::HiveNaive;
+use rapida_core::{extract, DataCatalog, QueryEngine};
+use rapida_datagen::{generate_bsbm, query, BsbmConfig};
+use rapida_mapred::{ClusterModel, Engine, FaultPlan, RecoveryLedger, ResiliencePolicy};
+use rapida_sparql::parse_query;
+use rapida_testkit::bench::{smoke_mode, BenchmarkId, Criterion};
+use rapida_testkit::{criterion_group, criterion_main};
+use std::time::Duration;
+
+/// Run MG1 with the last main-workflow job killed once, returning the
+/// recovery ledger of the run.
+fn recover_once(cat: &DataCatalog, checkpointing: bool) -> RecoveryLedger {
+    let q = query("MG1");
+    let aq = extract(&parse_query(&q.sparql).unwrap()).unwrap();
+    let engine = HiveNaive::default();
+    let plan = engine.plan(&aq, cat).expect("MG1 plans on HiveNaive");
+    let late = plan.jobs.len() - 1;
+    let mut mr = Engine::pinned(cat.dfs.clone()).with_resilience(ResiliencePolicy {
+        checkpointing,
+        ..ResiliencePolicy::default()
+    });
+    // Explicit index-based kill: job names embed the per-plan id, which
+    // differs between plan instances, so the schedule targets the index.
+    mr.faults = Some(FaultPlan {
+        abort_job: Some((late, 1)),
+        ..FaultPlan::new(0)
+    });
+    let (_rel, wf) = plan
+        .try_execute(&mr, &aq, &cat.dict)
+        .expect("one kill is within the default budget");
+    plan.cleanup(&cat.dfs);
+    cat.dfs.remove(&plan.output_dataset);
+    wf.recovery
+}
+
+fn record(group: &mut rapida_testkit::bench::BenchmarkGroup<'_>, id: BenchmarkId, value: f64) {
+    group.bench_function(id, |b| {
+        b.iter_custom(|iters| Duration::from_secs_f64(value * iters as f64))
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let graph = if smoke_mode() {
+        generate_bsbm(&BsbmConfig::tiny())
+    } else {
+        generate_bsbm(&BsbmConfig::small())
+    };
+    let cat = DataCatalog::load(&graph);
+    let model = ClusterModel::nodes10();
+
+    let restart = recover_once(&cat, false);
+    let ckpt = recover_once(&cat, true);
+    assert!(
+        ckpt.checkpoint_jobs_skipped > 0 && restart.checkpoint_jobs_skipped == 0,
+        "modes must differ: ckpt skipped {}, restart skipped {}",
+        ckpt.checkpoint_jobs_skipped,
+        restart.checkpoint_jobs_skipped
+    );
+    println!(
+        "  MG1/HiveNaive late-job loss: restart recomputes {} B over {} jobs, \
+         checkpoint resume {} B over {} jobs ({} skipped, {} B verified)",
+        restart.recomputed_bytes,
+        restart.jobs_replayed,
+        ckpt.recomputed_bytes,
+        ckpt.jobs_replayed,
+        ckpt.checkpoint_jobs_skipped,
+        ckpt.checkpoint_bytes_read
+    );
+
+    let mut group = c.benchmark_group("recover");
+    group.sample_size(10).measurement_time(Duration::from_millis(100));
+    // 1 ns per recomputed byte: the ratio restart/checkpoint is the
+    // recomputation margin the report enforces.
+    record(
+        &mut group,
+        BenchmarkId::new("recomputed", "restart_MG1"),
+        restart.recomputed_bytes as f64 * 1e-9,
+    );
+    record(
+        &mut group,
+        BenchmarkId::new("recomputed", "checkpoint_MG1"),
+        ckpt.recomputed_bytes as f64 * 1e-9,
+    );
+    // Model-seconds recovery overhead (backoff + resubmit startup + IO)
+    // as a second pair, for the cost-model view of the same margin.
+    record(
+        &mut group,
+        BenchmarkId::new("overhead", "restart_MG1"),
+        model.recovery_overhead(&restart),
+    );
+    record(
+        &mut group,
+        BenchmarkId::new("overhead", "checkpoint_MG1"),
+        model.recovery_overhead(&ckpt),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

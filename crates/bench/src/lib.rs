@@ -68,6 +68,20 @@ pub struct ExperimentResult {
     pub wasted_mb: f64,
     /// Simulated retry backoff, seconds.
     pub backoff_s: f64,
+    /// Corrupt DFS block copies detected and quarantined on read.
+    pub corrupt_blocks_detected: u64,
+    /// Corrupt shuffle spill runs detected and quarantined at commit.
+    pub corrupt_spills_detected: u64,
+    /// Megabytes re-read from replicas after a checksum mismatch.
+    pub integrity_reread_mb: f64,
+    /// Malformed records skipped (and counted) by operator decode paths.
+    pub corrupt_records_skipped: u64,
+    /// Jobs replayed by workflow-level recovery.
+    pub jobs_replayed: u64,
+    /// Megabytes recomputed by replayed jobs.
+    pub recomputed_mb: f64,
+    /// Checkpoint megabytes verified + read instead of recomputed.
+    pub checkpoint_mb: f64,
 }
 
 /// A prepared workload: catalog + cluster model calibrated to the paper's
@@ -187,6 +201,13 @@ impl Workbench {
             straggler_tasks: wf.total_straggler_tasks(),
             wasted_mb: wf.total_wasted_output_bytes() as f64 / 1e6,
             backoff_s: wf.total_backoff_s(),
+            corrupt_blocks_detected: wf.total_corrupt_blocks_detected(),
+            corrupt_spills_detected: wf.total_corrupt_spills_detected(),
+            integrity_reread_mb: wf.total_integrity_reread_bytes() as f64 / 1e6,
+            corrupt_records_skipped: wf.total_corrupt_records_skipped(),
+            jobs_replayed: wf.recovery.jobs_replayed,
+            recomputed_mb: wf.recovery.recomputed_bytes as f64 / 1e6,
+            checkpoint_mb: wf.recovery.checkpoint_bytes_read as f64 / 1e6,
         })
     }
 
@@ -329,7 +350,26 @@ pub fn results_json(title: &str, results: &[Vec<ExperimentResult>]) -> String {
         ));
         json.push_str(&format!("\"straggler_tasks\": {}, ", r.straggler_tasks));
         json.push_str(&format!("\"wasted_mb\": {}, ", num(r.wasted_mb)));
-        json.push_str(&format!("\"backoff_s\": {}", num(r.backoff_s)));
+        json.push_str(&format!("\"backoff_s\": {}, ", num(r.backoff_s)));
+        json.push_str(&format!(
+            "\"corrupt_blocks_detected\": {}, ",
+            r.corrupt_blocks_detected
+        ));
+        json.push_str(&format!(
+            "\"corrupt_spills_detected\": {}, ",
+            r.corrupt_spills_detected
+        ));
+        json.push_str(&format!(
+            "\"integrity_reread_mb\": {}, ",
+            num(r.integrity_reread_mb)
+        ));
+        json.push_str(&format!(
+            "\"corrupt_records_skipped\": {}, ",
+            r.corrupt_records_skipped
+        ));
+        json.push_str(&format!("\"jobs_replayed\": {}, ", r.jobs_replayed));
+        json.push_str(&format!("\"recomputed_mb\": {}, ", num(r.recomputed_mb)));
+        json.push_str(&format!("\"checkpoint_mb\": {}", num(r.checkpoint_mb)));
         json.push_str(if i + 1 == flat.len() { "}\n" } else { "},\n" });
     }
     json.push_str("  ]\n}\n");
@@ -412,6 +452,15 @@ mod tests {
             .sum();
         assert!(total_extra_cost > 0.0, "faults must cost simulated seconds");
 
+        // The chaotic preset also injects read-path corruption: the sweep
+        // must detect some of it and none may slip through silently (rows
+        // and committed shuffle already asserted unchanged above).
+        let detected: u64 = faulted
+            .iter()
+            .map(|r| r.corrupt_blocks_detected + r.corrupt_spills_detected)
+            .sum();
+        assert!(detected > 0, "chaotic plan corrupted nothing across engines");
+
         let json = results_json("chaos", &[faulted]);
         for key in [
             "\"task_attempts\"",
@@ -419,6 +468,13 @@ mod tests {
             "\"speculative_attempts\"",
             "\"wasted_mb\"",
             "\"backoff_s\"",
+            "\"corrupt_blocks_detected\"",
+            "\"corrupt_spills_detected\"",
+            "\"integrity_reread_mb\"",
+            "\"corrupt_records_skipped\"",
+            "\"jobs_replayed\"",
+            "\"recomputed_mb\"",
+            "\"checkpoint_mb\"",
         ] {
             assert!(json.contains(key), "missing {key} in: {json}");
         }

@@ -6,7 +6,8 @@ use crate::aquery::AnalyticalQuery;
 use crate::rows::{decode_row, row_bytes, RVal};
 use rapida_mapred::codec::BlockBuilder;
 use rapida_mapred::{
-    Dataset, Engine, InputSrc, Job, MapOutput, MapTask, MapTaskFactory, SimDfs, WorkflowMetrics,
+    Dataset, Engine, InputSrc, Job, MapOutput, MapTask, MapTaskFactory, SimDfs, WorkflowError,
+    WorkflowMetrics,
 };
 use rapida_ntga::{AggOp, AggRec};
 use rapida_rdf::{Dictionary, FxHashMap, TermId};
@@ -153,6 +154,7 @@ impl FinalJoinTask {
 impl MapTask for FinalJoinTask {
     fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
         let Some(rec) = AggRec::decode(record) else {
+            out.skip_corrupt();
             return;
         };
         if rec.id != 0 {
@@ -383,21 +385,44 @@ impl QueryPlan {
 
     /// Execute against an MR engine, returning the result relation and the
     /// measured workflow metrics.
+    ///
+    /// Delegates to [`QueryPlan::try_execute`]; an exhausted workflow
+    /// recovery budget panics (unreachable for probabilistic fault plans —
+    /// see `rapida_mapred::Engine::run_workflow`).
     pub fn execute(
         &self,
         mr: &Engine,
         aq: &AnalyticalQuery,
         dict: &Dictionary,
     ) -> (Relation, WorkflowMetrics) {
-        let mut wf = mr.run_workflow(&self.jobs);
+        self.try_execute(mr, aq, dict)
+            .unwrap_or_else(|e| panic!("plan execution exhausted its recovery budget: {e}"))
+    }
+
+    /// Execute against an MR engine with workflow-level checkpoint/recovery:
+    /// lost jobs resume from the last committed checkpoint, and an exhausted
+    /// retry budget degrades to a typed [`WorkflowError`] carrying the
+    /// partial metrics instead of panicking.
+    pub fn try_execute(
+        &self,
+        mr: &Engine,
+        aq: &AnalyticalQuery,
+        dict: &Dictionary,
+    ) -> Result<(Relation, WorkflowMetrics), WorkflowError> {
+        let mut wf = mr.try_run_workflow(&self.jobs)?;
         for f in &self.fixups {
             f.apply(&mr.dfs);
         }
         if let Some(job) = &self.final_job {
-            wf.jobs.push(mr.run_job(job));
+            // The final join runs as a one-job continuation of the workflow
+            // so it shares the same recovery machinery (checkpoints of the
+            // block jobs are already committed above).
+            let tail = mr.try_run_workflow(std::slice::from_ref(job))?;
+            wf.jobs.extend(tail.jobs);
+            wf.recovery.absorb(&tail.recovery);
         }
         let rel = self.assemble(&mr.dfs, aq, dict);
-        (rel, wf)
+        Ok((rel, wf))
     }
 
     /// Remove the plan's intermediate datasets from the DFS (everything the

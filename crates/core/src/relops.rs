@@ -122,44 +122,53 @@ impl ScanKind {
     /// Decode one record into zero or more rows. `row` is a reused scratch
     /// buffer: each row is built in place and handed to the sink as a
     /// borrowed slice, so a segment scan performs no per-row allocation.
-    fn scan(&self, rec: &[u8], row: &mut Vec<RVal>, mut sink: impl FnMut(&[RVal])) {
+    ///
+    /// Returns `false` when the record is malformed and was quarantined —
+    /// callers surface that through `MapOutput::skip_corrupt` so undecodable
+    /// input is counted, never silently dropped.
+    fn scan(&self, rec: &[u8], row: &mut Vec<RVal>, mut sink: impl FnMut(&[RVal])) -> bool {
         match self {
             ScanKind::VpFull => {
-                if let Some(pairs) = decode_segment(rec) {
-                    for (s, o) in pairs {
-                        row.clear();
-                        row.push(RVal::Id(s));
-                        row.push(RVal::Id(o));
-                        sink(row);
-                    }
+                let Some(pairs) = decode_segment(rec) else {
+                    return false;
+                };
+                for (s, o) in pairs {
+                    row.clear();
+                    row.push(RVal::Id(s));
+                    row.push(RVal::Id(o));
+                    sink(row);
                 }
             }
             ScanKind::VpSubjectOnly => {
-                if let Some(pairs) = decode_segment(rec) {
-                    for (s, _) in pairs {
-                        row.clear();
-                        row.push(RVal::Id(s));
-                        sink(row);
-                    }
+                let Some(pairs) = decode_segment(rec) else {
+                    return false;
+                };
+                for (s, _) in pairs {
+                    row.clear();
+                    row.push(RVal::Id(s));
+                    sink(row);
                 }
             }
             ScanKind::VpConstObject(oid) => {
-                if let Some(pairs) = decode_segment(rec) {
-                    for (s, o) in pairs {
-                        if o == *oid {
-                            row.clear();
-                            row.push(RVal::Id(s));
-                            sink(row);
-                        }
+                let Some(pairs) = decode_segment(rec) else {
+                    return false;
+                };
+                for (s, o) in pairs {
+                    if o == *oid {
+                        row.clear();
+                        row.push(RVal::Id(s));
+                        sink(row);
                     }
                 }
             }
             ScanKind::Rows(_) => {
-                if decode_row_into(rec, row) {
-                    sink(row);
+                if !decode_row_into(rec, row) {
+                    return false;
                 }
+                sink(row);
             }
         }
+        true
     }
 }
 
@@ -285,7 +294,7 @@ impl MapTask for JoinMapTask {
         }
         let numeric = &cfg.numeric;
         let lexical = &cfg.lexical;
-        input.scan.scan(record, row_buf, |row| {
+        let ok = input.scan.scan(record, row_buf, |row| {
             if !input.scan_preds.iter().all(|p| p.eval(row, numeric, lexical)) {
                 return;
             }
@@ -299,6 +308,9 @@ impl MapTask for JoinMapTask {
             encode_row(row, val_buf);
             out.emit(key_buf, val_buf);
         });
+        if !ok {
+            out.skip_corrupt();
+        }
     }
 }
 
@@ -327,12 +339,15 @@ impl ReduceTask for JoinReduceTask {
         for v in values {
             let mut rec = *v;
             let Some(tag) = read_varint(&mut rec) else {
+                out.skip_corrupt();
                 continue;
             };
             if let Some(row) = decode_row(rec) {
                 if let Some(b) = buckets.get_mut(tag as usize) {
                     b.push(row);
                 }
+            } else {
+                out.skip_corrupt();
             }
         }
         // Required inputs must all be present for this key.
@@ -476,7 +491,11 @@ impl MapJoinFactory {
                     let mut map: FxHashMap<u64, Vec<Vec<RVal>>> = FxHashMap::default();
                     if let Some(ds) = self.dfs.get(&small.dataset) {
                         for rec in ds.iter_records() {
-                            small.scan.scan(rec, &mut row_buf, |row| {
+                            // Broadcast sides load at cache-build time, off
+                            // the task path — malformed records are dropped
+                            // here like any driver-side read; task-level
+                            // quarantine counters cover the stream side.
+                            let _ = small.scan.scan(rec, &mut row_buf, |row| {
                                 if !small
                                     .scan_preds
                                     .iter()
@@ -586,7 +605,7 @@ impl MapTask for MapJoinTask {
         let mut acc = std::mem::take(&mut self.acc_buf);
         let mut out_buf = std::mem::take(&mut self.out_buf);
         let cfg = self.cfg.clone();
-        cfg.stream.scan.scan(record, &mut row_buf, |row| {
+        let ok = cfg.stream.scan.scan(record, &mut row_buf, |row| {
             if !cfg
                 .stream
                 .scan_preds
@@ -599,6 +618,9 @@ impl MapTask for MapJoinTask {
             acc.extend_from_slice(row);
             self.probe(0, &mut acc, &mut out_buf, out);
         });
+        if !ok {
+            out.skip_corrupt();
+        }
         self.row_buf = row_buf;
         self.acc_buf = acc;
         self.out_buf = out_buf;
@@ -698,7 +720,7 @@ impl MapTask for GroupAggMapTask {
             out.skip_segment(record.len());
             return;
         }
-        cfg.scan.scan(record, row_buf, |row| {
+        let ok = cfg.scan.scan(record, row_buf, |row| {
             if !cfg
                 .scan_preds
                 .iter()
@@ -728,6 +750,9 @@ impl MapTask for GroupAggMapTask {
                 out.emit(key_buf, val_buf);
             }
         });
+        if !ok {
+            out.skip_corrupt();
+        }
     }
 
     fn cleanup(&mut self, out: &mut MapOutput) {
@@ -773,13 +798,17 @@ impl ReduceTask for GroupAggReduceTask {
     fn reduce(&mut self, key: &[u8], values: &[&[u8]], out: &mut ReduceOutput) {
         let mut kb = key;
         let Some(nk) = read_varint(&mut kb) else {
+            out.skip_corrupt();
             return;
         };
         let mut group_key = Vec::with_capacity(nk as usize);
         for _ in 0..nk {
             match read_varint(&mut kb) {
                 Some(k) => group_key.push(k),
-                None => return,
+                None => {
+                    out.skip_corrupt();
+                    return;
+                }
             }
         }
         let mut merged = vec![PartialAgg::default(); self.cfg.aggs.len()];
@@ -788,7 +817,10 @@ impl ReduceTask for GroupAggReduceTask {
             for m in merged.iter_mut() {
                 match PartialAgg::decode(&mut vb) {
                     Some(p) => m.merge(&p),
-                    None => break,
+                    None => {
+                        out.skip_corrupt();
+                        break;
+                    }
                 }
             }
         }
@@ -841,6 +873,7 @@ impl DistinctMapTask {
 impl MapTask for DistinctMapTask {
     fn map(&mut self, _src: InputSrc, record: &[u8], out: &mut MapOutput) {
         if !decode_row_into(record, &mut self.row_buf) {
+            out.skip_corrupt();
             return;
         }
         let row = &self.row_buf;

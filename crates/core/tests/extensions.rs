@@ -79,7 +79,9 @@ fn three_grouping_blocks() {
 }
 
 /// Corrupt records in input datasets are skipped gracefully by every
-/// engine — no panics, and the valid records still produce correct results.
+/// engine — no panics, the valid records still produce correct results,
+/// and every skip is ledgered in the workflow metrics so the quarantine
+/// is observable (not a silent `continue`).
 #[test]
 fn corrupt_records_are_skipped() {
     let g = sales_graph();
@@ -118,8 +120,13 @@ fn corrupt_records_are_skipped() {
     ];
     for e in &engines {
         let plan = e.plan(&aq, &cat).unwrap();
-        let (rel, _) = plan.execute(&mr, &aq, &cat.dict);
+        let (rel, wf) = plan.execute(&mr, &aq, &cat.dict);
         assert_eq!(rel.len(), 3, "{}: three feature groups survive", e.name());
+        assert!(
+            wf.total_corrupt_records_skipped() > 0,
+            "{}: skipped garbage records must be counted in the metrics",
+            e.name()
+        );
     }
 }
 

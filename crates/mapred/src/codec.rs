@@ -246,6 +246,22 @@ impl KvBuffer {
         (0..self.len()).map(|i| self.kv(i))
     }
 
+    /// Flip one bit inside pair `i`'s key (`in_value == false`) or value
+    /// payload — the fault injector's spill-corruption primitive (see
+    /// `integrity::corrupt_kv`). `bit` is an offset into the chosen span;
+    /// callers guarantee the span is non-empty.
+    pub fn flip_pair_bit(&mut self, i: usize, in_value: bool, bit: usize) {
+        let e = self.ents[i];
+        let start = if in_value {
+            e.off as usize + e.klen as usize
+        } else {
+            e.off as usize
+        };
+        let span = if in_value { e.vlen } else { e.klen } as usize;
+        debug_assert!(span > 0, "flip target span must be non-empty");
+        self.data[start + (bit % (span * 8)) / 8] ^= 1 << (bit % 8);
+    }
+
     /// Append every pair of `other` (copies its arena and rebases its
     /// offset table) — bulk concatenation for shard-ordered reassembly.
     pub fn append(&mut self, other: &KvBuffer) {

@@ -8,7 +8,7 @@
 //! *measured* byte/record counts of the simulator, so the relative ordering
 //! of plans matches the paper's even though absolute constants differ.
 
-use crate::metrics::{JobMetrics, WorkflowMetrics};
+use crate::metrics::{JobMetrics, RecoveryLedger, WorkflowMetrics};
 
 /// Cluster configuration for the cost model.
 #[derive(Debug, Clone, Copy)]
@@ -137,17 +137,43 @@ impl ClusterModel {
         let redo_io = mb(m.wasted_output_bytes) / (self.disk_mbps * slots);
         let redo_cpu = m.wasted_input_records as f64 * self.cpu_per_record_us / 1e6 / slots;
         let unspeculated = m.straggler_tasks.saturating_sub(m.speculative_attempts) as f64;
+        // Integrity re-reads: every quarantined block/spill is read again
+        // from a replica — pure extra disk traffic.
+        let reread_io = mb(m.integrity_reread_bytes) / (self.disk_mbps * slots);
         m.backoff_s
             + extra * self.task_overhead_s
             + redo_io
             + redo_cpu
+            + reread_io
             + unspeculated * self.straggler_penalty_s
     }
 
+    /// Extra simulated seconds attributable to workflow-level recovery:
+    /// restart backoff, re-submitting every replayed/aborted/timed-out job
+    /// (each pays job startup again), and the I/O of the recomputed, wasted,
+    /// and checkpoint-read bytes. Zero on an undisturbed workflow.
+    pub fn recovery_overhead(&self, r: &RecoveryLedger) -> f64 {
+        let mb = |bytes: u64| (bytes as f64) * self.data_scale / (1024.0 * 1024.0);
+        let slots = self.map_slots();
+        let resubmits = (r.aborted_job_attempts + r.timeout_kills + r.jobs_replayed) as f64;
+        let io =
+            mb(r.recomputed_bytes + r.wasted_bytes + r.checkpoint_bytes_read)
+                / (self.disk_mbps * slots);
+        r.recovery_backoff_s + resubmits * self.job_startup_s + io
+    }
+
+    /// Simulated replica count for the DFS integrity model, derived from the
+    /// replication factor (HDFS keeps `replication` copies; at least one).
+    pub fn replicas(&self) -> usize {
+        (self.replication.round() as usize).max(1)
+    }
+
     /// Simulated time of a whole workflow (jobs run sequentially, as Hadoop
-    /// executes a dependent job DAG stage by stage).
+    /// executes a dependent job DAG stage by stage), plus the recovery
+    /// overhead of any workflow-level restarts.
     pub fn workflow_time(&self, wf: &WorkflowMetrics) -> f64 {
-        wf.jobs.iter().map(|j| self.job_time(j)).sum()
+        wf.jobs.iter().map(|j| self.job_time(j)).sum::<f64>()
+            + self.recovery_overhead(&wf.recovery)
     }
 }
 
@@ -204,6 +230,7 @@ mod tests {
         let model = ClusterModel::nodes10();
         let one = WorkflowMetrics {
             jobs: vec![job(false, 1 << 20, 1 << 20)],
+            ..Default::default()
         };
         let three = WorkflowMetrics {
             jobs: vec![
@@ -211,6 +238,7 @@ mod tests {
                 job(false, 1 << 20, 1 << 20),
                 job(false, 1 << 20, 1 << 20),
             ],
+            ..Default::default()
         };
         assert!(model.workflow_time(&three) > 2.5 * model.workflow_time(&one));
     }
@@ -289,6 +317,48 @@ mod tests {
             model.fault_overhead(&slow),
             2.0 * model.task_overhead_s
         );
+    }
+
+    #[test]
+    fn integrity_rereads_and_recovery_cost_simulated_time() {
+        let model = ClusterModel::nodes10();
+        let clean = job(false, 1 << 20, 1 << 20);
+        let mut rereads = clean.clone();
+        rereads.corrupt_blocks_detected = 2;
+        rereads.integrity_reread_bytes = 8 << 20;
+        assert!(model.job_time(&rereads) > model.job_time(&clean));
+
+        assert_eq!(model.recovery_overhead(&RecoveryLedger::default()), 0.0);
+        let r = RecoveryLedger {
+            workflow_restarts: 1,
+            aborted_job_attempts: 1,
+            jobs_replayed: 2,
+            recomputed_bytes: 16 << 20,
+            wasted_bytes: 4 << 20,
+            recovery_backoff_s: 2.0,
+            ..Default::default()
+        };
+        // At least the backoff plus three job re-submissions.
+        assert!(model.recovery_overhead(&r) >= 2.0 + 3.0 * model.job_startup_s);
+        let wf = WorkflowMetrics {
+            jobs: vec![clean.clone()],
+            recovery: r,
+        };
+        let undisturbed = WorkflowMetrics {
+            jobs: vec![clean],
+            ..Default::default()
+        };
+        assert!(model.workflow_time(&wf) > model.workflow_time(&undisturbed));
+    }
+
+    #[test]
+    fn replicas_follow_the_replication_factor() {
+        let mut model = ClusterModel::nodes10();
+        assert_eq!(model.replicas(), 2);
+        model.replication = 3.0;
+        assert_eq!(model.replicas(), 3);
+        model.replication = 0.0;
+        assert_eq!(model.replicas(), 1, "always at least one copy");
     }
 
     #[test]

@@ -6,6 +6,8 @@
 
 use crate::bytes::Bytes;
 use crate::codec::{BlockBuilder, RecordIter};
+use crate::fault::FaultPlan;
+use crate::integrity;
 use std::collections::HashMap;
 use std::sync::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -89,10 +91,32 @@ impl DatasetWriter {
     }
 }
 
+/// A stored dataset plus the per-block FNV-1a checksums computed at `put`
+/// time — the DFS-side half of the integrity contract. Sums are behind an
+/// `Arc` so `get` clones stay cheap.
+#[derive(Clone)]
+struct Stored {
+    ds: Dataset,
+    block_sums: Arc<Vec<u64>>,
+}
+
+/// What an integrity-checked read observed (see [`SimDfs::fetch`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrityReport {
+    /// Block reads whose checksum mismatched; each was quarantined and the
+    /// block re-read from the next replica.
+    pub corrupt_blocks: u64,
+    /// Extra bytes read by those replica re-reads.
+    pub reread_bytes: u64,
+    /// Corrupted copies returned to the caller because verification was
+    /// disabled. Always zero with checksums on.
+    pub silent: u64,
+}
+
 /// The simulated DFS, shared between jobs of a workflow.
 #[derive(Clone, Default)]
 pub struct SimDfs {
-    inner: Arc<RwLock<HashMap<String, Dataset>>>,
+    inner: Arc<RwLock<HashMap<String, Stored>>>,
     bytes_written: Arc<AtomicU64>,
     bytes_read: Arc<AtomicU64>,
 }
@@ -103,16 +127,27 @@ impl SimDfs {
         Self::default()
     }
 
-    /// Store a dataset under `name`, replacing any existing one.
+    /// Store a dataset under `name`, replacing any existing one. Every
+    /// block's checksum is computed here, from the bytes being stored —
+    /// the ground truth integrity reads verify against.
     pub fn put(&self, name: &str, ds: Dataset) {
         self.bytes_written
             .fetch_add(ds.total_bytes() as u64, Ordering::Relaxed);
-        self.inner.write().unwrap().insert(name.to_string(), ds);
+        let block_sums = Arc::new(
+            ds.blocks
+                .iter()
+                .map(|b| integrity::block_checksum(b))
+                .collect::<Vec<u64>>(),
+        );
+        self.inner
+            .write()
+            .unwrap()
+            .insert(name.to_string(), Stored { ds, block_sums });
     }
 
     /// Fetch a dataset (cheap: blocks are refcounted).
     pub fn get(&self, name: &str) -> Option<Dataset> {
-        let ds = self.inner.read().unwrap().get(name).cloned();
+        let ds = self.inner.read().unwrap().get(name).map(|s| s.ds.clone());
         if let Some(d) = &ds {
             self.bytes_read
                 .fetch_add(d.total_bytes() as u64, Ordering::Relaxed);
@@ -120,14 +155,96 @@ impl SimDfs {
         ds
     }
 
+    /// Fetch a dataset through the integrity read path: every block read
+    /// walks the replica chain under the fault plan's corruption decisions.
+    /// With `verify` on, a corrupted copy is *detected* by recomputing its
+    /// checksum against the sum stored at `put` time, quarantined, and the
+    /// block re-read from the next replica (the last replica is never
+    /// corrupted, so the walk terminates on clean bytes — see
+    /// [`FaultPlan::replicas`]). With `verify` off, the first replica's
+    /// possibly-flipped copy is returned as-is and counted as silent.
+    ///
+    /// Without a fault plan this is exactly [`SimDfs::get`].
+    pub fn fetch(
+        &self,
+        name: &str,
+        faults: Option<&FaultPlan>,
+        verify: bool,
+    ) -> Option<(Dataset, IntegrityReport)> {
+        let mut ds = self.get(name)?;
+        let mut report = IntegrityReport::default();
+        let Some(plan) = faults.filter(|p| p.block_corrupt_p > 0.0) else {
+            return Some((ds, report));
+        };
+        let sums = self
+            .inner
+            .read()
+            .unwrap()
+            .get(name)
+            .map(|s| Arc::clone(&s.block_sums))?;
+        for (bi, block) in ds.blocks.iter_mut().enumerate() {
+            let replicas = plan.replicas.max(1);
+            for replica in 0..replicas {
+                let copy = plan
+                    .corrupt_block(name, bi, replica)
+                    .and_then(|h| integrity::corrupt_block(block, h));
+                let Some(bad) = copy else {
+                    break; // this replica reads clean
+                };
+                if !verify {
+                    report.silent += 1;
+                    *block = bad;
+                    break;
+                }
+                // Honest detection: recompute the checksum of the bytes we
+                // actually got and compare to the stored sum.
+                if integrity::block_checksum(&bad) == sums[bi] {
+                    *block = bad; // unreachable: a flip always changes FNV
+                    break;
+                }
+                report.corrupt_blocks += 1;
+                report.reread_bytes += block.len() as u64;
+                self.bytes_read
+                    .fetch_add(block.len() as u64, Ordering::Relaxed);
+            }
+        }
+        Some((ds, report))
+    }
+
+    /// Recompute and verify every block checksum of `name` against the sums
+    /// stored at `put` time. Returns the dataset's byte size on success,
+    /// `None` when the dataset is missing or any block mismatches — the
+    /// checkpoint-validation primitive of workflow recovery.
+    pub fn verify(&self, name: &str) -> Option<u64> {
+        let stored = self.inner.read().unwrap().get(name).cloned()?;
+        if stored.ds.blocks.len() != stored.block_sums.len() {
+            return None;
+        }
+        for (b, &sum) in stored.ds.blocks.iter().zip(stored.block_sums.iter()) {
+            if integrity::block_checksum(b) != sum {
+                return None;
+            }
+        }
+        Some(stored.ds.total_bytes() as u64)
+    }
+
+    /// The stored per-block checksums of `name`, if present.
+    pub fn block_sums(&self, name: &str) -> Option<Vec<u64>> {
+        self.inner
+            .read()
+            .unwrap()
+            .get(name)
+            .map(|s| s.block_sums.as_ref().clone())
+    }
+
     /// Peek at a dataset without counting a read.
     pub fn peek(&self, name: &str) -> Option<Dataset> {
-        self.inner.read().unwrap().get(name).cloned()
+        self.inner.read().unwrap().get(name).map(|s| s.ds.clone())
     }
 
     /// Remove a dataset.
     pub fn remove(&self, name: &str) -> Option<Dataset> {
-        self.inner.write().unwrap().remove(name)
+        self.inner.write().unwrap().remove(name).map(|s| s.ds)
     }
 
     /// Does the dataset exist?
@@ -158,7 +275,7 @@ impl SimDfs {
             .read()
             .unwrap()
             .values()
-            .map(|d| d.total_bytes() as u64)
+            .map(|s| s.ds.total_bytes() as u64)
             .sum()
     }
 }
@@ -227,5 +344,124 @@ mod tests {
         let ds = DatasetWriter::new(128).finish();
         assert_eq!(ds.blocks.len(), 0);
         assert_eq!(ds.total_bytes(), 0);
+    }
+
+    fn small_ds(records: &[&[u8]]) -> Dataset {
+        let mut w = DatasetWriter::new(1024);
+        for r in records {
+            w.push(r);
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn get_on_missing_name_is_none_and_counts_nothing() {
+        let dfs = SimDfs::new();
+        assert!(dfs.get("nope").is_none());
+        assert!(dfs.fetch("nope", None, true).is_none());
+        assert!(dfs.verify("nope").is_none());
+        assert_eq!(dfs.bytes_read(), 0, "a miss reads no bytes");
+    }
+
+    #[test]
+    fn put_overwrites_dataset_and_checksums_together() {
+        let dfs = SimDfs::new();
+        dfs.put("a", small_ds(&[b"old-contents"]));
+        let old_sums = dfs.block_sums("a").unwrap();
+        let old_size = dfs.peek("a").unwrap().total_bytes() as u64;
+        dfs.put("a", small_ds(&[b"new"]));
+        // The replacement is fully visible: data, sums, and verification
+        // all reflect the new bytes; written-byte accounting covers both
+        // puts (the DFS models total write traffic, not net storage).
+        let got = dfs.peek("a").unwrap();
+        assert_eq!(got.iter_records().next().unwrap(), b"new");
+        assert_ne!(dfs.block_sums("a").unwrap(), old_sums);
+        assert_eq!(dfs.verify("a"), Some(got.total_bytes() as u64));
+        assert_eq!(dfs.bytes_written(), old_size + got.total_bytes() as u64);
+        assert_eq!(dfs.names(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn remove_then_read_misses() {
+        let dfs = SimDfs::new();
+        dfs.put("a", small_ds(&[b"x"]));
+        assert!(dfs.remove("a").is_some());
+        assert!(dfs.get("a").is_none());
+        assert!(dfs.peek("a").is_none());
+        assert!(dfs.block_sums("a").is_none());
+        assert!(dfs.remove("a").is_none(), "double remove is a miss");
+        assert_eq!(dfs.bytes_read(), 0);
+    }
+
+    #[test]
+    fn bytes_read_accumulates_under_rereads() {
+        let dfs = SimDfs::new();
+        let ds = small_ds(&[b"hello", b"world"]);
+        let size = ds.total_bytes() as u64;
+        dfs.put("a", ds);
+        let _ = dfs.get("a");
+        let _ = dfs.get("a");
+        let _ = dfs.get("a");
+        assert_eq!(dfs.bytes_read(), 3 * size, "every get pays a full read");
+        assert_eq!(dfs.bytes_written(), size, "writes counted once");
+        let _ = dfs.peek("a");
+        assert_eq!(dfs.bytes_read(), 3 * size, "peek stays free");
+    }
+
+    #[test]
+    fn fetch_detects_quarantines_and_rereads_from_replica() {
+        use crate::fault::FaultPlan;
+        let dfs = SimDfs::new();
+        let ds = small_ds(&[b"payload-record-one", b"payload-record-two"]);
+        let size = ds.total_bytes() as u64;
+        dfs.put("a", ds.clone());
+        // Corrupt every non-final replica read: the verified fetch must
+        // still return the clean bytes, charging one re-read per hop.
+        let plan = FaultPlan {
+            block_corrupt_p: 1.0,
+            ..FaultPlan::new(7)
+        };
+        let (got, report) = dfs.fetch("a", Some(&plan), true).unwrap();
+        assert_eq!(
+            got.blocks[0].as_ref(),
+            ds.blocks[0].as_ref(),
+            "verified read must return clean bytes"
+        );
+        assert_eq!(report.corrupt_blocks as usize, plan.replicas - 1);
+        assert_eq!(report.reread_bytes, (plan.replicas as u64 - 1) * size);
+        assert_eq!(report.silent, 0);
+        // Base read + one re-read per quarantined replica.
+        assert_eq!(dfs.bytes_read(), size + report.reread_bytes);
+    }
+
+    #[test]
+    fn unverified_fetch_returns_silently_corrupt_bytes() {
+        use crate::fault::FaultPlan;
+        let dfs = SimDfs::new();
+        let ds = small_ds(&[b"payload-record-one"]);
+        dfs.put("a", ds.clone());
+        let plan = FaultPlan {
+            block_corrupt_p: 1.0,
+            ..FaultPlan::new(7)
+        };
+        let (got, report) = dfs.fetch("a", Some(&plan), false).unwrap();
+        assert_ne!(
+            got.blocks[0].as_ref(),
+            ds.blocks[0].as_ref(),
+            "without verification the flipped copy flows through"
+        );
+        assert_eq!(report.silent, 1);
+        assert_eq!(report.corrupt_blocks, 0);
+        // Storage itself was never touched: a later verified read is clean.
+        assert_eq!(dfs.verify("a"), Some(ds.total_bytes() as u64));
+    }
+
+    #[test]
+    fn fetch_without_faults_is_plain_get() {
+        let dfs = SimDfs::new();
+        dfs.put("a", small_ds(&[b"x"]));
+        let (got, report) = dfs.fetch("a", None, true).unwrap();
+        assert_eq!(got.records, 1);
+        assert_eq!(report, IntegrityReport::default());
     }
 }

@@ -25,30 +25,23 @@ use crate::bytes::Bytes;
 use crate::codec::{BlockBuilder, KvBuffer, RecordIter};
 use crate::dfs::{Dataset, SimDfs};
 use crate::fault::{FaultPlan, Outcome, TaskKind};
+use crate::integrity;
 use crate::job::{InputSrc, Job, MapOutput, ReduceOutput};
 use crate::merge::{merge_key_groups, plan_shards, Run};
-use crate::metrics::{JobMetrics, WorkflowMetrics};
+use crate::metrics::{JobMetrics, RecoveryLedger, WorkflowMetrics};
 use crate::pool;
+use crate::resilience::{ResiliencePolicy, WorkflowError};
 use std::time::Instant;
 
-/// FNV-1a over a byte string; the shuffle partitioner.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
-
-/// The reducer a key is routed to: FNV-1a modulo the reducer count.
+/// The reducer a key is routed to: FNV-1a ([`integrity::fnv1a`], the same
+/// hash the block/spill checksums use) modulo the reducer count.
 ///
 /// This is *the* shuffle contract — it depends only on the key bytes and the
 /// partition count, never on worker threads or split layout, which is what
 /// makes reruns of a workflow bit-for-bit reproducible.
 #[inline]
 pub fn shuffle_partition(key: &[u8], num_partitions: usize) -> usize {
-    (fnv1a(key) % num_partitions.max(1) as u64) as usize
+    (integrity::fnv1a(key) % num_partitions.max(1) as u64) as usize
 }
 
 /// Execution engine bound to a [`SimDfs`].
@@ -62,6 +55,9 @@ pub struct Engine {
     pub split_bytes: usize,
     /// Optional fault-injection plan; `None` runs the cluster perfectly.
     pub faults: Option<FaultPlan>,
+    /// Resilience policy: checksums, checkpointing, retry budgets,
+    /// deadlines. Defaults keep every protection on.
+    pub resilience: ResiliencePolicy,
 }
 
 /// Per-job fault accounting, accumulated across worker threads.
@@ -76,6 +72,9 @@ struct FaultStats {
     wasted_input_records: u64,
     wasted_output_bytes: u64,
     backoff_s: f64,
+    corrupt_spills_detected: u64,
+    integrity_reread_bytes: u64,
+    silent_corruptions: u64,
 }
 
 impl FaultStats {
@@ -89,6 +88,9 @@ impl FaultStats {
         self.wasted_input_records += o.wasted_input_records;
         self.wasted_output_bytes += o.wasted_output_bytes;
         self.backoff_s += o.backoff_s;
+        self.corrupt_spills_detected += o.corrupt_spills_detected;
+        self.integrity_reread_bytes += o.integrity_reread_bytes;
+        self.silent_corruptions += o.silent_corruptions;
     }
 }
 
@@ -145,6 +147,7 @@ impl Engine {
                 .unwrap_or(4),
             split_bytes: 256 * 1024,
             faults: None,
+            resilience: ResiliencePolicy::default(),
         }
     }
 
@@ -172,13 +175,157 @@ impl Engine {
         self
     }
 
+    /// Attach a resilience policy (builder style).
+    pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = policy;
+        self
+    }
+
     /// Run a sequence of jobs, accumulating workflow metrics.
+    ///
+    /// Delegates to [`Engine::try_run_workflow`]; an exhausted recovery
+    /// budget panics. That is unreachable for purely probabilistic fault
+    /// plans (the final budgeted attempt never aborts) — only an explicit
+    /// [`FaultPlan::abort_job`] scheduled with more kills than the
+    /// workflow's retry budget can trip it, and harnesses doing that should
+    /// call [`Engine::try_run_workflow`] and handle the typed error.
     pub fn run_workflow(&self, jobs: &[Job]) -> WorkflowMetrics {
-        let mut wf = WorkflowMetrics::default();
-        for job in jobs {
-            wf.jobs.push(self.run_job(job));
+        self.try_run_workflow(jobs)
+            .unwrap_or_else(|e| panic!("workflow exhausted its recovery budget: {e}"))
+    }
+
+    /// Run a sequence of jobs with workflow-level recovery.
+    ///
+    /// Every committed job's output dataset is a durable checkpoint. When a
+    /// job attempt is lost — a fault-plan abort ([`FaultPlan::abort_job`] /
+    /// `job_abort_p`) or a simulated deadline kill
+    /// ([`crate::resilience::JobDeadline`]) — the workflow restarts: with
+    /// [`ResiliencePolicy::checkpointing`] on, it first re-verifies the
+    /// checksums of every checkpoint before the lost job and resumes from
+    /// the first job whose checkpoint is missing or unverifiable (normally
+    /// the lost job itself); with checkpointing off it replays the whole
+    /// DAG from job 0. Either way the recomputation is tallied in a
+    /// deterministic [`RecoveryLedger`] and the final output bytes are
+    /// identical to an undisturbed run.
+    ///
+    /// Each recovery consumes one unit of the workflow retry budget
+    /// ([`ResiliencePolicy::workflow_attempts`]) and one deterministic
+    /// backoff delay; an exhausted budget degrades gracefully to a typed
+    /// [`WorkflowError`] carrying the partial metrics instead of panicking.
+    pub fn try_run_workflow(&self, jobs: &[Job]) -> Result<WorkflowMetrics, WorkflowError> {
+        let pol = &self.resilience;
+        let budget = pol.workflow_attempts.max(1);
+        let mut recovery = RecoveryLedger::default();
+        let mut committed: Vec<Option<JobMetrics>> = (0..jobs.len()).map(|_| None).collect();
+        let mut ran_before = vec![false; jobs.len()];
+        let mut deadline_limit: Vec<f64> = match &pol.deadline {
+            Some(dl) => vec![dl.limit_s; jobs.len()],
+            None => vec![f64::INFINITY; jobs.len()],
+        };
+        // Recovery rounds consumed so far — the workflow retry budget.
+        let mut spent = 0usize;
+        // Where the last loss happened; checkpoint resume target.
+        let mut resume_at = 0usize;
+        let mut first_round = true;
+
+        let assemble = |committed: &[Option<JobMetrics>], recovery: &RecoveryLedger| {
+            let mut wf = WorkflowMetrics::default();
+            wf.jobs = committed.iter().flatten().cloned().collect();
+            wf.recovery = recovery.clone();
+            wf
+        };
+
+        loop {
+            // Resume point: re-verify checkpoints up to the loss and resume
+            // from the first one that fails verification (graceful
+            // degradation — a damaged checkpoint chain replays more jobs,
+            // never produces wrong bytes).
+            let from = if pol.checkpointing && !first_round {
+                let mut ok = 0usize;
+                for job in jobs.iter().take(resume_at) {
+                    match self.dfs.verify(&job.output) {
+                        Some(bytes) => {
+                            ok += 1;
+                            recovery.checkpoint_jobs_skipped += 1;
+                            recovery.checkpoint_bytes_read += bytes;
+                        }
+                        None => break,
+                    }
+                }
+                ok
+            } else {
+                0
+            };
+            first_round = false;
+
+            let mut restart: Option<usize> = None;
+            for (i, job) in jobs.iter().enumerate().skip(from) {
+                let m = self.run_job(job);
+                if ran_before[i] {
+                    recovery.jobs_replayed += 1;
+                    recovery.recomputed_bytes += m.input_bytes + m.output_bytes;
+                }
+                ran_before[i] = true;
+
+                // Deadline gate: the job ran, but its simulated cluster time
+                // blew the per-job limit — kill it, escalate the limit for
+                // the retry (deadlines model capacity guesses, not
+                // correctness), and charge the workflow budget.
+                let deadline_blown = pol
+                    .deadline
+                    .as_ref()
+                    .is_some_and(|dl| dl.model.job_time(&m) > deadline_limit[i]);
+                // Abort gate: the fault plan killed this job attempt
+                // (node-loss at workflow granularity).
+                let aborted = !deadline_blown
+                    && self.faults.as_ref().is_some_and(|plan| {
+                        plan.decide_job_abort(&job.name, i, spent, spent + 1 >= budget)
+                    });
+                if deadline_blown || aborted {
+                    if deadline_blown {
+                        recovery.timeout_kills += 1;
+                        recovery.deadline_escalations += 1;
+                        let esc = pol.deadline.as_ref().map_or(1.0, |dl| dl.escalation);
+                        deadline_limit[i] *= esc.max(1.0);
+                    } else {
+                        recovery.aborted_job_attempts += 1;
+                    }
+                    recovery.wasted_bytes += m.input_bytes + m.output_bytes;
+                    recovery.wasted_task_attempts += m.task_attempts();
+                    spent += 1;
+                    if spent >= budget {
+                        let partial = assemble(&committed, &recovery);
+                        return Err(if deadline_blown {
+                            WorkflowError::DeadlineExhausted {
+                                job: job.name.clone(),
+                                job_index: i,
+                                limit_s: deadline_limit[i],
+                                partial,
+                            }
+                        } else {
+                            WorkflowError::RetryBudgetExhausted {
+                                job: job.name.clone(),
+                                job_index: i,
+                                attempts: spent,
+                                partial,
+                            }
+                        });
+                    }
+                    recovery.recovery_backoff_s += pol.backoff.delay_s(spent - 1);
+                    restart = Some(i);
+                    break;
+                }
+                committed[i] = Some(m);
+            }
+            match restart {
+                Some(i) => {
+                    recovery.workflow_restarts += 1;
+                    resume_at = i;
+                }
+                None => break,
+            }
         }
-        wf
+        Ok(assemble(&committed, &recovery))
     }
 
     /// Run one job to completion, returning its metrics.
@@ -191,9 +338,20 @@ impl Engine {
         };
 
         // Gather input splits: (dataset index, block, known record count).
+        // The integrity read path ([`SimDfs::fetch`]) verifies each block's
+        // checksum against the fault plan's injected read corruption and
+        // re-reads from replicas; with checksums disabled a corrupted copy
+        // flows through silently — the detection being load-bearing is what
+        // the divergence tests demonstrate.
         let mut splits: Vec<(usize, Bytes, Option<usize>)> = Vec::new();
         for (di, name) in job.inputs.iter().enumerate() {
-            if let Some(ds) = self.dfs.get(name) {
+            if let Some((ds, integ)) =
+                self.dfs
+                    .fetch(name, self.faults.as_ref(), self.resilience.checksums)
+            {
+                metrics.corrupt_blocks_detected += integ.corrupt_blocks;
+                metrics.integrity_reread_bytes += integ.reread_bytes;
+                metrics.silent_corruptions += integ.silent;
                 metrics.input_bytes += ds.total_bytes() as u64;
                 metrics.input_records += ds.records as u64;
                 let Dataset {
@@ -221,12 +379,25 @@ impl Engine {
         // ready for the reduce-side loser-tree merge to read sequentially.
         struct MapResult {
             parts: Vec<KvBuffer>,
+            /// FNV-1a checksum of each spill in `parts`, recorded at spill
+            /// time — the reference the verify-on-commit gate compares
+            /// against. Empty when no spill integrity is needed.
+            spill_sums: Vec<u64>,
             records: crate::codec::RecBuffer,
             raw_kv_records: u64,
             raw_kv_bytes: u64,
             segments_skipped: u64,
             input_bytes_pruned: u64,
+            corrupt_records: u64,
         }
+
+        // Record spill checksums only when the plan can corrupt spills and
+        // the policy verifies them — the bytes to compare against.
+        let spill_guard = self.resilience.checksums
+            && self
+                .faults
+                .as_ref()
+                .is_some_and(|plan| plan.spill_corrupt_p > 0.0);
 
         let workers = self.workers.max(1);
         // With fewer splits than workers, idle workers lend themselves to
@@ -250,6 +421,7 @@ impl Engine {
 
                 let raw_kv_records = out.kvs.len() as u64;
                 let raw_kv_bytes = out.kvs.payload_bytes();
+                let mut corrupt_records = out.corrupt_records;
 
                 let mut kvs = std::mem::take(&mut out.kvs);
                 let mut parts: Vec<KvBuffer> = Vec::new();
@@ -269,6 +441,7 @@ impl Engine {
                                 ctask.reduce(key, values, &mut cout);
                             });
                             ctask.cleanup(&mut cout);
+                            corrupt_records += cout.corrupt_records;
                             kvs = cout.kvs;
                             kvs.sort_unstable_with(sort_threads);
                         }
@@ -296,9 +469,15 @@ impl Engine {
                         parts[pidx[i] as usize].push(kvs.key(i), kvs.value(i));
                     }
                 }
+                let spill_sums = if spill_guard {
+                    parts.iter().map(integrity::kv_checksum).collect()
+                } else {
+                    Vec::new()
+                };
                 (
                     MapResult {
                         parts,
+                        spill_sums,
                         records: std::mem::take(&mut out.records),
                         raw_kv_records,
                         raw_kv_bytes,
@@ -307,6 +486,7 @@ impl Engine {
                         // discarded with the rest of their work.
                         segments_skipped: out.segments_skipped,
                         input_bytes_pruned: out.input_bytes_pruned,
+                        corrupt_records,
                     },
                     local,
                 )
@@ -325,6 +505,45 @@ impl Engine {
             metrics.map_output_bytes += r.raw_kv_bytes;
             metrics.segments_skipped += r.segments_skipped;
             metrics.input_bytes_pruned += r.input_bytes_pruned;
+            metrics.corrupt_records_skipped += r.corrupt_records;
+        }
+
+        // Verify-on-commit gate for shuffle spills. Spill corruption is a
+        // pure function of (seed, job, task, partition), decided here in the
+        // serial section — the ledger never depends on worker count. With
+        // checksums on, the corrupted copy is checked against the sum
+        // recorded at spill time, quarantined, and the clean spill re-read
+        // (in the simulator: simply kept) — so a corrupt run never reaches
+        // a reducer. With checksums off, the flip lands in place and flows
+        // downstream silently.
+        if let Some(plan) = self.faults.as_ref().filter(|p| p.spill_corrupt_p > 0.0) {
+            for (t, r) in map_results.iter_mut().enumerate() {
+                for p in 0..r.parts.len() {
+                    if r.parts[p].is_empty() {
+                        continue;
+                    }
+                    let Some(h) = plan.corrupt_spill(&job.name, t, p) else {
+                        continue;
+                    };
+                    if self.resilience.checksums {
+                        let mut bad = r.parts[p].clone();
+                        if integrity::corrupt_kv(&mut bad, h) {
+                            if integrity::kv_checksum(&bad) != r.spill_sums[p] {
+                                stats.corrupt_spills_detected += 1;
+                                stats.integrity_reread_bytes += r.parts[p].payload_bytes();
+                            } else {
+                                // A flip the checksum missed (FNV-1a makes
+                                // this unconstructable, but account honestly
+                                // rather than assume).
+                                stats.silent_corruptions += 1;
+                                r.parts[p] = bad;
+                            }
+                        }
+                    } else if integrity::corrupt_kv(&mut r.parts[p], h) {
+                        stats.silent_corruptions += 1;
+                    }
+                }
+            }
         }
 
         let output_ds = if job.is_map_only() {
@@ -462,21 +681,26 @@ impl Engine {
                             merge_key_groups(&runs, Some(limit), |key, values| {
                                 task.reduce(key, values, &mut out);
                             });
-                            (p_idx, None, reduce_output_size(&out))
+                            (p_idx, None, reduce_output_size(&out), 0)
                         }
                         UnitKind::WastedFull => {
                             merge_key_groups(&runs, None, |key, values| {
                                 task.reduce(key, values, &mut out);
                             });
                             task.cleanup(&mut out);
-                            (p_idx, None, reduce_output_size(&out))
+                            (p_idx, None, reduce_output_size(&out), 0)
                         }
                         UnitKind::Committed => {
                             merge_key_groups(&runs, None, |key, values| {
                                 task.reduce(key, values, &mut out);
                             });
                             task.cleanup(&mut out);
-                            (p_idx, Some(std::mem::take(&mut out.records)), 0)
+                            (
+                                p_idx,
+                                Some(std::mem::take(&mut out.records)),
+                                0,
+                                out.corrupt_records,
+                            )
                         }
                     }
                 });
@@ -488,8 +712,9 @@ impl Engine {
             // per partition (unit order is already canonical — see above),
             // and fold measured waste into the ledger.
             let mut per_part: Vec<(usize, crate::codec::RecBuffer)> = Vec::new();
-            for (p_idx, out, waste) in unit_results {
+            for (p_idx, out, waste, corrupt) in unit_results {
                 stats.wasted_output_bytes += waste;
+                metrics.corrupt_records_skipped += corrupt;
                 if let Some(recs) = out {
                     match per_part.last_mut() {
                         Some((last, acc)) if *last == p_idx => acc.append(&recs),
@@ -536,6 +761,11 @@ impl Engine {
         metrics.wasted_input_records = stats.wasted_input_records;
         metrics.wasted_output_bytes = stats.wasted_output_bytes;
         metrics.backoff_s = stats.backoff_s;
+        // Block-level integrity counters were recorded at split gather; the
+        // spill-level counters accumulated in stats join them here.
+        metrics.corrupt_spills_detected = stats.corrupt_spills_detected;
+        metrics.integrity_reread_bytes += stats.integrity_reread_bytes;
+        metrics.silent_corruptions += stats.silent_corruptions;
 
         metrics.wall = start.elapsed();
         metrics

@@ -29,6 +29,7 @@
 //! every chaos run completes with output identical to the fault-free run —
 //! the simulator models the *cost* of failure, not job abortion.
 
+use crate::resilience::Backoff;
 use rapida_testkit::rng::splitmix64;
 
 /// Which phase a task attempt belongs to.
@@ -95,6 +96,29 @@ pub struct FaultPlan {
     /// If set, the node with this id (mod [`FaultPlan::nodes`]) is lost:
     /// the first attempt of every task placed on it fails wholesale.
     pub lost_node: Option<usize>,
+    /// Per-(block, replica) probability that reading a DFS block returns a
+    /// silently bit-flipped copy (the corruption fault class). Applied on
+    /// *read*; storage itself is never mutated, so a clean replica always
+    /// exists.
+    pub block_corrupt_p: f64,
+    /// Per-(task, partition) probability that a map task's spill run for a
+    /// partition arrives at the reducer bit-flipped.
+    pub spill_corrupt_p: f64,
+    /// Per-(job, recovery-attempt) probability that a whole job attempt is
+    /// lost at commit time (driver/JobTracker node loss) and must be
+    /// recovered at the workflow level. Never fires on the workflow's final
+    /// allowed attempt, so probabilistic chaos runs always complete.
+    pub job_abort_p: f64,
+    /// Deterministic job kill: abort job `index` on its first `kills`
+    /// workflow-level attempts — unlike [`Self::job_abort_p`] this is *not*
+    /// suppressed on the final allowed attempt, so it can drive a workflow
+    /// into its typed [`crate::resilience::WorkflowError`] on purpose.
+    pub abort_job: Option<(usize, usize)>,
+    /// Simulated replica count for DFS blocks. Corruption is decided per
+    /// replica, and the last replica is never corrupted — the storage-side
+    /// mirror of "the final attempt never fails", so integrity recovery
+    /// always terminates.
+    pub replicas: usize,
 }
 
 impl FaultPlan {
@@ -111,17 +135,38 @@ impl FaultPlan {
             backoff_base_s: 2.0,
             nodes: 8,
             lost_node: None,
+            block_corrupt_p: 0.0,
+            spill_corrupt_p: 0.0,
+            job_abort_p: 0.0,
+            abort_job: None,
+            replicas: 3,
         }
     }
 
     /// The aggressive preset the chaos suite sweeps: frequent task kills
-    /// and stragglers with speculation on.
+    /// and stragglers with speculation on, plus read-path corruption of
+    /// blocks and spill runs and occasional whole-job aborts.
     pub fn chaotic(seed: u64) -> Self {
         FaultPlan {
             map_fail_p: 0.35,
             reduce_fail_p: 0.35,
             straggler_p: 0.25,
             straggler_slowdown: 6.0,
+            block_corrupt_p: 0.3,
+            spill_corrupt_p: 0.25,
+            job_abort_p: 0.15,
+            ..FaultPlan::new(seed)
+        }
+    }
+
+    /// Corruption only — bit flips on block and spill reads, nothing else.
+    /// The preset the integrity suite sweeps: with checksums on the output
+    /// must be byte-identical to fault-free; with checksums off it must
+    /// diverge.
+    pub fn corrupting(seed: u64) -> Self {
+        FaultPlan {
+            block_corrupt_p: 0.5,
+            spill_corrupt_p: 0.5,
             ..FaultPlan::new(seed)
         }
     }
@@ -205,9 +250,83 @@ impl FaultPlan {
     }
 
     /// Simulated backoff before retry number `retry` (0-based) of a task:
-    /// exponential, `backoff_base_s · 2^retry`.
+    /// exponential, `backoff_base_s · 2^min(retry, 16)` — the shared
+    /// [`Backoff`] schedule. The exponent clamp saturates the delay rather
+    /// than overflowing `f64` range on adversarial retry counts; within the
+    /// [`Self::max_attempts`] bound (default 4) the clamp is unreachable,
+    /// so ordinary retries see pure doubling.
     pub fn backoff_s(&self, retry: usize) -> f64 {
-        self.backoff_base_s * 2f64.powi(retry.min(16) as i32)
+        Backoff::new(self.backoff_base_s).delay_s(retry)
+    }
+
+    /// The pinned hash for non-task fault domains (blocks, spills, job
+    /// aborts): a pure function of the plan seed, a domain constant, a name,
+    /// and two coordinates — same mixer discipline as [`Self::hash`].
+    fn hash_domain(&self, domain: u64, name: &str, a: u64, b: u64) -> u64 {
+        let mut state = self.seed ^ domain ^ 0x9d89_0e4a_11c9_b3f7;
+        for &byte in name.as_bytes() {
+            state ^= u64::from(byte);
+            state = splitmix64(&mut state);
+        }
+        state ^= a.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let _ = splitmix64(&mut state);
+        state ^= (b << 32) | domain;
+        splitmix64(&mut state)
+    }
+
+    /// Does this plan inject any read-path corruption at all? Engines skip
+    /// the checksum machinery entirely when nothing can flip a bit.
+    pub fn corrupts(&self) -> bool {
+        self.block_corrupt_p > 0.0 || self.spill_corrupt_p > 0.0
+    }
+
+    /// Decide whether reading replica `replica` of block `block` of dataset
+    /// `dataset` returns a corrupted copy; `Some(h)` carries the hash that
+    /// picks the flipped bit. The last replica is never corrupted (see
+    /// [`Self::replicas`]), so a verify-and-re-read loop always terminates
+    /// on clean bytes.
+    pub fn corrupt_block(&self, dataset: &str, block: usize, replica: usize) -> Option<u64> {
+        if replica + 1 >= self.replicas.max(1) {
+            return None;
+        }
+        let h = self.hash_domain(0xb10c, dataset, block as u64, replica as u64);
+        if Self::unit(h) < self.block_corrupt_p {
+            Some(self.hash_domain(0xb117, dataset, block as u64, replica as u64))
+        } else {
+            None
+        }
+    }
+
+    /// Decide whether map task `task`'s spill run for reduce partition
+    /// `partition` arrives corrupted; `Some(h)` carries the bit-pick hash.
+    pub fn corrupt_spill(&self, job: &str, task: usize, partition: usize) -> Option<u64> {
+        let h = self.hash_domain(0x5b11, job, task as u64, partition as u64);
+        if Self::unit(h) < self.spill_corrupt_p {
+            Some(self.hash_domain(0x5b17, job, task as u64, partition as u64))
+        } else {
+            None
+        }
+    }
+
+    /// Decide whether job `index` (`job` names it) is lost wholesale on
+    /// workflow-level recovery attempt `recovery`. The probabilistic path is
+    /// suppressed when `final_attempt` is set (the workflow's last allowed
+    /// attempt always commits); the explicit [`Self::abort_job`] kill is
+    /// not, so tests and benches can exhaust the budget deliberately.
+    pub fn decide_job_abort(
+        &self,
+        job: &str,
+        index: usize,
+        recovery: usize,
+        final_attempt: bool,
+    ) -> bool {
+        if let Some((target, kills)) = self.abort_job {
+            return index == target && recovery < kills;
+        }
+        if final_attempt {
+            return false;
+        }
+        Self::unit(self.hash_domain(0xab07, job, index as u64, recovery as u64)) < self.job_abort_p
     }
 }
 
@@ -331,5 +450,113 @@ mod tests {
         assert_eq!(plan.backoff_s(0), 2.0);
         assert_eq!(plan.backoff_s(1), 4.0);
         assert_eq!(plan.backoff_s(2), 8.0);
+    }
+
+    #[test]
+    fn backoff_clamp_matches_the_shared_schedule_and_saturates() {
+        // The `min(retry, 16)` clamp: beyond retry 16 the delay is constant
+        // and finite, and the plan's schedule is exactly the shared
+        // `resilience::Backoff` with the same base — one schedule, two
+        // consumers.
+        let plan = FaultPlan {
+            backoff_base_s: 3.0,
+            ..FaultPlan::new(0)
+        };
+        let shared = Backoff::new(3.0);
+        for retry in [0usize, 1, 5, 15, 16, 17, 100, usize::MAX] {
+            assert_eq!(plan.backoff_s(retry), shared.delay_s(retry));
+            assert!(plan.backoff_s(retry).is_finite());
+        }
+        assert_eq!(plan.backoff_s(16), 3.0 * 65536.0);
+        assert_eq!(plan.backoff_s(17), plan.backoff_s(16), "clamp saturates");
+    }
+
+    #[test]
+    fn backoff_is_jitterless_and_retry_count_determined() {
+        // Backoff depends only on (base, retry number): no RNG, no worker
+        // or scheduling input. Summing a fixed retry multiset therefore
+        // yields bit-identical totals in any accumulation order — the
+        // property that makes the ledger's `backoff_s` worker-count
+        // independent.
+        let plan = FaultPlan::chaotic(11);
+        let retries = [0usize, 1, 2, 0, 3, 1, 0, 2];
+        let forward: f64 = retries.iter().map(|&r| plan.backoff_s(r)).sum();
+        let reverse: f64 = retries.iter().rev().map(|&r| plan.backoff_s(r)).sum();
+        assert_eq!(forward.to_bits(), reverse.to_bits());
+        for &r in &retries {
+            assert_eq!(plan.backoff_s(r), plan.backoff_s(r));
+        }
+    }
+
+    #[test]
+    fn block_corruption_is_pure_and_spares_the_last_replica() {
+        let plan = FaultPlan::corrupting(5);
+        let mut fired = 0;
+        for block in 0..64 {
+            for replica in 0..plan.replicas {
+                let d = plan.corrupt_block("vp_x", block, replica);
+                assert_eq!(d, plan.corrupt_block("vp_x", block, replica));
+                if replica + 1 >= plan.replicas {
+                    assert!(d.is_none(), "last replica must never corrupt");
+                } else if d.is_some() {
+                    fired += 1;
+                }
+            }
+        }
+        assert!(fired > 20, "p=0.5 over 128 draws must fire often: {fired}");
+        // Decisions vary with the dataset name.
+        let diff = (0..64)
+            .filter(|&b| plan.corrupt_block("vp_x", b, 0) != plan.corrupt_block("vp_y", b, 0))
+            .count();
+        assert!(diff > 10, "corruption must key on the dataset name");
+    }
+
+    #[test]
+    fn corruption_set_is_monotone_in_probability() {
+        let lo = FaultPlan {
+            block_corrupt_p: 0.2,
+            spill_corrupt_p: 0.2,
+            ..FaultPlan::new(3)
+        };
+        let hi = FaultPlan {
+            block_corrupt_p: 0.6,
+            spill_corrupt_p: 0.6,
+            ..FaultPlan::new(3)
+        };
+        for i in 0..128 {
+            if lo.corrupt_block("d", i, 0).is_some() {
+                assert!(hi.corrupt_block("d", i, 0).is_some());
+            }
+            if lo.corrupt_spill("j", i, 1).is_some() {
+                assert!(hi.corrupt_spill("j", i, 1).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn probabilistic_aborts_spare_the_final_attempt() {
+        let plan = FaultPlan {
+            job_abort_p: 1.0,
+            ..FaultPlan::new(4)
+        };
+        for i in 0..8 {
+            assert!(plan.decide_job_abort("j", i, 0, false));
+            assert!(
+                !plan.decide_job_abort("j", i, 3, true),
+                "final workflow attempt must always commit"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_abort_kills_exactly_the_scheduled_attempts() {
+        let plan = FaultPlan {
+            abort_job: Some((2, 2)),
+            ..FaultPlan::new(0)
+        };
+        assert!(plan.decide_job_abort("j", 2, 0, false));
+        assert!(plan.decide_job_abort("j", 2, 1, true), "explicit kill ignores finality");
+        assert!(!plan.decide_job_abort("j", 2, 2, false), "kill budget spent");
+        assert!(!plan.decide_job_abort("j", 1, 0, false), "other jobs untouched");
     }
 }

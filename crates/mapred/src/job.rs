@@ -27,6 +27,10 @@ pub struct MapOutput {
     pub segments_skipped: u64,
     /// Input bytes of those skipped segments — work the scan never did.
     pub input_bytes_pruned: u64,
+    /// Records this task quarantined because they failed to decode —
+    /// record-level integrity, surfaced as
+    /// `JobMetrics::corrupt_records_skipped` for committed attempts.
+    pub corrupt_records: u64,
 }
 
 impl MapOutput {
@@ -48,6 +52,12 @@ impl MapOutput {
         self.segments_skipped += 1;
         self.input_bytes_pruned += bytes as u64;
     }
+
+    /// Record one quarantined (undecodable) input record.
+    #[inline]
+    pub fn skip_corrupt(&mut self) {
+        self.corrupt_records += 1;
+    }
 }
 
 /// Output sink handed to reduce tasks (arena-backed, like [`MapOutput`]).
@@ -57,6 +67,9 @@ pub struct ReduceOutput {
     pub records: RecBuffer,
     /// Re-keyed pairs (used when a combiner runs map-side).
     pub kvs: KvBuffer,
+    /// Shuffled values this task quarantined because they failed to decode
+    /// (see [`MapOutput::corrupt_records`]).
+    pub corrupt_records: u64,
 }
 
 impl ReduceOutput {
@@ -70,6 +83,12 @@ impl ReduceOutput {
     #[inline]
     pub fn emit(&mut self, key: &[u8], value: &[u8]) {
         self.kvs.push(key, value);
+    }
+
+    /// Record one quarantined (undecodable) shuffled value.
+    #[inline]
+    pub fn skip_corrupt(&mut self) {
+        self.corrupt_records += 1;
     }
 }
 

@@ -26,8 +26,16 @@
 //! * [`pool`] — the work-stealing task pool both phases run on.
 //! * [`engine`] — the executor ([`Engine`]).
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]): task
-//!   failures, stragglers, node loss, with bounded retry + speculation.
-//! * [`metrics`] — measured per-job and per-workflow counters.
+//!   failures, stragglers, node loss, read-path corruption, job aborts,
+//!   with bounded retry + speculation.
+//! * [`integrity`] — FNV-1a block/spill checksums and the deterministic
+//!   payload-safe bit-flip corruption the fault plan injects on read.
+//! * [`resilience`] — the unified policy layer ([`ResiliencePolicy`]):
+//!   retry budgets per task and per workflow, shared exponential backoff,
+//!   per-job deadlines, checkpoint/recovery switches, and the typed
+//!   [`WorkflowError`] exhausted budgets degrade to.
+//! * [`metrics`] — measured per-job and per-workflow counters, including
+//!   the workflow-level [`RecoveryLedger`].
 //! * [`cost`] — the analytic cluster model turning metrics into simulated
 //!   cluster seconds ([`ClusterModel`]).
 
@@ -37,15 +45,17 @@ pub mod cost;
 pub mod dfs;
 pub mod engine;
 pub mod fault;
+pub mod integrity;
 pub mod job;
 pub mod merge;
 pub mod metrics;
 pub mod pool;
+pub mod resilience;
 
 pub use bytes::Bytes;
 pub use codec::{KvBuffer, KvRef, RecBuffer};
 pub use cost::ClusterModel;
-pub use dfs::{Dataset, DatasetWriter, SimDfs};
+pub use dfs::{Dataset, DatasetWriter, IntegrityReport, SimDfs};
 pub use engine::{shuffle_partition, Engine};
 pub use merge::{merge_key_groups, plan_shards, shard_merge_key_groups, LoserTree, Run};
 pub use fault::{FaultPlan, Outcome, TaskKind};
@@ -54,4 +64,5 @@ pub use job::{
     MapTaskFactory, ReduceOutput, ReduceTask, ReduceTaskFactory,
 };
 pub use pool::PoolStats;
-pub use metrics::{JobMetrics, WorkflowMetrics};
+pub use metrics::{JobMetrics, RecoveryLedger, WorkflowMetrics};
+pub use resilience::{Backoff, JobDeadline, ResiliencePolicy, WorkflowError};

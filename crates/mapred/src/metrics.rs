@@ -58,6 +58,23 @@ pub struct JobMetrics {
     pub wasted_input_records: u64,
     /// Output bytes produced by attempts whose work was discarded.
     pub wasted_output_bytes: u64,
+    /// DFS block reads whose checksum failed — the copy was quarantined and
+    /// the block re-read from the next replica.
+    pub corrupt_blocks_detected: u64,
+    /// Shuffle spill runs whose checksum failed at the verify-on-commit
+    /// gate — quarantined and re-fetched from the map output before any
+    /// reducer saw a byte of them.
+    pub corrupt_spills_detected: u64,
+    /// Extra bytes read re-fetching quarantined blocks and spill runs.
+    pub integrity_reread_bytes: u64,
+    /// Corrupted copies that flowed through *undetected* because checksum
+    /// verification was disabled. Always zero when checksums are on — the
+    /// assertion the integrity suite pins.
+    pub silent_corruptions: u64,
+    /// Records committed task attempts skipped because they failed to
+    /// decode (record-level quarantine — a layer below block checksums,
+    /// which only vouch for the bytes, not the framing producers wrote).
+    pub corrupt_records_skipped: u64,
     /// Simulated retry backoff accumulated by this job, seconds.
     pub backoff_s: f64,
     /// In-process wall time of this job.
@@ -146,11 +163,93 @@ impl fmt::Display for JobMetrics {
     }
 }
 
+/// Deterministic ledger of workflow-level recovery work: what checkpoint
+/// resume saved and what aborts, timeout-kills, and replays cost. All
+/// counters are driven by the serial workflow driver, so the ledger is
+/// identical at any worker count.
+///
+/// Only *committed* job runs appear in [`WorkflowMetrics::jobs`]; the work
+/// lost to aborted or killed attempts lives here, keeping the committed
+/// per-job signatures byte-identical to a fault-free run.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryLedger {
+    /// Recovery passes the driver started (each after an abort or kill).
+    pub workflow_restarts: u64,
+    /// Whole-job attempts lost at commit time (simulated driver/node loss).
+    pub aborted_job_attempts: u64,
+    /// Job attempts killed for exceeding their simulated deadline.
+    pub timeout_kills: u64,
+    /// Deadline escalations applied after timeout-kills.
+    pub deadline_escalations: u64,
+    /// Executions of jobs that had already run before (the recompute cost
+    /// of recovery — checkpoint resume exists to shrink this).
+    pub jobs_replayed: u64,
+    /// Jobs a recovery pass did *not* re-run thanks to a verified
+    /// checkpoint.
+    pub checkpoint_jobs_skipped: u64,
+    /// Bytes read validating checkpoints on recovery passes.
+    pub checkpoint_bytes_read: u64,
+    /// Input + output bytes of replayed executions (recomputed work).
+    pub recomputed_bytes: u64,
+    /// Input + output bytes of aborted/killed attempts (work thrown away).
+    pub wasted_bytes: u64,
+    /// Task attempts inside aborted/killed job runs.
+    pub wasted_task_attempts: u64,
+    /// Simulated backoff between workflow-level recovery attempts, seconds.
+    pub recovery_backoff_s: f64,
+}
+
+impl RecoveryLedger {
+    /// True when no workflow-level recovery happened at all.
+    pub fn is_clean(&self) -> bool {
+        self.workflow_restarts == 0
+            && self.aborted_job_attempts == 0
+            && self.timeout_kills == 0
+            && self.jobs_replayed == 0
+    }
+
+    /// Fold another ledger into this one (chained workflow segments).
+    pub fn absorb(&mut self, o: &RecoveryLedger) {
+        self.workflow_restarts += o.workflow_restarts;
+        self.aborted_job_attempts += o.aborted_job_attempts;
+        self.timeout_kills += o.timeout_kills;
+        self.deadline_escalations += o.deadline_escalations;
+        self.jobs_replayed += o.jobs_replayed;
+        self.checkpoint_jobs_skipped += o.checkpoint_jobs_skipped;
+        self.checkpoint_bytes_read += o.checkpoint_bytes_read;
+        self.recomputed_bytes += o.recomputed_bytes;
+        self.wasted_bytes += o.wasted_bytes;
+        self.wasted_task_attempts += o.wasted_task_attempts;
+        self.recovery_backoff_s += o.recovery_backoff_s;
+    }
+}
+
+impl fmt::Display for RecoveryLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recovery: {} restarts ({} aborts, {} timeouts), {} jobs replayed, \
+             {} skipped via checkpoints, recomputed={}B wasted={}B ckpt-read={}B backoff={:.1}s",
+            self.workflow_restarts,
+            self.aborted_job_attempts,
+            self.timeout_kills,
+            self.jobs_replayed,
+            self.checkpoint_jobs_skipped,
+            self.recomputed_bytes,
+            self.wasted_bytes,
+            self.checkpoint_bytes_read,
+            self.recovery_backoff_s,
+        )
+    }
+}
+
 /// Aggregate metrics for an executed workflow (sequence of jobs).
 #[derive(Debug, Clone, Default)]
 pub struct WorkflowMetrics {
-    /// Per-job metrics, in execution order.
+    /// Per-job metrics for *committed* runs, in workflow order.
     pub jobs: Vec<JobMetrics>,
+    /// Workflow-level recovery ledger (zeroed on clean runs).
+    pub recovery: RecoveryLedger,
 }
 
 impl WorkflowMetrics {
@@ -236,6 +335,31 @@ impl WorkflowMetrics {
         self.jobs.iter().map(|j| j.backoff_s).sum()
     }
 
+    /// Total corrupt DFS block reads detected and quarantined.
+    pub fn total_corrupt_blocks_detected(&self) -> u64 {
+        self.jobs.iter().map(|j| j.corrupt_blocks_detected).sum()
+    }
+
+    /// Total corrupt spill runs detected at the verify-on-commit gate.
+    pub fn total_corrupt_spills_detected(&self) -> u64 {
+        self.jobs.iter().map(|j| j.corrupt_spills_detected).sum()
+    }
+
+    /// Total bytes re-read recovering from quarantined blocks and spills.
+    pub fn total_integrity_reread_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.integrity_reread_bytes).sum()
+    }
+
+    /// Total corruptions that flowed through undetected (checksums off).
+    pub fn total_silent_corruptions(&self) -> u64 {
+        self.jobs.iter().map(|j| j.silent_corruptions).sum()
+    }
+
+    /// Total undecodable records skipped by committed task attempts.
+    pub fn total_corrupt_records_skipped(&self) -> u64 {
+        self.jobs.iter().map(|j| j.corrupt_records_skipped).sum()
+    }
+
     /// Total busy-time makespan across all jobs (jobs run back to back).
     pub fn total_busy_makespan_ns(&self) -> u64 {
         self.jobs.iter().map(|j| j.busy_makespan_ns()).sum()
@@ -260,6 +384,9 @@ impl fmt::Display for WorkflowMetrics {
         )?;
         for j in &self.jobs {
             writeln!(f, "  {j}")?;
+        }
+        if !self.recovery.is_clean() {
+            writeln!(f, "  {}", self.recovery)?;
         }
         Ok(())
     }

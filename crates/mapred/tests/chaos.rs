@@ -199,6 +199,20 @@ chaos! {
         (committed_signature(&wf), blocks)
     }
 
+    /// Read-path corruption only: DFS block reads and shuffle spill runs
+    /// flip bits at a high rate, but with checksums on (the default) every
+    /// corruption is detected and quarantined — the committed output must
+    /// be bit-identical to the fault-free golden, with zero silent
+    /// corruptions, at every seed and worker count.
+    fn workflow_survives_read_corruption(scenario) {
+        let (wf, blocks) = run(scenario, FaultPlan::corrupting);
+        assert_eq!(
+            wf.total_silent_corruptions(), 0,
+            "[{}] corruption slipped past the checksum gate", scenario.label()
+        );
+        (committed_signature(&wf), blocks)
+    }
+
     /// Sorted-run merge under map-side chaos only: a shuffle-heavy job
     /// (several emitted pairs per record, runs overlapping on every key)
     /// where map attempts fail or straggle but reduce tasks never do.
@@ -370,6 +384,56 @@ fn sharded_reduce_ledger_is_worker_count_independent() {
             wf.total_retried_attempts() + wf.total_speculative_attempts()
         };
         assert!(extra > 0, "seed {seed:#x}: reduce chaos injected nothing");
+    }
+}
+
+/// The integrity ledger — corrupt blocks/spills detected, bytes re-read
+/// from replicas, malformed records skipped — must be identical at every
+/// worker count: block corruption is decided during the serial split
+/// gather, spill corruption in a serial verify-on-commit pass, and record
+/// skips only on committed attempts. The sweep as a whole must actually
+/// detect something, and nothing may slip through silently.
+#[test]
+fn corruption_ledger_is_worker_count_independent_and_detects() {
+    let cfg = ChaosConfig::from_env();
+    for seed in &cfg.seeds {
+        let ledgers: Vec<Vec<(u64, u64, u64, u64)>> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&workers| {
+                let s = Scenario {
+                    fault_seed: Some(*seed),
+                    workers,
+                };
+                let (wf, _) = run(&s, FaultPlan::corrupting);
+                assert_eq!(
+                    wf.total_silent_corruptions(),
+                    0,
+                    "seed {seed:#x}/{workers}w: silent corruption under checksums"
+                );
+                wf.jobs
+                    .iter()
+                    .map(|j| {
+                        (
+                            j.corrupt_blocks_detected,
+                            j.corrupt_spills_detected,
+                            j.integrity_reread_bytes,
+                            j.corrupt_records_skipped,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        for l in &ledgers[1..] {
+            assert_eq!(
+                l, &ledgers[0],
+                "seed {seed:#x}: integrity ledger drifted with worker count"
+            );
+        }
+        let detected: u64 = ledgers[0]
+            .iter()
+            .map(|(blocks, spills, _, _)| blocks + spills)
+            .sum();
+        assert!(detected > 0, "seed {seed:#x}: corrupting plan injected nothing");
     }
 }
 

@@ -82,6 +82,7 @@ fn workflow_time_monotone_in_cycle_count() {
     for cycles in 1..=8 {
         let wf = WorkflowMetrics {
             jobs: (0..cycles).map(|_| job()).collect(),
+            ..Default::default()
         };
         let t = model.workflow_time(&wf);
         assert!(

@@ -73,7 +73,7 @@ proptest! {
     #[test]
     fn workflow_time_is_sum(jobs in proptest::collection::vec(arb_job(), 0..6)) {
         let m = ClusterModel::nodes60();
-        let wf = WorkflowMetrics { jobs: jobs.clone() };
+        let wf = WorkflowMetrics { jobs: jobs.clone(), ..Default::default() };
         let total = m.workflow_time(&wf);
         let sum: f64 = jobs.iter().map(|j| m.job_time(j)).sum();
         prop_assert!((total - sum).abs() < 1e-9);

@@ -116,6 +116,7 @@ impl TgJoinMapper {
     fn map_legacy(&mut self, src: InputSrc, record: &[u8], out: &mut MapOutput) {
         if self.config.raw_inputs.contains(&src.dataset) {
             let Some(tg) = TripleGroup::decode(record) else {
+                out.skip_corrupt();
                 return;
             };
             for route in &self.config.star_routes {
@@ -135,6 +136,7 @@ impl TgJoinMapper {
             }
         } else {
             let Some(ann) = AnnTg::decode(record) else {
+                out.skip_corrupt();
                 return;
             };
             for route in &self.config.ann_routes {
@@ -170,6 +172,7 @@ impl MapTask for TgJoinMapper {
         } = self;
         if config.raw_inputs.contains(&src.dataset) {
             let Some(tg) = TgRef::parse_framed(record) else {
+                out.skip_corrupt();
                 return;
             };
             // Prefilter transforms need an owned group; decode lazily, once,
@@ -243,6 +246,7 @@ impl MapTask for TgJoinMapper {
             }
         } else {
             let Some(ann) = AnnTgRef::parse_framed(record) else {
+                out.skip_corrupt();
                 return;
             };
             for route in &config.ann_routes {
@@ -317,6 +321,7 @@ impl AlphaJoinReducer {
                 None => continue,
             };
             let Some(ann) = AnnTg::decode(rest) else {
+                out.skip_corrupt();
                 continue;
             };
             if *side == Side::Left.byte() {
@@ -368,10 +373,12 @@ impl ReduceTask for AlphaJoinReducer {
         }
         for &li in left_idx.iter() {
             let Some(l) = AnnTgRef::parse_framed(&values[li as usize][1..]) else {
+                out.skip_corrupt();
                 continue;
             };
             for &ri in right_idx.iter() {
                 let Some(r) = AnnTgRef::parse_framed(&values[ri as usize][1..]) else {
+                    out.skip_corrupt();
                     continue;
                 };
                 if any_alpha_partial_merged(conds, &l, &r) {
@@ -528,12 +535,14 @@ impl AggJoinMapper {
     fn map_legacy(&mut self, record: &[u8], out: &mut MapOutput) {
         if self.config.raw_filters.is_empty() {
             let Some(ann) = AnnTg::decode(record) else {
+                out.skip_corrupt();
                 return;
             };
             self.process(&ann, out);
             return;
         }
         let Some(tg) = TripleGroup::decode(record) else {
+            out.skip_corrupt();
             return;
         };
         let raw_filters = self.config.raw_filters.clone();
@@ -570,12 +579,14 @@ impl MapTask for AggJoinMapper {
         } = self;
         if config.raw_filters.is_empty() {
             let Some(ann) = AnnTgRef::parse_framed(record) else {
+                out.skip_corrupt();
                 return;
             };
             process_view(config, &ann, table, scratch, key_buf, val_buf, out);
             return;
         }
         let Some(tg) = TgRef::parse_framed(record) else {
+            out.skip_corrupt();
             return;
         };
         let mut owned: Option<TripleGroup> = None;
@@ -685,16 +696,21 @@ impl ReduceTask for AggJoinReducer {
         } = self;
         let mut kb = key;
         let Some(id) = read_varint(&mut kb) else {
+            out.skip_corrupt();
             return;
         };
         let Some(nk) = read_varint(&mut kb) else {
+            out.skip_corrupt();
             return;
         };
         group_key.clear();
         for _ in 0..nk {
             match read_varint(&mut kb) {
                 Some(k) => group_key.push(k),
-                None => return,
+                None => {
+                    out.skip_corrupt();
+                    return;
+                }
             }
         }
         let Some(spec) = config.specs.iter().find(|s| u64::from(s.id) == id) else {
@@ -707,7 +723,10 @@ impl ReduceTask for AggJoinReducer {
             for m in merged.iter_mut() {
                 match PartialAgg::decode(&mut vb) {
                     Some(p) => m.merge(&p),
-                    None => break,
+                    None => {
+                        out.skip_corrupt();
+                        break;
+                    }
                 }
             }
         }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Benchmark report runner. Usage:
 #
-#   scripts/bench_report.sh [mapred|query|scale|plan|all]
+#   scripts/bench_report.sh [mapred|query|scale|plan|extvp|recover|all]
 #
 # Runs the requested bench group(s) with real measurement settings and
 # validates the resulting BENCH_<group>.json in the repo root (override the
@@ -26,14 +26,21 @@
 #     MG1-MG4 + MG6 per engine family (deterministic simulated model
 #     seconds). Floors: ExtVP never worse on any (query, family) pair, and
 #     at least one MG pair >= 1.2x faster than the full-scan baseline.
+#   BENCH_recover.json — checkpoint-resume vs full-restart recovery after
+#     a late-job loss on MG1/HiveNaive (deterministic recomputed bytes,
+#     1 ns/byte). Floor: full restart must recompute >= 2x the bytes
+#     checkpoint resume does.
+#
+# A missing BENCH_<group>.json is reported by name (and fails the run)
+# rather than surfacing as an opaque parse error.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GROUP="${1:-all}"
 case "$GROUP" in
-    mapred|query|scale|plan|extvp|all) ;;
+    mapred|query|scale|plan|extvp|recover|all) ;;
     *)
-        echo "usage: $0 [mapred|query|scale|plan|extvp|all]" >&2
+        echo "usage: $0 [mapred|query|scale|plan|extvp|recover|all]" >&2
         exit 2
         ;;
 esac
@@ -76,6 +83,23 @@ run_plan() {
 run_extvp() {
     echo "==> ExtVP vs full-scan bench (writes BENCH_extvp.json)"
     cargo bench --offline -p rapida-bench --bench extvp
+}
+
+run_recover() {
+    echo "==> checkpoint vs restart recovery bench (writes BENCH_recover.json)"
+    cargo bench --offline -p rapida-bench --bench recover
+}
+
+# Track reports that should exist for the selected group(s) but don't, so
+# the final verdict names every missing file instead of dying on the first
+# opaque open() error.
+MISSING=()
+have_report() {
+    if [ ! -f "$DEST/$1" ]; then
+        MISSING+=("$1")
+        echo "==> $1 not found in $DEST — skipping its checks" >&2
+        return 1
+    fi
 }
 
 check_mapred() {
@@ -263,6 +287,42 @@ if not report.get("smoke") and best_mg < 1.2:
 EOF
 }
 
+check_recover() {
+    echo "==> checking BENCH_recover.json"
+    python3 - "$DEST/BENCH_recover.json" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        report = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"FAIL: {path} missing or malformed: {e}")
+by_id = {b["id"]: b["median_ns"] for b in report["benchmarks"]}
+restart = by_id.get("recomputed/restart_MG1")
+ckpt = by_id.get("recomputed/checkpoint_MG1")
+if restart is None or ckpt is None:
+    sys.exit(f"FAIL: {path} lacks recomputed/restart_MG1 + recomputed/checkpoint_MG1")
+if ckpt <= 0:
+    sys.exit(f"FAIL: checkpoint resume recomputed nothing — the kill never fired")
+ratio = restart / ckpt
+print(f"  full restart recomputes:     {restart:.0f} B")
+print(f"  checkpoint resume recomputes: {ckpt:.0f} B")
+print(f"  recomputation margin: {ratio:.2f}x")
+if not report.get("smoke") and ratio < 2.0:
+    sys.exit(f"FAIL: restart/checkpoint recomputation margin {ratio:.2f}x is below the 2x floor")
+o_restart = by_id.get("overhead/restart_MG1")
+o_ckpt = by_id.get("overhead/checkpoint_MG1")
+if o_restart is not None and o_ckpt is not None:
+    print(
+        f"  model recovery overhead: restart {o_restart / 1e9:.1f}s,"
+        f" checkpoint {o_ckpt / 1e9:.1f}s"
+    )
+    if not report.get("smoke") and o_restart <= o_ckpt:
+        sys.exit("FAIL: the cost model charges checkpoint resume at least as much as restart")
+EOF
+}
+
 if [ "$GROUP" = "mapred" ] || [ "$GROUP" = "all" ]; then
     run_mapred
 fi
@@ -278,20 +338,30 @@ fi
 if [ "$GROUP" = "extvp" ] || [ "$GROUP" = "all" ]; then
     run_extvp
 fi
+if [ "$GROUP" = "recover" ] || [ "$GROUP" = "all" ]; then
+    run_recover
+fi
 if [ "$GROUP" = "mapred" ] || [ "$GROUP" = "all" ]; then
-    check_mapred
+    if have_report BENCH_mapred.json; then check_mapred; fi
 fi
 if [ "$GROUP" = "query" ] || [ "$GROUP" = "all" ]; then
-    check_query
+    if have_report BENCH_query.json; then check_query; fi
 fi
 if [ "$GROUP" = "scale" ] || [ "$GROUP" = "all" ]; then
-    check_scale
+    if have_report BENCH_scale.json; then check_scale; fi
 fi
 if [ "$GROUP" = "plan" ] || [ "$GROUP" = "all" ]; then
-    check_plan
+    if have_report BENCH_plan.json; then check_plan; fi
 fi
 if [ "$GROUP" = "extvp" ] || [ "$GROUP" = "all" ]; then
-    check_extvp
+    if have_report BENCH_extvp.json; then check_extvp; fi
+fi
+if [ "$GROUP" = "recover" ] || [ "$GROUP" = "all" ]; then
+    if have_report BENCH_recover.json; then check_recover; fi
 fi
 
+if [ "${#MISSING[@]}" -gt 0 ]; then
+    echo "==> bench report INCOMPLETE — missing: ${MISSING[*]}" >&2
+    exit 1
+fi
 echo "==> bench report OK ($DEST)"

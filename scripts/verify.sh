@@ -16,8 +16,11 @@ cargo build --release --offline
 echo "==> cargo test --workspace --offline"
 cargo test -q --workspace --offline
 
-echo "==> chaos smoke (4 fault seeds x worker counts)"
+echo "==> chaos smoke (4 fault seeds x worker counts, incl. corruption sweeps)"
 RAPIDA_CHAOS_SEEDS=4 cargo test -q --offline -p rapida-mapred --test chaos
+
+echo "==> integrity smoke (checksum quarantine + checksums-off divergence)"
+cargo test -q --offline -p rapida-mapred --test integrity --test recover
 
 echo "==> scale smoke (worker-count determinism matrix)"
 cargo test -q --offline --test scale_identity
@@ -111,6 +114,27 @@ for prefix in ("fullscan/", "extvp/"):
     if not any(i.startswith(prefix) for i in ids):
         sys.exit(f"FAIL: BENCH_extvp.json lacks a {prefix}* benchmark")
 print(f"  ok: {len(ids)} benchmarks")
+EOF
+
+echo "==> BENCH_recover.json present, well-formed, and above the 2x floor"
+python3 - target/bench-smoke/BENCH_recover.json <<'EOF'
+import json, sys
+try:
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"FAIL: BENCH_recover.json missing or malformed: {e}")
+by_id = {b["id"]: b["median_ns"] for b in report["benchmarks"]}
+restart = by_id.get("recomputed/restart_MG1")
+ckpt = by_id.get("recomputed/checkpoint_MG1")
+if restart is None or ckpt is None or ckpt <= 0:
+    sys.exit("FAIL: BENCH_recover.json lacks the recomputed restart/checkpoint pair")
+ratio = restart / ckpt
+# The margin is deterministic (recomputed bytes, not wall time), so it is
+# checked even in smoke mode.
+if ratio < 2.0:
+    sys.exit(f"FAIL: restart/checkpoint recomputation margin {ratio:.2f}x below 2x")
+print(f"  ok: recomputation margin {ratio:.2f}x")
 EOF
 
 echo "==> verify OK"

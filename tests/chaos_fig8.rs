@@ -1,7 +1,9 @@
 //! Chaos over the full Fig. 8 workflow matrix: every (query, engine) pair
-//! the paper evaluates must survive injected task failures, stragglers and
-//! node loss with byte-identical DFS output — and must report the extra
-//! attempts (with correspondingly higher simulated cost) in its metrics.
+//! the paper evaluates must survive injected task failures, stragglers,
+//! node loss, read-path corruption and whole-job aborts with byte-identical
+//! DFS output — and must report the extra attempts (with correspondingly
+//! higher simulated cost) in its metrics, with every detected corruption
+//! ledgered and none slipping through silently.
 //!
 //! This is the acceptance gate for the fault-injection layer: recovery is
 //! only correct if the *whole* query pipeline (planner output, shuffle
@@ -91,6 +93,12 @@ fn chaos_matrix(cat: &DataCatalog, ids: &[&str]) {
     let model = ClusterModel::nodes10();
     let cfg = grid();
     let scenarios = cfg.scenarios();
+    // Corruption detections aggregate across the whole matrix: a single
+    // (query, engine) pair may read too few blocks for the corrupting
+    // probabilities to fire, but the matrix as a whole must both detect
+    // corruption and quarantine all of it (the silent counter stays zero
+    // per run, asserted inside the sweep).
+    let mut detected = 0u64;
     for id in ids {
         let q = query(id);
         let aq = extract(&parse_query(&q.sparql).unwrap()).unwrap();
@@ -115,9 +123,18 @@ fn chaos_matrix(cat: &DataCatalog, ids: &[&str]) {
                     engine.name(),
                     s.label()
                 );
+                assert_eq!(
+                    wf.total_silent_corruptions(),
+                    0,
+                    "{id}/{}: [{}] corruption slipped past the checksum gate",
+                    engine.name(),
+                    s.label()
+                );
                 if s.fault_seed.is_some() {
                     let extra = wf.total_retried_attempts() + wf.total_speculative_attempts();
                     injected += extra;
+                    detected += wf.total_corrupt_blocks_detected()
+                        + wf.total_corrupt_spills_detected();
                     // Wasted attempts must be charged: strictly costlier
                     // whenever anything was injected.
                     if extra > 0 {
@@ -141,6 +158,10 @@ fn chaos_matrix(cat: &DataCatalog, ids: &[&str]) {
             );
         }
     }
+    assert!(
+        detected > 0,
+        "chaotic sweep detected no corruption across the whole matrix"
+    );
 }
 
 #[test]
