@@ -1,0 +1,125 @@
+//! Concurrent-serving throughput: batched MQO + cross-query scan cache vs
+//! the one-query-at-a-time baseline, at 10 / 100 / 1000 simulated clients
+//! on the same seeded Poisson-ish BSBM traffic mix. Writes
+//! `BENCH_serve.json`.
+//!
+//! Every recorded value is deterministic: latencies are modeled cluster
+//! seconds from [`ClusterModel`], so the QPS ratio is a pure function of
+//! (catalog, traffic, config) and the serve floor — batched throughput at
+//! least 1.5x serial at 100 clients — is checked by
+//! `scripts/bench_report.sh serve` even in smoke mode (the same policy as
+//! the recovery bench).
+//!
+//! Recorded ids (values are simulated quantities, 1 ns per unit):
+//!   `qpq/{mode}_c{N}`      — simulated seconds per completed query (1/QPS)
+//!   `p50/{mode}_c{N}`      — median simulated latency, seconds
+//!   `p95/{mode}_c{N}`      — tail simulated latency, seconds
+//!   `cache_hit/batched_c{N}`       — scan-cache hit ratio (dimensionless)
+//!   `window_arrivals/batched_c{N}` — mean batch size, 1 ns per request
+//!   `shared_members/batched_c{N}`  — fused-group members, 1 ns per query
+
+use rapida_core::DataCatalog;
+use rapida_datagen::{generate_bsbm, generate_traffic, BsbmConfig, TrafficConfig};
+use rapida_serve::{ServeConfig, ServeLedger, ServeMode, Server};
+use rapida_testkit::bench::{smoke_mode, BenchmarkId, Criterion};
+use rapida_testkit::{criterion_group, criterion_main};
+use std::time::Duration;
+
+fn serve(cat: &DataCatalog, events_seed: u64, clients: usize, dur_ms: u64, mode: ServeMode) -> ServeLedger {
+    let events = generate_traffic(&TrafficConfig::bsbm_mix(events_seed, clients, dur_ms));
+    let server = Server::over(
+        cat.clone(),
+        ServeConfig {
+            mode,
+            ..ServeConfig::default()
+        },
+    );
+    server.enqueue_traffic(&events);
+    let report = server.drain();
+    assert_eq!(
+        report.ledger.rejected, 0,
+        "{} c{clients}: traffic mix queries must all complete",
+        mode.name()
+    );
+    report.ledger
+}
+
+fn record(group: &mut rapida_testkit::bench::BenchmarkGroup<'_>, id: BenchmarkId, value: f64) {
+    group.bench_function(id, |b| {
+        b.iter_custom(|iters| Duration::from_secs_f64(value * iters as f64))
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let (graph, dur_ms) = if smoke_mode() {
+        (generate_bsbm(&BsbmConfig::tiny()), 220)
+    } else {
+        (generate_bsbm(&BsbmConfig::small()), 600)
+    };
+    let cat = DataCatalog::load(&graph);
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10).measurement_time(Duration::from_millis(100));
+
+    for clients in [10usize, 100, 1000] {
+        let batched = serve(&cat, 42, clients, dur_ms, ServeMode::Batched);
+        let serial = serve(&cat, 42, clients, dur_ms, ServeMode::Serial);
+        let speedup = batched.qps / serial.qps;
+        println!(
+            "  c{clients}: batched {:.2} q/s (p50 {:.0} ms, p95 {:.0} ms, cache {:.0}% hits) \
+             vs serial {:.2} q/s (p50 {:.0} ms, p95 {:.0} ms) — {speedup:.2}x",
+            batched.qps,
+            batched.p50_ms,
+            batched.p95_ms,
+            100.0 * batched.cache_hit_ratio(),
+            serial.qps,
+            serial.p50_ms,
+            serial.p95_ms,
+        );
+        assert!(
+            batched.qps > serial.qps,
+            "c{clients}: batched ({:.3} q/s) must beat serial ({:.3} q/s)",
+            batched.qps,
+            serial.qps
+        );
+        if clients == 100 {
+            // The headline floor, deterministic (simulated seconds), so it
+            // holds in smoke mode too; bench_report.sh re-checks the JSON.
+            assert!(
+                speedup >= 1.5,
+                "c100: batched/serial QPS ratio {speedup:.2}x is below the 1.5x floor"
+            );
+        }
+
+        for (mode, ledger) in [("batched", &batched), ("serial", &serial)] {
+            let tag = format!("{mode}_c{clients}");
+            record(&mut group, BenchmarkId::new("qpq", &tag), 1.0 / ledger.qps);
+            record(&mut group, BenchmarkId::new("p50", &tag), ledger.p50_ms / 1e3);
+            record(&mut group, BenchmarkId::new("p95", &tag), ledger.p95_ms / 1e3);
+        }
+        let hit_ratio = batched.cache_hit_ratio();
+        assert!(
+            hit_ratio > 0.0,
+            "c{clients}: the cross-window scan cache never hit"
+        );
+        let tag = format!("batched_c{clients}");
+        record(&mut group, BenchmarkId::new("cache_hit", &tag), hit_ratio);
+        let windows = batched.windows.len().max(1) as f64;
+        let arrivals: usize = batched.windows.iter().map(|w| w.arrivals).sum();
+        let fused: usize = batched.windows.iter().map(|w| w.fused_members).sum();
+        record(
+            &mut group,
+            BenchmarkId::new("window_arrivals", &tag),
+            arrivals as f64 / windows * 1e-9,
+        );
+        record(
+            &mut group,
+            BenchmarkId::new("shared_members", &tag),
+            fused as f64 * 1e-9,
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -63,6 +63,18 @@ pub struct AnalyticalQuery {
 }
 
 impl AnalyticalQuery {
+    /// A canonical textual signature of this query's semantics.
+    ///
+    /// Two extractions of the same SPARQL text always produce the same
+    /// signature, and any semantic difference (triples, filters, grouping,
+    /// aggregates, projection) changes it. Built on the derived `Debug`
+    /// form of the IR, which spells out every field — the serving layer
+    /// folds it into scan-cache keys and batch dedup, so it must uniquely
+    /// determine planner output for a fixed engine configuration.
+    pub fn signature(&self) -> String {
+        format!("{:?}<proj{:?}>", self.blocks, self.projection)
+    }
+
     /// Which block and position each projection variable resolves to.
     /// Returns `(block, ColRef)` for every projection var; keys shared by
     /// several blocks resolve to the first defining block.

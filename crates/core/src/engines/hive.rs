@@ -145,17 +145,32 @@ impl QueryEngine for HiveMqo {
             }
         };
         let pid = next_plan_id("hm");
-        let mut planner = RelPlanner::new(cat, &self.config, pid.clone());
-        let block_datasets = planner.plan_mqo(aq, &composite)?;
-        finish_plan(
-            "Hive (MQO)",
-            aq,
-            planner.jobs,
-            block_datasets,
-            &cat.dfs,
-            &pid,
-        )
+        let (jobs, block_datasets) = mqo_block_jobs(&self.config, aq, &composite, cat, pid.clone())?;
+        finish_plan("Hive (MQO)", aq, jobs, block_datasets, &cat.dfs, &pid)
     }
+}
+
+/// Compile just the shared MQO block jobs — composite QOPT materialization
+/// plus per-block extraction/aggregation — without the per-query finishing
+/// join, returning `(jobs, per-block output dataset names)`.
+///
+/// This is the seam the batched serving layer plans through: it fuses the
+/// blocks of several overlapping queries into one [`AnalyticalQuery`],
+/// builds one composite for the whole batch, compiles the shared jobs here,
+/// and demultiplexes the per-block datasets back to member queries (block
+/// ids in the outputs are the *combined* block indices, stamped by
+/// `group_agg_cycle`). [`HiveMqo::plan`] uses the same seam, so the fused
+/// path and the solo path execute identical job shapes.
+pub(crate) fn mqo_block_jobs(
+    config: &HiveConfig,
+    aq: &AnalyticalQuery,
+    composite: &CompositePattern,
+    cat: &DataCatalog,
+    pid: String,
+) -> Result<(Vec<Job>, Vec<String>), PlanError> {
+    let mut planner = RelPlanner::new(cat, config, pid);
+    let block_datasets = planner.plan_mqo(aq, composite)?;
+    Ok((planner.jobs, block_datasets))
 }
 
 /// A plan-time relation handle.

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod aquery;
+pub mod batch;
 pub mod catalog;
 pub mod composite;
 pub mod engines;
@@ -44,6 +45,7 @@ pub mod rollup;
 pub mod rows;
 
 pub use aquery::{extract, AnalyticalQuery, GroupingBlock};
+pub use batch::{demux_member_plan, fusion_groups, plan_fused_group, FusedPlan};
 pub use catalog::{DataCatalog, LoadConfig};
 pub use composite::{build_composite, CompositeOutcome, CompositePattern};
 pub use enumerate::{enumerate_best, CandidateReport, Enumerated, Family};

@@ -425,6 +425,52 @@ impl QueryPlan {
         Ok((rel, wf))
     }
 
+    /// Attach cross-query scan-cache keys to every job of this plan.
+    ///
+    /// `plan_sig` must uniquely determine the whole compilation: the
+    /// caller folds in the engine name, the full planner configuration,
+    /// and a canonical signature of the analytical query (see
+    /// [`crate::AnalyticalQuery::signature`]). Planning is a pure function
+    /// of those inputs, so every job's output bytes are determined by
+    /// `(plan_sig, job position)` plus the base datasets — and the cache
+    /// is only sound while it is bound to **one** loaded catalog, which is
+    /// the serving layer's contract (one cache per server, one server per
+    /// catalog). The per-compilation plan id is normalized out of names so
+    /// recompilations of the same query share cache entries, including the
+    /// scan-kind-bearing base inputs (`vp_*`, `extvp_*`, `tg_ec*`) the key
+    /// embeds via the normalized input list.
+    pub fn attach_scan_cache_keys(&mut self, plan_sig: &str) {
+        let pid = self.plan_id.clone();
+        let norm = |s: &str| {
+            if pid.is_empty() {
+                s.to_string()
+            } else {
+                s.replace(&pid, "«P»")
+            }
+        };
+        for (slot, job) in self
+            .jobs
+            .iter_mut()
+            .chain(self.final_job.iter_mut())
+            .enumerate()
+        {
+            let inputs: Vec<String> = job
+                .inputs
+                .iter()
+                .map(|i| match rapida_storage::scan_class(i) {
+                    Some(class) => format!("{i}#{class}"),
+                    None => norm(i),
+                })
+                .collect();
+            job.cache_key = Some(format!(
+                "{plan_sig}|#{slot}|{}->{}<-[{}]",
+                norm(&job.name),
+                norm(&job.output),
+                inputs.join(",")
+            ));
+        }
+    }
+
     /// Remove the plan's intermediate datasets from the DFS (everything the
     /// jobs wrote except the final output). Call after the result has been
     /// assembled; benchmark loops use this to keep the simulated DFS from
@@ -480,21 +526,11 @@ impl QueryPlan {
 }
 
 /// Scan-kind annotation of a plan input dataset, keyed on the storage
-/// layer's naming scheme: full VP tables vs ExtVP semi-join reductions.
-/// Intermediate datasets (plan-id-prefixed) and triplegroup partitions get
-/// no annotation.
+/// layer's naming scheme (see [`rapida_storage::scan_class`]): full VP
+/// tables vs ExtVP semi-join reductions. Intermediate datasets
+/// (plan-id-prefixed) and triplegroup partitions get no annotation.
 fn scan_kind(name: &str) -> Option<&'static str> {
-    if name.starts_with("extvp_ss__") {
-        Some("[ExtVP-SS]")
-    } else if name.starts_with("extvp_so__") {
-        Some("[ExtVP-SO]")
-    } else if name.starts_with("extvp_os__") {
-        Some("[ExtVP-OS]")
-    } else if name.starts_with("vp_") {
-        Some("[full-VP]")
-    } else {
-        None
-    }
+    rapida_storage::scan_class(name).and_then(|c| c.plan_label())
 }
 
 fn rval_to_cell(v: &RVal) -> Cell {

@@ -8,13 +8,16 @@
 //!   Fig. 8c).
 //! * [`pubmed`] — PubMed/Bio2RDF-like publication data (Table 4).
 //! * [`queries`] — G1–G9, MG1–MG4, MG6–MG18 with Fig. 7 structure metadata.
+//! * [`traffic`] — seeded multi-client arrival streams for `rapida serve`.
 
 pub mod bsbm;
 pub mod chem;
 pub mod pubmed;
 pub mod queries;
+pub mod traffic;
 
 pub use bsbm::{generate as generate_bsbm, BsbmConfig};
 pub use chem::{generate as generate_chem, ChemConfig};
 pub use pubmed::{generate as generate_pubmed, PubmedConfig};
 pub use queries::{catalog, mg_ids, query, CatalogQuery, Workload};
+pub use traffic::{generate as generate_traffic, TrafficConfig, TrafficEvent};

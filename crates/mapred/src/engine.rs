@@ -22,6 +22,7 @@
 //! the exact byte stream of the serial merge.
 
 use crate::bytes::Bytes;
+use crate::cache::ScanCache;
 use crate::codec::{BlockBuilder, KvBuffer, RecordIter};
 use crate::dfs::{Dataset, SimDfs};
 use crate::fault::{FaultPlan, Outcome, TaskKind};
@@ -58,6 +59,17 @@ pub struct Engine {
     /// Resilience policy: checksums, checkpointing, retry budgets,
     /// deadlines. Defaults keep every protection on.
     pub resilience: ResiliencePolicy,
+    /// Optional cross-query scan cache. When set, jobs carrying a
+    /// [`Job::cache_key`] are served from the cache on hit (the job body
+    /// never runs) and inserted on miss. `None` (the default) leaves the
+    /// execution path untouched.
+    pub scan_cache: Option<ScanCache>,
+    /// Optional persistent worker pool shared across workflows. When set,
+    /// map and reduce phases run on its long-lived threads instead of
+    /// spawning a fresh scoped pool per phase; its worker count overrides
+    /// [`Engine::workers`] for scheduling (not for metrics semantics —
+    /// results stay index-ordered either way).
+    pub task_pool: Option<pool::PersistentPool>,
 }
 
 /// Per-job fault accounting, accumulated across worker threads.
@@ -148,6 +160,8 @@ impl Engine {
             split_bytes: 256 * 1024,
             faults: None,
             resilience: ResiliencePolicy::default(),
+            scan_cache: None,
+            task_pool: None,
         }
     }
 
@@ -179,6 +193,32 @@ impl Engine {
     pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
         self.resilience = policy;
         self
+    }
+
+    /// Attach a cross-query scan cache (builder style).
+    pub fn with_scan_cache(mut self, cache: ScanCache) -> Self {
+        self.scan_cache = Some(cache);
+        self
+    }
+
+    /// Attach a persistent shared worker pool (builder style).
+    pub fn with_task_pool(mut self, p: pool::PersistentPool) -> Self {
+        self.task_pool = Some(p);
+        self
+    }
+
+    /// Run one phase's tasks: on the shared persistent pool when attached,
+    /// otherwise on a fresh scoped work-stealing pool.
+    fn pool_run<T, R, F>(&self, workers: usize, tasks: Vec<T>, f: F) -> (Vec<R>, pool::PoolStats)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        match &self.task_pool {
+            Some(p) => p.run(tasks, f),
+            None => pool::run_tasks(workers, tasks, f),
+        }
     }
 
     /// Run a sequence of jobs, accumulating workflow metrics.
@@ -260,7 +300,7 @@ impl Engine {
 
             let mut restart: Option<usize> = None;
             for (i, job) in jobs.iter().enumerate().skip(from) {
-                let m = self.run_job(job);
+                let m = self.run_job_cached(job);
                 if ran_before[i] {
                     recovery.jobs_replayed += 1;
                     recovery.recomputed_bytes += m.input_bytes + m.output_bytes;
@@ -326,6 +366,38 @@ impl Engine {
             }
         }
         Ok(assemble(&committed, &recovery))
+    }
+
+    /// Run one job through the scan cache when both the engine carries a
+    /// cache and the job carries a key; otherwise run it directly.
+    ///
+    /// On a hit the job body never executes: the cached [`Dataset`] is
+    /// republished under the job's output name (checksummed by the DFS
+    /// like any write, so checkpoint verification still works) and the
+    /// committed metrics are an empty map-only record with
+    /// `scan_cache_hits = 1` — the cost model charges it roughly a job
+    /// startup, nothing more. On a miss the job runs normally, its output
+    /// is offered to the cache, and the evictions that admission caused
+    /// are charged to this job's metrics.
+    fn run_job_cached(&self, job: &Job) -> JobMetrics {
+        let (Some(cache), Some(key)) = (&self.scan_cache, &job.cache_key) else {
+            return self.run_job(job);
+        };
+        if let Some(ds) = cache.get(key) {
+            self.dfs.put(&job.output, ds);
+            return JobMetrics {
+                name: job.name.clone(),
+                map_only: true,
+                scan_cache_hits: 1,
+                ..Default::default()
+            };
+        }
+        let mut m = self.run_job(job);
+        if let Some(out) = self.dfs.peek(&job.output) {
+            m.scan_cache_evictions = cache.insert(key, out);
+        }
+        m.scan_cache_misses = 1;
+        m
     }
 
     /// Run one job to completion, returning its metrics.
@@ -415,7 +487,7 @@ impl Engine {
         // downstream block layout and equal-key value order depend on —
         // regardless of worker count, steal interleaving, or faults.
         let (map_outs, map_pool) =
-            pool::run_tasks(workers, splits, |idx, (di, block, block_recs)| {
+            self.pool_run(workers, splits, |idx, (di, block, block_recs)| {
                 let mut local = FaultStats::default();
                 let mut out = self.run_map_task(job, idx, di, &block, block_recs, &mut local);
 
@@ -673,7 +745,7 @@ impl Engine {
             // key-range order, so concatenation below reproduces the serial
             // merge byte for byte at any worker count.
             let (unit_results, reduce_pool) =
-                pool::run_tasks(workers, units, |_u, (p_idx, runs, kind)| {
+                self.pool_run(workers, units, |_u, (p_idx, runs, kind)| {
                     let mut task = reducer.create();
                     let mut out = ReduceOutput::default();
                     match kind {
@@ -1071,6 +1143,75 @@ mod tests {
         assert_eq!(wf.full_cycles(), 1);
         assert_eq!(wf.map_only_cycles(), 1);
         assert_eq!(dfs.get("out").unwrap().records, 2);
+    }
+
+    #[test]
+    fn keyed_job_is_served_from_the_scan_cache() {
+        let cache = ScanCache::new(1 << 20);
+        let run = |dfs: &SimDfs| {
+            dfs.put("in", word_dataset(&["a", "b", "a"]));
+            let job = JobBuilder::new("scan")
+                .input("in")
+                .mapper(Arc::new(FnMapFactory(|| IdMap)))
+                .output("out")
+                .cache_key("k:scan")
+                .build();
+            let engine = Engine::pinned(dfs.clone()).with_scan_cache(cache.clone());
+            (engine.run_workflow(&[job]), dfs.get("out").unwrap())
+        };
+        let dfs1 = SimDfs::new();
+        let (wf1, out1) = run(&dfs1);
+        assert_eq!(wf1.total_scan_cache_misses(), 1);
+        assert_eq!(wf1.total_scan_cache_hits(), 0);
+
+        // Second workflow, fresh DFS namespace: the keyed job never runs.
+        let dfs2 = SimDfs::new();
+        let (wf2, out2) = run(&dfs2);
+        assert_eq!(wf2.total_scan_cache_hits(), 1);
+        assert_eq!(wf2.jobs[0].input_records, 0, "hit skips the job body");
+        let bytes = |d: &Dataset| {
+            d.blocks.iter().map(|b| b.as_ref().to_vec()).collect::<Vec<_>>()
+        };
+        assert_eq!(bytes(&out1), bytes(&out2), "hit republishes identical bytes");
+        // Unkeyed jobs never touch the cache.
+        let stats_before = cache.stats();
+        let dfs3 = SimDfs::new();
+        dfs3.put("in", word_dataset(&["a"]));
+        let plain = JobBuilder::new("plain")
+            .input("in")
+            .mapper(Arc::new(FnMapFactory(|| IdMap)))
+            .output("out")
+            .build();
+        Engine::pinned(dfs3.clone())
+            .with_scan_cache(cache.clone())
+            .run_workflow(&[plain]);
+        assert_eq!(cache.stats(), stats_before);
+    }
+
+    #[test]
+    fn persistent_pool_engine_matches_scoped_pool_engine() {
+        let run = |pool: Option<pool::PersistentPool>| {
+            let dfs = SimDfs::new();
+            dfs.put("in", wc_input());
+            let mut engine = Engine::pinned(dfs.clone());
+            engine.task_pool = pool;
+            let m = engine.run_job(&wordcount_job(true));
+            let bytes: Vec<Vec<u8>> = dfs
+                .get("out")
+                .unwrap()
+                .blocks
+                .iter()
+                .map(|b| b.as_ref().to_vec())
+                .collect();
+            (bytes, m.shuffle_records, m.output_bytes)
+        };
+        let scoped = run(None);
+        let pool = pool::PersistentPool::new(4);
+        let persistent = run(Some(pool.clone()));
+        assert_eq!(scoped, persistent, "same bytes and data-flow metrics");
+        // The pool survives across engines/workflows.
+        let again = run(Some(pool));
+        assert_eq!(scoped, again);
     }
 
     fn wordcount_job(with_combiner: bool) -> Job {

@@ -199,6 +199,13 @@ pub struct Job {
     /// (e.g. `"join u0 k1"`). Planners set it; cost estimators parse it.
     /// Empty when the producer did not annotate the job.
     pub tag: String,
+    /// Scan-cache key. When set and the engine carries a [`crate::ScanCache`],
+    /// a cached output under this key short-circuits the job; on miss the
+    /// job's output is inserted after it runs. `None` (the default) opts
+    /// out entirely. Keys must uniquely determine the output bytes — the
+    /// planner is responsible for folding in everything the job's output
+    /// depends on (engine config, plan signature, input identity).
+    pub cache_key: Option<String>,
 }
 
 impl Job {
@@ -218,6 +225,7 @@ pub struct JobBuilder {
     output: String,
     num_reducers: usize,
     tag: String,
+    cache_key: Option<String>,
 }
 
 impl JobBuilder {
@@ -232,7 +240,14 @@ impl JobBuilder {
             output: String::new(),
             num_reducers: 4,
             tag: String::new(),
+            cache_key: None,
         }
+    }
+
+    /// Set the scan-cache key (see [`Job::cache_key`]).
+    pub fn cache_key(mut self, key: impl Into<String>) -> Self {
+        self.cache_key = Some(key.into());
+        self
     }
 
     /// Set the logical-operation tag (see [`Job::tag`]).
@@ -289,6 +304,7 @@ impl JobBuilder {
             output: self.output,
             num_reducers: self.num_reducers,
             tag: self.tag,
+            cache_key: self.cache_key,
         }
     }
 }

@@ -16,6 +16,8 @@
 //! Components:
 //! * [`bytes`] — the cheap-clone immutable byte buffer ([`Bytes`]) blocks
 //!   are made of.
+//! * [`cache`] — the cross-query LRU scan cache ([`ScanCache`]) keyed jobs
+//!   can be served from instead of re-running.
 //! * [`codec`] — varint record encoding shared by all operators, plus the
 //!   [`KvBuffer`] / [`RecBuffer`] emit arenas.
 //! * [`merge`] — sorted-run selection and the loser-tree k-way merge.
@@ -40,6 +42,7 @@
 //!   cluster seconds ([`ClusterModel`]).
 
 pub mod bytes;
+pub mod cache;
 pub mod codec;
 pub mod cost;
 pub mod dfs;
@@ -53,6 +56,7 @@ pub mod pool;
 pub mod resilience;
 
 pub use bytes::Bytes;
+pub use cache::{ScanCache, ScanCacheStats};
 pub use codec::{KvBuffer, KvRef, RecBuffer};
 pub use cost::ClusterModel;
 pub use dfs::{Dataset, DatasetWriter, IntegrityReport, SimDfs};
@@ -63,6 +67,6 @@ pub use job::{
     FnMapFactory, FnReduceFactory, InputSrc, Job, JobBuilder, KeyLocal, MapOutput, MapTask,
     MapTaskFactory, ReduceOutput, ReduceTask, ReduceTaskFactory,
 };
-pub use pool::PoolStats;
+pub use pool::{PersistentPool, PoolStats};
 pub use metrics::{JobMetrics, RecoveryLedger, WorkflowMetrics};
 pub use resilience::{Backoff, JobDeadline, ResiliencePolicy, WorkflowError};

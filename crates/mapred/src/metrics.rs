@@ -94,6 +94,14 @@ pub struct JobMetrics {
     /// Committed reduce merge shards executed (`>= reduce_tasks` whenever
     /// a key-local reducer's partitions were cut into parallel ranges).
     pub merge_shards: usize,
+    /// Cross-query scan-cache hits: the job's output was served from the
+    /// cache and the job body never ran (all other counters stay zero).
+    pub scan_cache_hits: u64,
+    /// Scan-cache lookups that missed; the job ran and its output was
+    /// offered to the cache.
+    pub scan_cache_misses: u64,
+    /// Cache entries evicted to admit this job's output.
+    pub scan_cache_evictions: u64,
 }
 
 impl JobMetrics {
@@ -368,6 +376,21 @@ impl WorkflowMetrics {
     /// Total CPU time in task bodies across all jobs.
     pub fn total_busy_ns(&self) -> u64 {
         self.jobs.iter().map(|j| j.busy_total_ns()).sum()
+    }
+
+    /// Total scan-cache hits (jobs short-circuited by the cache).
+    pub fn total_scan_cache_hits(&self) -> u64 {
+        self.jobs.iter().map(|j| j.scan_cache_hits).sum()
+    }
+
+    /// Total scan-cache misses (keyed jobs that had to run).
+    pub fn total_scan_cache_misses(&self) -> u64 {
+        self.jobs.iter().map(|j| j.scan_cache_misses).sum()
+    }
+
+    /// Total scan-cache evictions charged to this workflow's insertions.
+    pub fn total_scan_cache_evictions(&self) -> u64 {
+        self.jobs.iter().map(|j| j.scan_cache_evictions).sum()
     }
 }
 

@@ -12,11 +12,13 @@
 //! compressed) sizes drive split counts and scan costs exactly as in the
 //! paper's pre-processing section.
 
+pub mod scan;
 pub mod segment;
 pub mod stats;
 pub mod tg_store;
 pub mod vp;
 
+pub use scan::{scan_class, ScanClass};
 pub use segment::{decode_segment, decode_stats, encode_segment, SegmentStats};
 pub use stats::{PredStat, StatsCatalog};
 pub use tg_store::{decode_tg, encode_tg, EcMeta, TgStore};

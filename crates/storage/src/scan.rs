@@ -1,0 +1,93 @@
+//! Classification of DFS dataset names into storage scan kinds.
+//!
+//! Both store families publish datasets under self-describing names
+//! (`vp_p{prop}`, `vp_type_o{obj}`, `extvp_{kind}__{base}__{partner}`,
+//! `tg_ec{class}`). Plan explainers annotate inputs with the kind, and the
+//! cross-query scan cache folds it into its keys — a cached ExtVP-reduced
+//! scan must never alias the full-VP scan of the same property.
+
+use std::fmt;
+
+/// The scan kind a base dataset name denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanClass {
+    /// Full vertical-partition property table (`vp_p*`, `vp_type_o*`).
+    FullVp,
+    /// ExtVP subject–subject semi-join reduction (`extvp_ss__*`).
+    ExtVpSS,
+    /// ExtVP subject–object semi-join reduction (`extvp_so__*`).
+    ExtVpSO,
+    /// ExtVP object–subject semi-join reduction (`extvp_os__*`).
+    ExtVpOS,
+    /// Subject triplegroup equivalence-class partition (`tg_ec*`).
+    TripleGroup,
+}
+
+impl ScanClass {
+    /// The bracketed label plan explainers print (e.g. `"[ExtVP-SS]"`).
+    /// Triplegroup partitions carry no annotation in plan dumps — the
+    /// golden snapshots predate the classifier — so their label is `None`.
+    pub fn plan_label(&self) -> Option<&'static str> {
+        match self {
+            ScanClass::FullVp => Some("[full-VP]"),
+            ScanClass::ExtVpSS => Some("[ExtVP-SS]"),
+            ScanClass::ExtVpSO => Some("[ExtVP-SO]"),
+            ScanClass::ExtVpOS => Some("[ExtVP-OS]"),
+            ScanClass::TripleGroup => None,
+        }
+    }
+}
+
+impl fmt::Display for ScanClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanClass::FullVp => write!(f, "full-vp"),
+            ScanClass::ExtVpSS => write!(f, "extvp-ss"),
+            ScanClass::ExtVpSO => write!(f, "extvp-so"),
+            ScanClass::ExtVpOS => write!(f, "extvp-os"),
+            ScanClass::TripleGroup => write!(f, "tg"),
+        }
+    }
+}
+
+/// Classify a dataset name; `None` for intermediates (plan-id-prefixed
+/// names) and anything else the storage layer did not publish.
+pub fn scan_class(name: &str) -> Option<ScanClass> {
+    if name.starts_with("extvp_ss__") {
+        Some(ScanClass::ExtVpSS)
+    } else if name.starts_with("extvp_so__") {
+        Some(ScanClass::ExtVpSO)
+    } else if name.starts_with("extvp_os__") {
+        Some(ScanClass::ExtVpOS)
+    } else if name.starts_with("vp_") {
+        Some(ScanClass::FullVp)
+    } else if name.starts_with("tg_ec") {
+        Some(ScanClass::TripleGroup)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_store_names() {
+        assert_eq!(scan_class("vp_p3"), Some(ScanClass::FullVp));
+        assert_eq!(scan_class("vp_type_o7"), Some(ScanClass::FullVp));
+        assert_eq!(scan_class("extvp_ss__vp_p1__vp_p2"), Some(ScanClass::ExtVpSS));
+        assert_eq!(scan_class("extvp_so__vp_p1__vp_type_o2"), Some(ScanClass::ExtVpSO));
+        assert_eq!(scan_class("extvp_os__vp_type_o2__vp_p1"), Some(ScanClass::ExtVpOS));
+        assert_eq!(scan_class("tg_ec4"), Some(ScanClass::TripleGroup));
+        assert_eq!(scan_class("p17_b0"), None);
+        assert_eq!(scan_class("hive_mqo_3_qopt"), None);
+    }
+
+    #[test]
+    fn labels_match_plan_dump_convention() {
+        assert_eq!(scan_class("vp_p3").unwrap().plan_label(), Some("[full-VP]"));
+        assert_eq!(scan_class("tg_ec1").unwrap().plan_label(), None);
+        assert_eq!(format!("{}", ScanClass::ExtVpOS), "extvp-os");
+    }
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Benchmark report runner. Usage:
 #
-#   scripts/bench_report.sh [mapred|query|scale|plan|extvp|recover|all]
+#   scripts/bench_report.sh [mapred|query|scale|plan|extvp|recover|serve|all]
 #
 # Runs the requested bench group(s) with real measurement settings and
 # validates the resulting BENCH_<group>.json in the repo root (override the
@@ -30,17 +30,22 @@
 #     a late-job loss on MG1/HiveNaive (deterministic recomputed bytes,
 #     1 ns/byte). Floor: full restart must recompute >= 2x the bytes
 #     checkpoint resume does.
+#   BENCH_serve.json  — batched-MQO serving + scan cache vs one-query-at-a-
+#     time at 10/100/1000 simulated clients (deterministic simulated QPS).
+#     Floors, checked even in smoke mode: batched beats serial at every
+#     scale, and by >= 1.5x at 100 clients.
 #
-# A missing BENCH_<group>.json is reported by name (and fails the run)
-# rather than surfacing as an opaque parse error.
+# Every selected group is checked even when an earlier one fails: the
+# per-group summary at the end names each PASS/FAIL/MISSING group, and the
+# script exits non-zero if any group failed or its report is missing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GROUP="${1:-all}"
 case "$GROUP" in
-    mapred|query|scale|plan|extvp|recover|all) ;;
+    mapred|query|scale|plan|extvp|recover|serve|all) ;;
     *)
-        echo "usage: $0 [mapred|query|scale|plan|extvp|recover|all]" >&2
+        echo "usage: $0 [mapred|query|scale|plan|extvp|recover|serve|all]" >&2
         exit 2
         ;;
 esac
@@ -90,15 +95,29 @@ run_recover() {
     cargo bench --offline -p rapida-bench --bench recover
 }
 
-# Track reports that should exist for the selected group(s) but don't, so
-# the final verdict names every missing file instead of dying on the first
-# opaque open() error.
-MISSING=()
-have_report() {
-    if [ ! -f "$DEST/$1" ]; then
-        MISSING+=("$1")
-        echo "==> $1 not found in $DEST — skipping its checks" >&2
-        return 1
+run_serve() {
+    echo "==> batched-MQO serving vs serial baseline bench (writes BENCH_serve.json)"
+    cargo bench --offline -p rapida-bench --bench serve
+}
+
+# Per-group verdicts: every selected group runs its checks even when an
+# earlier group failed, so one regression cannot hide another. The final
+# summary names each group PASS / FAIL / MISSING.
+SUMMARY=()
+ANY_FAILED=0
+check_group() {
+    local grp="$1" file="$2" fn="$3"
+    if [ ! -f "$DEST/$file" ]; then
+        echo "==> $file not found in $DEST — skipping its checks" >&2
+        SUMMARY+=("$grp: MISSING ($file)")
+        ANY_FAILED=1
+        return 0
+    fi
+    if "$fn"; then
+        SUMMARY+=("$grp: PASS")
+    else
+        SUMMARY+=("$grp: FAIL")
+        ANY_FAILED=1
     fi
 }
 
@@ -323,6 +342,47 @@ if o_restart is not None and o_ckpt is not None:
 EOF
 }
 
+check_serve() {
+    echo "==> checking BENCH_serve.json"
+    python3 - "$DEST/BENCH_serve.json" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        report = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"FAIL: {path} missing or malformed: {e}")
+by_id = {b["id"]: b["median_ns"] for b in report["benchmarks"]}
+# Simulated quantities are deterministic, so (like the recovery margin)
+# every serve floor is enforced even in smoke mode.
+for clients in (10, 100, 1000):
+    for mode in ("batched", "serial"):
+        if f"qpq/{mode}_c{clients}" not in by_id:
+            sys.exit(f"FAIL: {path} lacks qpq/{mode}_c{clients}")
+    b = by_id[f"qpq/batched_c{clients}"]
+    s = by_id[f"qpq/serial_c{clients}"]
+    if b <= 0 or s <= 0:
+        sys.exit(f"FAIL: non-positive qpq median at c{clients}")
+    ratio = s / b
+    hit = by_id.get(f"cache_hit/batched_c{clients}", 0.0) / 1e9
+    print(
+        f"  c{clients}: batched {1e9 / b:.2f} q/s  serial {1e9 / s:.2f} q/s"
+        f"  speedup {ratio:.2f}x  cache hits {100 * hit:.0f}%"
+    )
+    if ratio <= 1.0:
+        sys.exit(f"FAIL: batched serving loses to serial at c{clients} ({ratio:.2f}x)")
+    if hit <= 0.0:
+        sys.exit(f"FAIL: the scan cache never hit at c{clients}")
+ratio100 = by_id["qpq/serial_c100"] / by_id["qpq/batched_c100"]
+print(f"  floor: batched/serial at 100 clients = {ratio100:.2f}x (>= 1.5x required)")
+if ratio100 < 1.5:
+    sys.exit(
+        f"FAIL: batched/serial throughput {ratio100:.2f}x at 100 clients is below the 1.5x floor"
+    )
+EOF
+}
+
 if [ "$GROUP" = "mapred" ] || [ "$GROUP" = "all" ]; then
     run_mapred
 fi
@@ -341,27 +401,37 @@ fi
 if [ "$GROUP" = "recover" ] || [ "$GROUP" = "all" ]; then
     run_recover
 fi
+if [ "$GROUP" = "serve" ] || [ "$GROUP" = "all" ]; then
+    run_serve
+fi
 if [ "$GROUP" = "mapred" ] || [ "$GROUP" = "all" ]; then
-    if have_report BENCH_mapred.json; then check_mapred; fi
+    check_group mapred BENCH_mapred.json check_mapred
 fi
 if [ "$GROUP" = "query" ] || [ "$GROUP" = "all" ]; then
-    if have_report BENCH_query.json; then check_query; fi
+    check_group query BENCH_query.json check_query
 fi
 if [ "$GROUP" = "scale" ] || [ "$GROUP" = "all" ]; then
-    if have_report BENCH_scale.json; then check_scale; fi
+    check_group scale BENCH_scale.json check_scale
 fi
 if [ "$GROUP" = "plan" ] || [ "$GROUP" = "all" ]; then
-    if have_report BENCH_plan.json; then check_plan; fi
+    check_group plan BENCH_plan.json check_plan
 fi
 if [ "$GROUP" = "extvp" ] || [ "$GROUP" = "all" ]; then
-    if have_report BENCH_extvp.json; then check_extvp; fi
+    check_group extvp BENCH_extvp.json check_extvp
 fi
 if [ "$GROUP" = "recover" ] || [ "$GROUP" = "all" ]; then
-    if have_report BENCH_recover.json; then check_recover; fi
+    check_group recover BENCH_recover.json check_recover
+fi
+if [ "$GROUP" = "serve" ] || [ "$GROUP" = "all" ]; then
+    check_group serve BENCH_serve.json check_serve
 fi
 
-if [ "${#MISSING[@]}" -gt 0 ]; then
-    echo "==> bench report INCOMPLETE — missing: ${MISSING[*]}" >&2
+echo "==> per-group summary:"
+for line in "${SUMMARY[@]}"; do
+    echo "    $line"
+done
+if [ "$ANY_FAILED" -ne 0 ]; then
+    echo "==> bench report FAILED" >&2
     exit 1
 fi
 echo "==> bench report OK ($DEST)"

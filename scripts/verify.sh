@@ -31,6 +31,13 @@ cargo test -q --offline -p rapida-core --test plan_snapshots
 echo "==> ExtVP byte-identity smoke (reductions vs full scans)"
 cargo test -q --offline --test extvp_identity
 
+echo "==> serving smoke (batched-MQO identity + replay ledger, small traffic)"
+RAPIDA_SERVE_ROUNDS=2 RAPIDA_CHAOS_SEEDS=2 cargo test -q --offline --test serve_identity
+
+echo "==> serving CLI smoke (2 clients, 2 batching windows, both modes)"
+./target/release/rapida serve --clients 2 --duration-ms 150 --window-ms 100 --seed 7 > /dev/null
+./target/release/rapida serve --mode serial --clients 2 --duration-ms 150 --window-ms 100 --seed 7 > /dev/null
+
 echo "==> bench smoke (1 iteration per benchmark)"
 # Absolute path: bench binaries run with cwd = crates/bench, where a
 # relative RAPIDA_BENCH_DIR would silently land.
@@ -135,6 +142,31 @@ ratio = restart / ckpt
 if ratio < 2.0:
     sys.exit(f"FAIL: restart/checkpoint recomputation margin {ratio:.2f}x below 2x")
 print(f"  ok: recomputation margin {ratio:.2f}x")
+EOF
+
+echo "==> BENCH_serve.json present, well-formed, and above the 1.5x floor"
+python3 - target/bench-smoke/BENCH_serve.json <<'EOF'
+import json, sys
+try:
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"FAIL: BENCH_serve.json missing or malformed: {e}")
+by_id = {b["id"]: b["median_ns"] for b in report["benchmarks"]}
+for clients in (10, 100, 1000):
+    for mode in ("batched", "serial"):
+        if f"qpq/{mode}_c{clients}" not in by_id:
+            sys.exit(f"FAIL: BENCH_serve.json lacks qpq/{mode}_c{clients}")
+batched = by_id["qpq/batched_c100"]
+serial = by_id["qpq/serial_c100"]
+if batched <= 0:
+    sys.exit("FAIL: non-positive batched qpq median at c100")
+ratio = serial / batched
+# Throughput is deterministic (simulated model seconds, not wall time),
+# so the floor is checked even in smoke mode.
+if ratio < 1.5:
+    sys.exit(f"FAIL: batched/serial throughput {ratio:.2f}x at 100 clients below 1.5x")
+print(f"  ok: batched/serial throughput at 100 clients {ratio:.2f}x")
 EOF
 
 echo "==> verify OK"

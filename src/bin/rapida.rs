@@ -6,6 +6,7 @@
 //! rapida run     --engine ra --data data.nt --query query.rq
 //! rapida run     --engine all --dataset bsbm --id MG3
 //! rapida explain --engine hive --dataset chem --id MG6
+//! rapida serve   --dataset bsbm --clients 10 --duration-ms 400
 //! rapida catalog                      # list the built-in query catalog
 //! ```
 
@@ -17,6 +18,7 @@ fn usage() -> ExitCode {
         "usage:
   rapida run     [--engine hive|mqo|rapid|ra|all] (--data FILE.nt --query FILE.rq | --dataset bsbm|chem|pubmed [--id QID])
   rapida explain [--engine hive|mqo|rapid|ra|all] (--data FILE.nt --query FILE.rq | --dataset bsbm|chem|pubmed [--id QID])
+  rapida serve   [--dataset bsbm|chem|pubmed] [--mode batched|serial] [--clients N] [--duration-ms MS] [--window-ms MS] [--seed N]
   rapida catalog"
     );
     ExitCode::from(2)
@@ -29,6 +31,11 @@ struct Args {
     query: Option<String>,
     dataset: Option<String>,
     id: Option<String>,
+    mode: String,
+    clients: usize,
+    duration_ms: u64,
+    window_ms: u64,
+    seed: u64,
 }
 
 fn parse_args() -> Option<Args> {
@@ -41,6 +48,11 @@ fn parse_args() -> Option<Args> {
         query: None,
         dataset: None,
         id: None,
+        mode: "batched".to_string(),
+        clients: 10,
+        duration_ms: 400,
+        window_ms: 100,
+        seed: 42,
     };
     while let Some(flag) = argv.next() {
         let value = argv.next()?;
@@ -50,6 +62,11 @@ fn parse_args() -> Option<Args> {
             "--query" => a.query = Some(value),
             "--dataset" => a.dataset = Some(value),
             "--id" => a.id = Some(value),
+            "--mode" => a.mode = value,
+            "--clients" => a.clients = value.parse().ok()?,
+            "--duration-ms" => a.duration_ms = value.parse().ok()?,
+            "--window-ms" => a.window_ms = value.parse().ok()?,
+            "--seed" => a.seed = value.parse().ok()?,
             _ => return None,
         }
     }
@@ -125,6 +142,64 @@ fn main() -> ExitCode {
                     q.groups.join(" vs ")
                 );
             }
+            ExitCode::SUCCESS
+        }
+        "serve" => {
+            use rapida::serve::{ServeConfig, ServeMode, Server};
+            let mode = match args.mode.as_str() {
+                "batched" => ServeMode::Batched,
+                "serial" => ServeMode::Serial,
+                _ => return usage(),
+            };
+            let ds = args.dataset.clone().unwrap_or_else(|| "bsbm".to_string());
+            let graph = match ds.as_str() {
+                "bsbm" => rapida::datagen::generate_bsbm(&rapida::datagen::BsbmConfig::small()),
+                "chem" => rapida::datagen::generate_chem(&rapida::datagen::ChemConfig::default()),
+                "pubmed" => {
+                    rapida::datagen::generate_pubmed(&rapida::datagen::PubmedConfig::default())
+                }
+                other => {
+                    eprintln!("error: unknown dataset '{other}'");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("loaded {} triples", graph.len());
+            let config = ServeConfig {
+                mode,
+                window_ms: args.window_ms,
+                ..ServeConfig::default()
+            };
+            let server = Server::new(&graph, config);
+            let traffic = rapida::datagen::TrafficConfig::bsbm_mix(
+                args.seed,
+                args.clients,
+                args.duration_ms,
+            );
+            let events = rapida::datagen::generate_traffic(&traffic);
+            eprintln!(
+                "{} requests from {} clients over {} ms of arrivals",
+                events.len(),
+                args.clients,
+                args.duration_ms
+            );
+            server.enqueue_traffic(&events);
+            let report = server.drain();
+            for w in &report.ledger.windows {
+                println!(
+                    "window {:>3}: {:>3} arrivals, {:>2} unique, {:>2} groups \
+                     ({} fused members, {} shared jobs), cache {}h/{}m/{}e",
+                    w.window,
+                    w.arrivals,
+                    w.unique,
+                    w.groups,
+                    w.fused_members,
+                    w.shared_jobs,
+                    w.cache.hits,
+                    w.cache.misses,
+                    w.cache.evictions,
+                );
+            }
+            println!("{}", report.summary());
             ExitCode::SUCCESS
         }
         cmd @ ("run" | "explain") => {

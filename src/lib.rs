@@ -19,6 +19,7 @@
 //! | [`ntga`] | `rapida-ntga` | triplegroups + the paper's operators |
 //! | [`core`] | `rapida-core` | overlap, composite patterns, the 4 engines |
 //! | [`datagen`] | `rapida-datagen` | BSBM/Chem/PubMed generators + queries |
+//! | [`serve`] | `rapida-serve` | batched-MQO serving front end + scan cache |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@ pub use rapida_datagen as datagen;
 pub use rapida_mapred as mapred;
 pub use rapida_ntga as ntga;
 pub use rapida_rdf as rdf;
+pub use rapida_serve as serve;
 pub use rapida_sparql as sparql;
 pub use rapida_storage as storage;
 
@@ -53,6 +55,7 @@ pub mod prelude {
         extract, run_query, AnalyticalQuery, DataCatalog, PlanError, QueryEngine, QueryPlan,
     };
     pub use rapida_mapred::{ClusterModel, Engine as MrEngine, SimDfs, WorkflowMetrics};
+    pub use rapida_serve::{ServeConfig, ServeMode, ServeReport, Server};
     pub use rapida_rdf::{Dictionary, Graph, Term, TermId, Triple};
     pub use rapida_sparql::{evaluate, parse_query, Cell, Relation};
 }

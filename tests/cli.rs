@@ -99,3 +99,39 @@ fn bad_arguments_exit_nonzero() {
         .expect("binary runs");
     assert!(!out.status.success());
 }
+
+#[test]
+fn serve_reports_both_modes() {
+    let out = rapida()
+        .args(["serve", "--clients", "2", "--duration-ms", "120", "--seed", "7"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("batched mode:"), "{stdout}");
+    assert!(stdout.contains("window"), "{stdout}");
+
+    let out = rapida()
+        .args([
+            "serve",
+            "--mode",
+            "serial",
+            "--clients",
+            "2",
+            "--duration-ms",
+            "120",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("serial mode:"), "{stdout}");
+
+    let out = rapida()
+        .args(["serve", "--mode", "nosuch"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
